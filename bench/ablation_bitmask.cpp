@@ -1,0 +1,118 @@
+// ablation_bitmask — design ablation for §III-B techniques 2-3 (+ §V-D).
+//
+// Two of the paper's three scalability techniques are toggled:
+//   * bitmask width b: packed entries shrink up to b-fold (the paper
+//     argues the b-bit masks cut CSR row metadata by b while growing
+//     per-nonzero storage ≤ 2-3x);
+//   * the zero-row filter f: without compaction, hypersparse batches pack
+//     scattered row ids into nearly-empty words, wasting the mask bits.
+//
+// §V-D substitution (DESIGN.md §2): the paper's MCDRAM-as-L3 toggle is a
+// working-set experiment on hardware this reproduction does not have; the
+// bitmask sweep is the analogous working-set knob here, and — matching
+// the paper's finding — the wall-clock effect is expected to be small
+// relative to the structural (entry count) effect.
+#include "bench_common.hpp"
+
+using namespace sas;
+using namespace sas::bench;
+
+namespace {
+
+std::int64_t total_packed_nnz(const std::vector<core::BatchStats>& batches) {
+  std::int64_t total = 0;
+  for (const auto& b : batches) total += b.packed_nnz;
+  return total;
+}
+
+std::int64_t total_word_rows(const std::vector<core::BatchStats>& batches) {
+  std::int64_t total = 0;
+  for (const auto& b : batches) total += b.word_rows;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation — bitmask width b and zero-row filter",
+               "Besta et al., IPDPS'20, §III-B techniques 2-3; §V-D (substituted)",
+               "dense-ish: m=2^19, n=384, density=0.01; hypersparse: BIGSI-like");
+
+  const bsp::BspMachine model = machine();
+
+  auto sweep_bits = [&](const core::SampleSource& src, const char* label) {
+    std::printf("(a) bitmask width sweep — %s (filter ON, 8 ranks):\n", label);
+    TextTable bits_table({"b", "packed entries", "entry ratio", "word-rows",
+                          "row-space ratio", "CSR storage", "wall total",
+                          "modelled BSP"});
+    std::int64_t base_nnz = 0;
+    std::int64_t base_rows = 0;
+    for (int b : {1, 8, 32, 64}) {
+      core::Config config;
+      config.batch_count = 8;
+      config.bit_width = b;
+      const RunResult run = run_driver(8, src, config);
+      const std::int64_t nnz = total_packed_nnz(run.result.batches);
+      const std::int64_t rows = total_word_rows(run.result.batches);
+      if (base_nnz == 0) {
+        base_nnz = nnz;
+        base_rows = rows;
+      }
+      // The §III-B storage trade-off: row starts scale with word-rows,
+      // per-entry cost grows to index+mask (see distmat/csr.hpp).
+      const auto csr_bytes = static_cast<double>(
+          (rows + static_cast<std::int64_t>(run.result.batches.size())) * 8 +
+          nnz * (8 + 8));
+      bits_table.add_row(
+          {std::to_string(b), fmt_count(static_cast<std::uint64_t>(nnz)),
+           fmt_fixed(static_cast<double>(base_nnz) / nnz, 1) + "x fewer",
+           fmt_count(static_cast<std::uint64_t>(rows)),
+           fmt_fixed(static_cast<double>(base_rows) / rows, 1) + "x fewer",
+           fmt_bytes(csr_bytes), fmt_duration(run.wall_seconds),
+           fmt_duration(model.modelled_seconds(run.cost))});
+    }
+    bits_table.print();
+    std::printf("\n");
+  };
+  // Locally dense columns: packing wins entries AND work outright.
+  sweep_bits(core::BernoulliSampleSource(std::int64_t{1} << 14, 256, 0.25, 7),
+             "locally dense (m=2^14, n=256, density=0.25)");
+  // Moderate density: the win is the b-fold row-space (CSR row-start
+  // metadata) reduction the paper argues for; entries shrink only
+  // slightly and per-word popcounts subsume several bit-ops each.
+  sweep_bits(core::BernoulliSampleSource(std::int64_t{1} << 19, 384, 0.01, 7),
+             "moderate density (m=2^19, n=384, density=0.01)");
+  std::printf("Shape to match (paper §III-B): the mask cuts the row space by b (up to\n"
+              "64x fewer row starts) in BOTH regimes, \"while increasing the storage\n"
+              "necessary for each nonzero by no more than 2-3x\"; entry counts\n"
+              "collapse only where columns are locally dense after compaction.\n\n");
+
+  std::printf("(b) zero-row filter on hypersparse input (b=64, 8 ranks):\n");
+  const auto hyper = bigsi_like();
+  TextTable filter_table({"filter", "packed entries", "word-rows (sum over batches)",
+                          "wall total", "modelled BSP"});
+  for (bool filter : {true, false}) {
+    core::Config config;
+    config.batch_count = 16;
+    config.use_zero_row_filter = filter;
+    const RunResult run = run_driver(8, hyper, config);
+    filter_table.add_row(
+        {filter ? "ON  (Eq. 5-6)" : "OFF (ablated)",
+         fmt_count(static_cast<std::uint64_t>(total_packed_nnz(run.result.batches))),
+         fmt_count(static_cast<std::uint64_t>(total_word_rows(run.result.batches))),
+         fmt_duration(run.wall_seconds), fmt_duration(model.modelled_seconds(run.cost))});
+  }
+  filter_table.print();
+  std::printf("Shape to match: the filter shrinks the virtual word-row space from m/b\n"
+              "to |filter|/b (hundreds-fold here) — the difference between a feasible\n"
+              "and an infeasible CSR row-start array on the real 4^31 k-mer universe.\n"
+              "At this reproduction's scale the COO representation hides that memory\n"
+              "cost, so the filter's own communication makes it net-slower in wall\n"
+              "time — see EXPERIMENTS.md for the discussion.\n\n");
+
+  std::printf("(c) §V-D stand-in: note how (a)'s wall times move by far less than the\n"
+              "entry-count ratios — the kernel is bandwidth-friendly, matching the\n"
+              "paper's finding that the MCDRAM-as-L3 toggle changed per-batch times\n"
+              "only marginally (9.26s -> 9.33s on 4 nodes).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+// comm_model_validation — validates the paper's §III-C BSP analysis.
+//
+// The cost model predicts, per batch and per rank,
+//     W(p, c) = O( z/√(cp) + c·n²/p )        [bandwidth term]
+// for the SUMMA schedule, versus Θ(z) for the 1D ring and Θ(n²) for the
+// MapReduce allreduce pattern (§VI). Because the bsp runtime counts every
+// byte each rank sends, the bound is checked directly:
+//   (a) rank sweep at c=1 — measured max bytes/rank must track z/√p+n²/p,
+//   (b) replication sweep at fixed p — input term shrinks as 1/√c while
+//       the output-reduction term grows as c,
+//   (c) schedule comparison — SUMMA vs ring vs MapReduce bytes.
+#include <cmath>
+
+#include "baselines/mapreduce_jaccard.hpp"
+#include "bench_common.hpp"
+
+using namespace sas;
+using namespace sas::bench;
+
+namespace {
+
+/// Predicted bandwidth volume per rank (bytes): entries are 24-byte
+/// triplets, the dense reduction moves 8-byte words.
+double predicted_bytes(double z, double n, int p, int c) {
+  const double input_term = 24.0 * 2.0 * z / std::sqrt(static_cast<double>(c * p));
+  const double output_term = 8.0 * static_cast<double>(c) * n * n / p;
+  return input_term + output_term;
+}
+
+}  // namespace
+
+int main() {
+  const std::int64_t m = std::int64_t{1} << 19;
+  const std::int64_t n = 512;
+  const double density = 2e-3;
+  const double z = density * static_cast<double>(m) * static_cast<double>(n);
+  print_header("BSP cost model validation",
+               "Besta et al., IPDPS'20, §III-C analysis + §VI MapReduce comparison",
+               "m=2^19, n=512, density=2e-3 (z ~ " +
+                   fmt_count(static_cast<std::uint64_t>(z)) + " nonzeros), 4 batches");
+  const core::BernoulliSampleSource source(m, n, density, 13);
+
+  // (a) rank sweep, c = 1.
+  std::printf("(a) SUMMA rank sweep (c=1): measured max bytes/rank vs model\n");
+  TextTable ranks_table({"active ranks", "measured bytes/rank", "model bytes/rank",
+                         "measured/model", "supersteps"});
+  for (int ranks : {1, 4, 9, 16, 25}) {
+    core::Config config;
+    config.batch_count = 4;
+    const RunResult run = run_driver(ranks, source, config);
+    const int active = run.result.active_ranks;
+    const double model = predicted_bytes(z, static_cast<double>(n), active, 1);
+    ranks_table.add_row(
+        {std::to_string(active), fmt_bytes(static_cast<double>(run.cost.max_bytes)),
+         fmt_bytes(model),
+         fmt_fixed(static_cast<double>(run.cost.max_bytes) / model, 2),
+         std::to_string(run.cost.max_supersteps)});
+  }
+  ranks_table.print();
+  std::printf("Shape to match: measured/model stays O(1) across the sweep — the\n"
+              "constant-factor ratio must not grow with p.\n\n");
+
+  // (b) replication sweep at p = 16.
+  std::printf("(b) replication sweep at 16 ranks: c ∈ {1, 2, 4}\n");
+  TextTable c_table({"c", "grid", "measured bytes/rank", "model bytes/rank",
+                     "measured/model"});
+  for (int c : {1, 2, 4}) {
+    core::Config config;
+    config.batch_count = 4;
+    config.replication = c;
+    const RunResult run = run_driver(16, source, config);
+    const int active = run.result.active_ranks;
+    const int side = static_cast<int>(std::sqrt(active / c));
+    const double model = predicted_bytes(z, static_cast<double>(n), active, c);
+    c_table.add_row({std::to_string(c),
+                     std::to_string(side) + "x" + std::to_string(side) + "x" +
+                         std::to_string(c),
+                     fmt_bytes(static_cast<double>(run.cost.max_bytes)), fmt_bytes(model),
+                     fmt_fixed(static_cast<double>(run.cost.max_bytes) / model, 2)});
+  }
+  c_table.print();
+  std::printf("Shape to match: the model (input term ↓ 1/√c, output term ↑ c) keeps\n"
+              "tracking the measurement as c varies.\n\n");
+
+  // (c) schedule comparison at 16 ranks, at two operating points:
+  // input-dominated (z >> n²) and output-dominated (n² >> z/√p) — the
+  // latter is where the MapReduce allreduce pattern hurts most.
+  auto compare_schedules = [&](const core::SampleSource& src, std::int64_t batches,
+                               const char* label) {
+    std::printf("(c) schedule comparison at 16 ranks — %s\n", label);
+    TextTable sched({"schedule", "max bytes/rank", "total bytes", "max flops/rank"});
+    core::Config config;
+    config.batch_count = batches;
+    const RunResult summa = run_driver(16, src, config);
+    sched.add_row({"SUMMA 2D (this work)",
+                   fmt_bytes(static_cast<double>(summa.cost.max_bytes)),
+                   fmt_bytes(static_cast<double>(summa.cost.total_bytes)),
+                   fmt_count(summa.cost.max_flops)});
+    config.algorithm = core::Algorithm::kRing1D;
+    const RunResult ring = run_driver(16, src, config);
+    sched.add_row({"1D ring (panel circulation)",
+                   fmt_bytes(static_cast<double>(ring.cost.max_bytes)),
+                   fmt_bytes(static_cast<double>(ring.cost.total_bytes)),
+                   fmt_count(ring.cost.max_flops)});
+    std::vector<bsp::CostCounters> mr_counters;
+    (void)baselines::mapreduce_jaccard_threaded(16, src, batches, &mr_counters);
+    const auto mr = bsp::CostSummary::aggregate(mr_counters);
+    sched.add_row({"MapReduce + allreduce (sec. VI)",
+                   fmt_bytes(static_cast<double>(mr.max_bytes)),
+                   fmt_bytes(static_cast<double>(mr.total_bytes)),
+                   fmt_count(mr.max_flops)});
+    sched.print();
+    std::printf("\n");
+  };
+  compare_schedules(source, 4, "input-dominated (n=512, z~536k)");
+  const core::BernoulliSampleSource wide(std::int64_t{1} << 19, 1024, 2e-4, 17);
+  compare_schedules(wide, 4, "output-dominated (n=1024, z~107k)");
+
+  std::printf("Shape to match: SUMMA moves the fewest bytes per rank at both operating\n"
+              "points; the ring pays Θ(z) input circulation; MapReduce pays the Θ(n²)\n"
+              "allreduce the paper criticizes — dominant at the second operating point\n"
+              "— plus quadratic reduce-side work on dense attribute rows.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// fig2f_synth_weak — reproduces paper Fig. 2f.
+//
+// Weak scaling: the indicator matrix (m and n) and the batch size grow
+// with the core count, so per-rank work grows sub-linearly slower than
+// total work. The paper reports "from 1 core to 4096 cores, the amount of
+// work per processor increases by 64x, while the execution time increases
+// by 35.3x, corresponding to a 1.81x efficiency improvement". The same
+// work-vs-time ratio is reported here from the measured γ (flop) counters.
+#include "bench_common.hpp"
+
+using namespace sas;
+using namespace sas::bench;
+
+int main() {
+  print_header("Fig. 2f — synthetic dataset, weak scaling",
+               "Besta et al., IPDPS'20, Figure 2f",
+               "(m, n) grow with ranks at density 0.01: (2^17,128) -> (2^19,512) "
+               "(paper: 100k,1k -> 3.2M,32k over 1 -> 4096 cores)");
+
+  struct Step {
+    int ranks;
+    std::int64_t m;
+    std::int64_t n;
+  };
+  const std::vector<Step> steps{{1, 1 << 17, 128}, {4, 1 << 18, 256}, {16, 1 << 19, 512}};
+
+  const bsp::BspMachine model = machine();
+  TextTable table({"ranks", "#rows(m)", "#samples(n)", "time/batch", "actual total",
+                   "modelled BSP", "flops/rank", "work/rank vs step0",
+                   "model time vs step0"});
+  double base_model = 0.0;
+  double base_work = 0.0;
+  for (const Step& step : steps) {
+    const core::BernoulliSampleSource source(step.m, step.n, 0.01, 7);
+    core::Config config;
+    config.batch_count = 8;
+    const RunResult run = run_driver(step.ranks, source, config);
+    const BatchTiming timing = summarize_batches(run.result.batches, /*warmup=*/1);
+    const double modelled = model.modelled_seconds(run.cost);
+    const double work_per_rank =
+        static_cast<double>(run.cost.total_flops) / run.result.active_ranks;
+    if (base_model == 0.0) {
+      base_model = modelled;
+      base_work = work_per_rank;
+    }
+    table.add_row({std::to_string(run.result.active_ranks), fmt_count(step.m),
+                   fmt_count(step.n), fmt_duration(timing.mean_seconds),
+                   fmt_duration(run.wall_seconds), fmt_duration(modelled),
+                   fmt_count(static_cast<std::uint64_t>(work_per_rank)),
+                   fmt_fixed(work_per_rank / base_work, 2) + "x",
+                   fmt_fixed(modelled / base_model, 2) + "x"});
+  }
+  table.print();
+  std::printf(
+      "\nPaper shape: weak scaling is sustainable — per-rank work grows far slower\n"
+      "than total work (64x total -> their 35.3x time; here 16x ranks carry 16x\n"
+      "total work at ~3.6x work/rank). The paper additionally reports a 1.81x\n"
+      "efficiency IMPROVEMENT at scale; that gain comes from amortizing their\n"
+      "single-node startup/I/O overheads, which this in-process runtime does not\n"
+      "have (its 1-rank baseline is already overhead-free), so the modelled time\n"
+      "here grows mildly FASTER than work/rank — see EXPERIMENTS.md for the\n"
+      "deviation analysis.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// fig3_sparsity — reproduces paper Fig. 3.
+//
+// Impact of data sparsity: total runtime versus the Bernoulli density p
+// of the synthetic indicator matrix at fixed ranks and batches (paper:
+// 16 nodes, 4 batches, n=10k, m=32M, p from 1e-4 to 1e-2). Expected
+// shape: "nearly ideal scaling of the total runtime with the decreasing
+// data sparsity (i.e., with more data to process)" — runtime tracks the
+// nonzero count roughly linearly once work dominates fixed costs.
+#include "bench_common.hpp"
+
+using namespace sas;
+using namespace sas::bench;
+
+int main() {
+  print_header("Fig. 3 — impact of data sparsity",
+               "Besta et al., IPDPS'20, Figure 3",
+               "n=384, m=2^19, 8 ranks, 4 batches, density swept 1e-4 .. 1e-2 "
+               "(paper: n=10k, m=32M, 16 nodes)");
+
+  const bsp::BspMachine model = machine();
+  TextTable table({"density", "nnz(z)", "time/batch", "actual total", "modelled BSP",
+                   "model time per nnz"});
+  for (double density : {1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2}) {
+    const core::BernoulliSampleSource source(std::int64_t{1} << 19, 384, density, 7);
+    core::Config config;
+    config.batch_count = 4;
+    const RunResult run = run_driver(8, source, config);
+    const BatchTiming timing = summarize_batches(run.result.batches, /*warmup=*/1);
+    const double z = density * static_cast<double>(source.attribute_universe()) * 384.0;
+    const double modelled = model.modelled_seconds(run.cost);
+    table.add_row({fmt_fixed(density, 4), fmt_count(static_cast<std::uint64_t>(z)),
+                   fmt_duration(timing.mean_seconds), fmt_duration(run.wall_seconds),
+                   fmt_duration(modelled),
+                   fmt_fixed(1e9 * modelled / z, 2) + " ns"});
+  }
+  table.print();
+  std::printf("\nPaper shape to match: total time grows with density (0.5s at 1e-4 to\n"
+              "85.4s at 1e-2 in the paper); time-per-nonzero flattens once the\n"
+              "popcount kernel dominates fixed per-batch costs.\n");
+  return 0;
+}

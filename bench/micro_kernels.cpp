@@ -1,0 +1,107 @@
+// micro_kernels — google-benchmark microbenchmarks of the hot paths:
+// the popcount-AND join kernel (paper Eq. 7), k-mer extraction, MinHash
+// sketching, and triplet normalization. These are the per-operation
+// costs behind every figure bench; regressions here move every curve.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/minhash.hpp"
+#include "distmat/spgemm.hpp"
+#include "genome/kmer.hpp"
+#include "genome/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using sas::Rng;
+using sas::distmat::BlockRange;
+using sas::distmat::DenseBlock;
+using sas::distmat::SparseBlock;
+using sas::distmat::Triplet;
+
+SparseBlock random_block(std::int64_t rows, std::int64_t cols, double density,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Triplet<std::uint64_t>> entries;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t c = 0; c < cols; ++c) {
+      if (rng.bernoulli(density)) entries.push_back({r, c, rng()});
+    }
+  }
+  return SparseBlock::from_triplets(rows, cols, std::move(entries));
+}
+
+/// Eq. 7 kernel: B += popcount(L ∧ N) over matching word-rows.
+void BM_PopcountJoin(benchmark::State& state) {
+  const auto density = static_cast<double>(state.range(0)) / 1000.0;
+  const SparseBlock block = random_block(512, 128, density, 42);
+  DenseBlock<std::int64_t> out(BlockRange{0, 128}, BlockRange{0, 128});
+  std::uint64_t flop_estimate = 0;
+  for (auto _ : state) {
+    std::fill(out.values.begin(), out.values.end(), 0);
+    sas::bsp::CostCounters counters;
+    popcount_join_accumulate(block.entries, block.entries, 0, 0, out, &counters);
+    flop_estimate = counters.flops;
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.counters["madds/iter"] = static_cast<double>(flop_estimate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flop_estimate));
+}
+BENCHMARK(BM_PopcountJoin)->Arg(50)->Arg(200)->Arg(500);
+
+/// Canonical k-mer extraction throughput (bases/second).
+void BM_CanonicalKmers(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const sas::genome::KmerCodec codec(k);
+  Rng rng(7);
+  const std::string sequence = sas::genome::random_genome(1 << 16, rng);
+  for (auto _ : state) {
+    auto kmers = codec.canonical_kmers(sequence);
+    benchmark::DoNotOptimize(kmers.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sequence.size()));
+}
+BENCHMARK(BM_CanonicalKmers)->Arg(19)->Arg(31);
+
+/// MinHash sketch construction over a k-mer-sized element set.
+void BM_MinHashSketch(benchmark::State& state) {
+  const auto sketch_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  std::vector<std::uint64_t> elements(100000);
+  for (auto& e : elements) e = rng();
+  for (auto _ : state) {
+    sas::baselines::MinHashSketch sketch(elements, sketch_size, 5);
+    benchmark::DoNotOptimize(sketch.hashes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(elements.size()));
+}
+BENCHMARK(BM_MinHashSketch)->Arg(128)->Arg(1024)->Arg(8192);
+
+/// Accumulating-write normalization (sort + OR-merge), the local half of
+/// every redistribution.
+void BM_NormalizeTriplets(benchmark::State& state) {
+  Rng rng(13);
+  const auto count = static_cast<std::size_t>(state.range(0));
+  std::vector<Triplet<std::uint64_t>> base(count);
+  for (auto& t : base) {
+    t = {static_cast<std::int64_t>(rng.uniform(1024)),
+         static_cast<std::int64_t>(rng.uniform(256)), rng()};
+  }
+  for (auto _ : state) {
+    auto copy = base;
+    sas::distmat::normalize_triplets(
+        copy, [](std::uint64_t a, std::uint64_t b) { return a | b; });
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_NormalizeTriplets)->Arg(1 << 12)->Arg(1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

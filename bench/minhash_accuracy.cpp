@@ -1,0 +1,93 @@
+// minhash_accuracy — quantifies the paper's §I motivation.
+//
+// "These approximations often lead to inaccurate approximations of d_J
+// for highly similar pairs of sequence sets, and tend to be ineffective
+// for computation of a distance between highly dissimilar sets unless
+// very large sketch sizes are used."
+//
+// Genome pairs are generated at controlled true Jaccard levels via the
+// point-mutation model; MinHash estimates at several sketch sizes are
+// compared against the exact value that SimilarityAtScale computes by
+// construction. Reported: mean absolute and mean relative error over
+// hash-seed trials. The exact method's error is identically zero.
+#include <cmath>
+
+#include "baselines/exact_pairwise.hpp"
+#include "baselines/minhash.hpp"
+#include "bench_common.hpp"
+#include "genome/sample.hpp"
+#include "genome/synthetic.hpp"
+
+using namespace sas;
+using namespace sas::bench;
+
+int main() {
+  const int k = 21;
+  const std::int64_t genome_length = 60000;
+  const int trials = 8;
+  print_header("MinHash accuracy vs exact Jaccard (paper §I / §VI motivation)",
+               "Besta et al., IPDPS'20, §I (Mash limitations)",
+               "genome pairs at controlled true J, k=21, 60kbp, 8 hash seeds");
+
+  const genome::KmerCodec codec(k);
+  Rng rng(1234);
+  const std::string base = genome::random_genome(genome_length, rng);
+  const auto base_sample = genome::build_sample("base", {{"g", "", base}}, codec);
+
+  TextTable table({"true J (exact)", "regime", "sketch", "mean |err|", "mean rel err",
+                   "exact method err"});
+  for (double target : {0.999, 0.99, 0.9, 0.5, 0.1, 0.01, 0.002}) {
+    const double rate = genome::mutation_rate_for_jaccard(k, target);
+    const std::string mutated = genome::mutate_point(base, rate, rng);
+    const auto other = genome::build_sample("m", {{"g", "", mutated}}, codec);
+    const double truth = baselines::exact_jaccard(base_sample.kmers, other.kmers);
+    const char* regime =
+        target >= 0.9 ? "highly similar" : (target <= 0.01 ? "highly dissimilar" : "mid");
+
+    for (std::size_t sketch : {128, 1024, 8192}) {
+      double abs_err = 0.0;
+      double rel_err = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        const baselines::MinHashSketch sa(base_sample.kmers, sketch,
+                                          100 + static_cast<std::uint64_t>(t));
+        const baselines::MinHashSketch sb(other.kmers, sketch,
+                                          100 + static_cast<std::uint64_t>(t));
+        const double est = baselines::MinHashSketch::estimate_jaccard(sa, sb);
+        abs_err += std::fabs(est - truth);
+        rel_err += truth > 0 ? std::fabs(est - truth) / truth : 0.0;
+      }
+      table.add_row({fmt_fixed(truth, 4), regime, std::to_string(sketch),
+                     fmt_fixed(abs_err / trials, 5),
+                     fmt_fixed(100.0 * rel_err / trials, 1) + "%", "0 (exact)"});
+    }
+  }
+  table.print();
+
+  std::printf("\nShapes to match (paper's motivation):\n"
+              "  * highly dissimilar pairs: relative error is huge at small sketches\n"
+              "    (estimates quantize at 1/sketch or collapse to 0);\n"
+              "  * highly similar pairs: the DISTANCE d_J = 1-J inherits the absolute\n"
+              "    error, which dwarfs the tiny true distance;\n"
+              "  * error shrinks ~1/sqrt(sketch), i.e. accuracy costs sketch size;\n"
+              "  * the exact pipeline has zero error at every operating point.\n");
+
+  // Distance-space view for the highly-similar regime.
+  std::printf("\nDistance-space error for a highly similar pair (true J = 0.999):\n");
+  const double rate = genome::mutation_rate_for_jaccard(k, 0.999);
+  const std::string mutated = genome::mutate_point(base, rate, rng);
+  const auto other = genome::build_sample("m", {{"g", "", mutated}}, codec);
+  const double truth = baselines::exact_jaccard(base_sample.kmers, other.kmers);
+  TextTable dist({"sketch", "true d_J", "est d_J (one seed)", "rel distance err"});
+  for (std::size_t sketch : {128, 1024, 8192}) {
+    const baselines::MinHashSketch sa(base_sample.kmers, sketch, 77);
+    const baselines::MinHashSketch sb(other.kmers, sketch, 77);
+    const double est = baselines::MinHashSketch::estimate_jaccard(sa, sb);
+    const double true_d = 1.0 - truth;
+    const double est_d = 1.0 - est;
+    dist.add_row({std::to_string(sketch), fmt_fixed(true_d, 5), fmt_fixed(est_d, 5),
+                  true_d > 0 ? fmt_fixed(100.0 * std::fabs(est_d - true_d) / true_d, 1) + "%"
+                             : "n/a"});
+  }
+  dist.print();
+  return 0;
+}

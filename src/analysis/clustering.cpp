@@ -1,0 +1,229 @@
+#include "analysis/clustering.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace sas::analysis {
+
+namespace {
+
+void check_matrix(const std::vector<double>& distances, std::int64_t n) {
+  if (static_cast<std::int64_t>(distances.size()) != n * n) {
+    throw std::invalid_argument("clustering: distance matrix must be n*n");
+  }
+}
+
+}  // namespace
+
+std::vector<MergeStep> hierarchical_cluster(const std::vector<double>& distances,
+                                            std::int64_t n, Linkage linkage) {
+  check_matrix(distances, n);
+  if (n < 1) throw std::invalid_argument("hierarchical_cluster: empty input");
+
+  // Lance–Williams style update on an explicit active-cluster distance
+  // matrix; O(n³), fine for the n this library clusters (samples, not
+  // k-mers).
+  struct Cluster {
+    int id;              // dendrogram id
+    std::int64_t size;
+  };
+  std::vector<Cluster> active;
+  for (std::int64_t i = 0; i < n; ++i) active.push_back({static_cast<int>(i), 1});
+  std::vector<double> d = distances;
+  std::int64_t r = n;
+  auto dist_at = [&](std::int64_t i, std::int64_t j) -> double& {
+    return d[static_cast<std::size_t>(i * r + j)];
+  };
+
+  std::vector<MergeStep> merges;
+  int next_id = static_cast<int>(n);
+  while (r > 1) {
+    std::int64_t best_i = 0;
+    std::int64_t best_j = 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::int64_t i = 0; i < r; ++i) {
+      for (std::int64_t j = i + 1; j < r; ++j) {
+        if (dist_at(i, j) < best) {
+          best = dist_at(i, j);
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+    merges.push_back({active[static_cast<std::size_t>(best_i)].id,
+                      active[static_cast<std::size_t>(best_j)].id, best});
+
+    const std::int64_t si = active[static_cast<std::size_t>(best_i)].size;
+    const std::int64_t sj = active[static_cast<std::size_t>(best_j)].size;
+    std::vector<double> d_new(static_cast<std::size_t>((r - 1) * (r - 1)), 0.0);
+    std::vector<Cluster> active_new;
+    std::vector<std::int64_t> keep;
+    for (std::int64_t i = 0; i < r; ++i) {
+      if (i == best_j) continue;
+      keep.push_back(i);
+      if (i == best_i) {
+        active_new.push_back({next_id, si + sj});
+      } else {
+        active_new.push_back(active[static_cast<std::size_t>(i)]);
+      }
+    }
+    for (std::size_t a = 0; a < keep.size(); ++a) {
+      for (std::size_t b = a + 1; b < keep.size(); ++b) {
+        const std::int64_t oi = keep[a];
+        const std::int64_t oj = keep[b];
+        double value;
+        if (oi == best_i || oj == best_i) {
+          const std::int64_t other = (oi == best_i) ? oj : oi;
+          const double di = dist_at(best_i, other);
+          const double dj = dist_at(best_j, other);
+          switch (linkage) {
+            case Linkage::kSingle: value = std::min(di, dj); break;
+            case Linkage::kComplete: value = std::max(di, dj); break;
+            case Linkage::kAverage:
+              value = (static_cast<double>(si) * di + static_cast<double>(sj) * dj) /
+                      static_cast<double>(si + sj);
+              break;
+            default: value = di;  // unreachable
+          }
+        } else {
+          value = dist_at(oi, oj);
+        }
+        d_new[a * keep.size() + b] = value;
+        d_new[b * keep.size() + a] = value;
+      }
+    }
+    d = std::move(d_new);
+    active = std::move(active_new);
+    ++next_id;
+    --r;
+  }
+  return merges;
+}
+
+std::vector<int> cut_dendrogram(const std::vector<MergeStep>& merges, std::int64_t n,
+                                int k) {
+  if (k < 1 || k > n) throw std::invalid_argument("cut_dendrogram: bad cluster count");
+  // Apply the first n−k merges with union-find, then label components.
+  std::vector<int> uf(static_cast<std::size_t>(n) + merges.size());
+  for (std::size_t i = 0; i < uf.size(); ++i) uf[i] = static_cast<int>(i);
+  std::function<int(int)> find = [&](int x) {
+    while (uf[static_cast<std::size_t>(x)] != x) {
+      uf[static_cast<std::size_t>(x)] = uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+      x = uf[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  const auto steps = static_cast<std::size_t>(n - k);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const int id = static_cast<int>(n) + static_cast<int>(s);
+    uf[static_cast<std::size_t>(find(merges[s].left))] = id;
+    uf[static_cast<std::size_t>(find(merges[s].right))] = id;
+  }
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  std::vector<int> remap(uf.size(), -1);
+  int next = 0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const int root = find(static_cast<int>(i));
+    if (remap[static_cast<std::size_t>(root)] < 0) remap[static_cast<std::size_t>(root)] = next++;
+    labels[static_cast<std::size_t>(i)] = remap[static_cast<std::size_t>(root)];
+  }
+  return labels;
+}
+
+std::vector<int> k_medoids(const std::vector<double>& distances, std::int64_t n, int k,
+                           std::uint64_t seed, int max_iterations) {
+  check_matrix(distances, n);
+  if (k < 1 || k > n) throw std::invalid_argument("k_medoids: bad cluster count");
+
+  auto dist = [&](std::int64_t i, std::int64_t j) {
+    return distances[static_cast<std::size_t>(i * n + j)];
+  };
+
+  // k-medoids++ style greedy seeding: first medoid random, then farthest-
+  // from-current-medoids points (deterministic given seed).
+  Rng rng(seed);
+  std::vector<std::int64_t> medoids{
+      static_cast<std::int64_t>(rng.uniform(static_cast<std::uint64_t>(n)))};
+  while (static_cast<int>(medoids.size()) < k) {
+    std::int64_t best = -1;
+    double best_d = -1.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::int64_t m : medoids) nearest = std::min(nearest, dist(i, m));
+      if (nearest > best_d) {
+        best_d = nearest;
+        best = i;
+      }
+    }
+    medoids.push_back(best);
+  }
+
+  std::vector<int> labels(static_cast<std::size_t>(n), 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Assignment.
+    for (std::int64_t i = 0; i < n; ++i) {
+      double nearest = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < medoids.size(); ++c) {
+        const double dd = dist(i, medoids[c]);
+        if (dd < nearest) {
+          nearest = dd;
+          labels[static_cast<std::size_t>(i)] = static_cast<int>(c);
+        }
+      }
+    }
+    // Update: per cluster, the point minimizing total intra-cluster distance.
+    bool changed = false;
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+      std::int64_t best = medoids[c];
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::int64_t candidate = 0; candidate < n; ++candidate) {
+        if (labels[static_cast<std::size_t>(candidate)] != static_cast<int>(c)) continue;
+        double cost = 0.0;
+        for (std::int64_t other = 0; other < n; ++other) {
+          if (labels[static_cast<std::size_t>(other)] == static_cast<int>(c)) {
+            cost += dist(candidate, other);
+          }
+        }
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = candidate;
+        }
+      }
+      if (best != medoids[c]) {
+        medoids[c] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return labels;
+}
+
+std::vector<double> knn_outlier_scores(const std::vector<double>& distances,
+                                       std::int64_t n, int neighbors) {
+  check_matrix(distances, n);
+  if (neighbors < 1 || neighbors >= n) {
+    throw std::invalid_argument("knn_outlier_scores: bad neighbor count");
+  }
+  std::vector<double> scores(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> row(static_cast<std::size_t>(n - 1));
+  for (std::int64_t i = 0; i < n; ++i) {
+    std::size_t idx = 0;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j != i) row[idx++] = distances[static_cast<std::size_t>(i * n + j)];
+    }
+    std::nth_element(row.begin(), row.begin() + neighbors - 1, row.end());
+    double sum = 0.0;
+    for (int t = 0; t < neighbors; ++t) sum += row[static_cast<std::size_t>(t)];
+    // nth_element leaves the k smallest in the first k slots (unordered),
+    // which is exactly what the mean needs.
+    scores[static_cast<std::size_t>(i)] = sum / neighbors;
+  }
+  return scores;
+}
+
+}  // namespace sas::analysis

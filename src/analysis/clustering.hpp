@@ -1,0 +1,47 @@
+// clustering.hpp — clustering over Jaccard distance matrices.
+//
+// Because d_J is a proper metric (paper §II-A), the distance matrix feeds
+// standard clustering directly (§II-C): agglomerative hierarchical
+// clustering with selectable linkage, and k-medoids (the medoid-based
+// analog of the k-means + Jaccard pairing the paper cites, appropriate
+// when only pairwise distances — not coordinates — exist). Also includes
+// the §II-D application: proximity-based outlier scoring.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sas::analysis {
+
+enum class Linkage { kSingle, kComplete, kAverage };
+
+/// One merge step of the dendrogram: clusters `left` and `right` (ids
+/// < n are leaves; ids >= n refer to earlier merges, id = n + step)
+/// joined at `height`.
+struct MergeStep {
+  int left = 0;
+  int right = 0;
+  double height = 0.0;
+};
+
+/// Full agglomerative clustering; returns the n−1 merge steps in order.
+[[nodiscard]] std::vector<MergeStep> hierarchical_cluster(
+    const std::vector<double>& distances, std::int64_t n, Linkage linkage);
+
+/// Cut the dendrogram into exactly `k` flat clusters; labels in [0, k).
+[[nodiscard]] std::vector<int> cut_dendrogram(const std::vector<MergeStep>& merges,
+                                              std::int64_t n, int k);
+
+/// k-medoids (PAM-style alternating assignment/update) with deterministic
+/// seeding; returns per-sample labels in [0, k).
+[[nodiscard]] std::vector<int> k_medoids(const std::vector<double>& distances,
+                                         std::int64_t n, int k, std::uint64_t seed,
+                                         int max_iterations = 50);
+
+/// Proximity-based outlier score (paper §II-D): mean distance to the
+/// `neighbors` nearest other samples. Higher = more anomalous.
+[[nodiscard]] std::vector<double> knn_outlier_scores(const std::vector<double>& distances,
+                                                     std::int64_t n, int neighbors);
+
+}  // namespace sas::analysis

@@ -1,0 +1,108 @@
+#include "analysis/neighbor_joining.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace sas::analysis {
+
+PhyloTree neighbor_joining(const std::vector<double>& distances,
+                           const std::vector<std::string>& names) {
+  const auto n = static_cast<std::int64_t>(names.size());
+  if (n < 2) throw std::invalid_argument("neighbor_joining: need at least 2 taxa");
+  if (static_cast<std::int64_t>(distances.size()) != n * n) {
+    throw std::invalid_argument("neighbor_joining: distance matrix must be n*n");
+  }
+
+  PhyloTree tree;
+  // Active clusters: tree-node id + a dense working distance matrix
+  // indexed by active position. Entries are compacted on each join.
+  std::vector<int> node_of;
+  for (std::int64_t i = 0; i < n; ++i) {
+    node_of.push_back(tree.add_node(names[static_cast<std::size_t>(i)]));
+  }
+  std::vector<double> d = distances;
+  std::int64_t r = n;
+
+  auto dist_at = [&](std::int64_t i, std::int64_t j) -> double& {
+    return d[static_cast<std::size_t>(i * r + j)];
+  };
+
+  while (r > 2) {
+    std::vector<double> total(static_cast<std::size_t>(r), 0.0);
+    for (std::int64_t i = 0; i < r; ++i) {
+      for (std::int64_t j = 0; j < r; ++j) total[static_cast<std::size_t>(i)] += dist_at(i, j);
+    }
+
+    // argmin of Q(i,j) = (r−2)·d(i,j) − total(i) − total(j), i < j.
+    std::int64_t best_i = 0;
+    std::int64_t best_j = 1;
+    double best_q = std::numeric_limits<double>::infinity();
+    for (std::int64_t i = 0; i < r; ++i) {
+      for (std::int64_t j = i + 1; j < r; ++j) {
+        const double q = static_cast<double>(r - 2) * dist_at(i, j) -
+                         total[static_cast<std::size_t>(i)] -
+                         total[static_cast<std::size_t>(j)];
+        if (q < best_q) {
+          best_q = q;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+
+    const double dij = dist_at(best_i, best_j);
+    // Branch lengths of the joined pair (may be negative on non-additive
+    // input; standard NJ does not clamp, preserving exactness on additive
+    // matrices).
+    const double li =
+        0.5 * dij + (total[static_cast<std::size_t>(best_i)] -
+                     total[static_cast<std::size_t>(best_j)]) /
+                        (2.0 * static_cast<double>(r - 2));
+    const double lj = dij - li;
+
+    const int u = tree.add_node();
+    tree.link(u, node_of[static_cast<std::size_t>(best_i)], li);
+    tree.link(u, node_of[static_cast<std::size_t>(best_j)], lj);
+
+    // New distances: d(u,k) = (d(i,k) + d(j,k) − d(i,j)) / 2. Compact the
+    // matrix by overwriting row/col best_i with u and removing best_j.
+    std::vector<double> d_new(static_cast<std::size_t>((r - 1) * (r - 1)), 0.0);
+    std::vector<int> node_new;
+    std::vector<std::int64_t> keep;  // old indices, with best_i replaced by the join
+    for (std::int64_t i = 0; i < r; ++i) {
+      if (i == best_j) continue;
+      keep.push_back(i);
+      node_new.push_back(i == best_i ? u : node_of[static_cast<std::size_t>(i)]);
+    }
+    for (std::size_t a = 0; a < keep.size(); ++a) {
+      for (std::size_t b = 0; b < keep.size(); ++b) {
+        const std::int64_t oi = keep[a];
+        const std::int64_t oj = keep[b];
+        double value;
+        if (a == b) {
+          value = 0.0;
+        } else if (oi == best_i) {
+          value = 0.5 * (dist_at(best_i, oj) + dist_at(best_j, oj) - dij);
+        } else if (oj == best_i) {
+          value = 0.5 * (dist_at(best_i, oi) + dist_at(best_j, oi) - dij);
+        } else {
+          value = dist_at(oi, oj);
+        }
+        d_new[a * keep.size() + b] = value;
+      }
+    }
+    d = std::move(d_new);
+    node_of = std::move(node_new);
+    --r;
+  }
+
+  // Final join: split the remaining distance across a synthetic root so
+  // leaf-to-leaf path lengths are preserved.
+  const double dab = d[1];
+  const int root = tree.add_node();
+  tree.link(root, node_of[0], 0.5 * dab);
+  tree.link(root, node_of[1], 0.5 * dab);
+  return tree;
+}
+
+}  // namespace sas::analysis

@@ -1,0 +1,23 @@
+// neighbor_joining.hpp — Saitou–Nei neighbor joining (paper ref [67]).
+//
+// Builds an unrooted (here: rooted at the last join) phylogenetic tree
+// from a distance matrix. On additive matrices the reconstruction is
+// exact — the property test feeds cophenetic distances of a random tree
+// back through NJ and demands the original distances. Complexity O(n³).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/phylo_tree.hpp"
+
+namespace sas::analysis {
+
+/// `distances` is the row-major n×n symmetric matrix (e.g. Jaccard
+/// distances from SimilarityMatrix::distance_matrix()); `names` labels
+/// the leaves. Requires n >= 2.
+[[nodiscard]] PhyloTree neighbor_joining(const std::vector<double>& distances,
+                                         const std::vector<std::string>& names);
+
+}  // namespace sas::analysis

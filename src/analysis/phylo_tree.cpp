@@ -1,0 +1,129 @@
+#include "analysis/phylo_tree.hpp"
+
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+
+namespace sas::analysis {
+
+int PhyloTree::add_node(std::string name) {
+  nodes_.push_back(PhyloNode{-1, 0.0, std::move(name), {}});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void PhyloTree::link(int parent, int child, double branch_length) {
+  auto& p = nodes_.at(static_cast<std::size_t>(parent));
+  auto& c = nodes_.at(static_cast<std::size_t>(child));
+  if (c.parent != -1) throw std::logic_error("PhyloTree::link: child already linked");
+  c.parent = parent;
+  c.branch_length = branch_length;
+  p.children.push_back(child);
+}
+
+int PhyloTree::root() const {
+  for (int i = 0; i < node_count(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].parent == -1) return i;
+  }
+  throw std::logic_error("PhyloTree::root: no root found");
+}
+
+std::vector<int> PhyloTree::leaves() const {
+  std::vector<int> out;
+  for (int i = 0; i < node_count(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].children.empty()) out.push_back(i);
+  }
+  return out;
+}
+
+std::string PhyloTree::to_newick() const {
+  std::function<void(int, std::string&)> render = [&](int id, std::string& out) {
+    const PhyloNode& n = nodes_[static_cast<std::size_t>(id)];
+    if (!n.children.empty()) {
+      out += '(';
+      for (std::size_t c = 0; c < n.children.size(); ++c) {
+        if (c > 0) out += ',';
+        render(n.children[c], out);
+      }
+      out += ')';
+    }
+    out += n.name;
+    if (n.parent != -1) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), ":%.6f", n.branch_length);
+      out += buf;
+    }
+  };
+  std::string out;
+  render(root(), out);
+  out += ';';
+  return out;
+}
+
+std::vector<double> PhyloTree::cophenetic_distances() const {
+  const std::vector<int> leaf_ids = leaves();
+  const auto nl = static_cast<std::int64_t>(leaf_ids.size());
+  std::vector<double> dist(static_cast<std::size_t>(nl * nl), 0.0);
+
+  // Distance from each leaf to every node on its root path, then combine
+  // at the lowest common ancestor via depth subtraction.
+  std::vector<double> to_root(static_cast<std::size_t>(node_count()), 0.0);
+  for (int i = 0; i < node_count(); ++i) {
+    const PhyloNode& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.parent != -1) {
+      to_root[static_cast<std::size_t>(i)] =
+          to_root[static_cast<std::size_t>(n.parent)] + n.branch_length;
+    }
+  }
+  // NOTE: to_root assumes parents precede children in index order, which
+  // holds for trees built by the constructors in this module; fall back
+  // to an explicit fixpoint otherwise.
+  for (int pass = 0; pass < node_count(); ++pass) {
+    bool changed = false;
+    for (int i = 0; i < node_count(); ++i) {
+      const PhyloNode& n = nodes_[static_cast<std::size_t>(i)];
+      if (n.parent == -1) continue;
+      const double want = to_root[static_cast<std::size_t>(n.parent)] + n.branch_length;
+      if (want != to_root[static_cast<std::size_t>(i)]) {
+        to_root[static_cast<std::size_t>(i)] = want;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  auto ancestors_with_depth = [&](int leaf) {
+    std::vector<std::pair<int, double>> path;  // (node, distance from leaf)
+    double acc = 0.0;
+    int cur = leaf;
+    while (cur != -1) {
+      path.emplace_back(cur, acc);
+      const PhyloNode& n = nodes_[static_cast<std::size_t>(cur)];
+      acc += n.branch_length;
+      cur = n.parent;
+    }
+    return path;
+  };
+
+  for (std::int64_t a = 0; a < nl; ++a) {
+    const auto path_a = ancestors_with_depth(leaf_ids[static_cast<std::size_t>(a)]);
+    std::vector<double> depth_from_a(static_cast<std::size_t>(node_count()), -1.0);
+    for (const auto& [node, d] : path_a) depth_from_a[static_cast<std::size_t>(node)] = d;
+    for (std::int64_t b = a + 1; b < nl; ++b) {
+      // Climb from leaf b until hitting a's root path: that is the LCA.
+      double acc = 0.0;
+      int cur = leaf_ids[static_cast<std::size_t>(b)];
+      while (cur != -1 && depth_from_a[static_cast<std::size_t>(cur)] < 0.0) {
+        const PhyloNode& n = nodes_[static_cast<std::size_t>(cur)];
+        acc += n.branch_length;
+        cur = n.parent;
+      }
+      if (cur == -1) throw std::logic_error("cophenetic_distances: disconnected tree");
+      const double d = acc + depth_from_a[static_cast<std::size_t>(cur)];
+      dist[static_cast<std::size_t>(a * nl + b)] = d;
+      dist[static_cast<std::size_t>(b * nl + a)] = d;
+    }
+  }
+  return dist;
+}
+
+}  // namespace sas::analysis

@@ -1,0 +1,54 @@
+// phylo_tree.hpp — phylogenetic trees built from Jaccard distances.
+//
+// The distance matrix D = 1 − S is used downstream "for the construction
+// of phylogenetic trees [67]" and "guide trees for large-scale multiple
+// sequence alignment" (paper §II-B, Fig. 1 steps 7–9). PhyloTree is the
+// shared result type of the tree builders in this module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sas::analysis {
+
+struct PhyloNode {
+  int parent = -1;                ///< -1 for the root
+  double branch_length = 0.0;     ///< edge length to the parent
+  std::string name;               ///< non-empty for leaves
+  std::vector<int> children;
+};
+
+class PhyloTree {
+ public:
+  PhyloTree() = default;
+
+  /// Append a node; returns its index. Children registration is the
+  /// caller's job via link().
+  int add_node(std::string name = {});
+
+  /// Attach `child` under `parent` with the given branch length.
+  void link(int parent, int child, double branch_length);
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const PhyloNode& node(int i) const {
+    return nodes_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int root() const;
+  [[nodiscard]] std::vector<int> leaves() const;
+
+  /// Newick serialization, e.g. "((a:0.1,b:0.1):0.2,c:0.3);".
+  [[nodiscard]] std::string to_newick() const;
+
+  /// Pairwise leaf-to-leaf path lengths (cophenetic distances), indexed
+  /// by leaf order of leaves(). Used to verify that neighbor joining
+  /// reconstructs additive matrices exactly.
+  [[nodiscard]] std::vector<double> cophenetic_distances() const;
+
+ private:
+  std::vector<PhyloNode> nodes_;
+};
+
+}  // namespace sas::analysis

@@ -1,0 +1,38 @@
+// similar_pairs.hpp — similar-sample discovery (paper Fig. 1 step 8).
+//
+// The first downstream application the paper draws: "Application:
+// similar sample discovery" — given the all-pairs similarity matrix,
+// surface the most related samples (to augment datasets with similar
+// samples, §II-B/[64]) or every pair above a similarity threshold (the
+// screen-style query). Both run over the dense matrix the pipeline
+// produces on the root rank.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/similarity_matrix.hpp"
+
+namespace sas::analysis {
+
+struct ScoredPair {
+  std::int64_t a = 0;
+  std::int64_t b = 0;        ///< a < b
+  double similarity = 0.0;
+};
+
+/// The k most similar distinct pairs (i < j), descending by similarity;
+/// ties broken by (a, b) for determinism. k is clamped to the pair count.
+[[nodiscard]] std::vector<ScoredPair> top_k_pairs(const core::SimilarityMatrix& matrix,
+                                                  std::int64_t k);
+
+/// Every distinct pair with similarity >= threshold, descending.
+[[nodiscard]] std::vector<ScoredPair> pairs_above(const core::SimilarityMatrix& matrix,
+                                                  double threshold);
+
+/// For one query sample, its `k` nearest neighbours (most similar other
+/// samples), descending.
+[[nodiscard]] std::vector<ScoredPair> nearest_neighbours(
+    const core::SimilarityMatrix& matrix, std::int64_t query, std::int64_t k);
+
+}  // namespace sas::analysis

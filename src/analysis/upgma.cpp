@@ -1,0 +1,42 @@
+#include "analysis/upgma.hpp"
+
+#include <stdexcept>
+
+#include "analysis/clustering.hpp"
+
+namespace sas::analysis {
+
+PhyloTree upgma(const std::vector<double>& distances,
+                const std::vector<std::string>& names) {
+  const auto n = static_cast<std::int64_t>(names.size());
+  if (n < 1) throw std::invalid_argument("upgma: need at least one taxon");
+  if (static_cast<std::int64_t>(distances.size()) != n * n) {
+    throw std::invalid_argument("upgma: distance matrix must be n*n");
+  }
+
+  PhyloTree tree;
+  std::vector<int> node_of;       // dendrogram id -> tree node
+  std::vector<double> height_of;  // dendrogram id -> node height
+  for (std::int64_t i = 0; i < n; ++i) {
+    node_of.push_back(tree.add_node(names[static_cast<std::size_t>(i)]));
+    height_of.push_back(0.0);
+  }
+
+  // The merge order of average-linkage agglomeration IS the UPGMA join
+  // order; only the branch lengths (heights) are added here.
+  const std::vector<MergeStep> merges = hierarchical_cluster(distances, n,
+                                                             Linkage::kAverage);
+  for (const MergeStep& merge : merges) {
+    const double height = merge.height / 2.0;
+    const int joined = tree.add_node();
+    tree.link(joined, node_of[static_cast<std::size_t>(merge.left)],
+              height - height_of[static_cast<std::size_t>(merge.left)]);
+    tree.link(joined, node_of[static_cast<std::size_t>(merge.right)],
+              height - height_of[static_cast<std::size_t>(merge.right)]);
+    node_of.push_back(joined);
+    height_of.push_back(height);
+  }
+  return tree;
+}
+
+}  // namespace sas::analysis

@@ -1,0 +1,25 @@
+// upgma.hpp — UPGMA ultrametric tree construction.
+//
+// The classic average-linkage guide-tree builder: alongside neighbor
+// joining (paper ref [67]) it is the other standard consumer of the
+// Jaccard distance matrix for "the construction of guide trees for
+// large-scale multiple sequence alignment" (paper §II-B). UPGMA assumes
+// a molecular clock and produces an ultrametric tree: every leaf is at
+// the same distance from the root, and the cophenetic distance between
+// two leaves is exactly the height at which their clusters merged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/phylo_tree.hpp"
+
+namespace sas::analysis {
+
+/// Build a UPGMA tree from a symmetric row-major n×n distance matrix.
+/// Requires n >= 1. Leaves keep the given names; internal nodes sit at
+/// half the merge height (so leaf-to-leaf path length = merge height).
+[[nodiscard]] PhyloTree upgma(const std::vector<double>& distances,
+                              const std::vector<std::string>& names);
+
+}  // namespace sas::analysis

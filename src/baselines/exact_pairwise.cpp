@@ -1,0 +1,62 @@
+#include "baselines/exact_pairwise.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace sas::baselines {
+
+double exact_jaccard(const std::vector<std::uint64_t>& a,
+                     const std::vector<std::uint64_t>& b) {
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::int64_t inter = 0;
+  while (ia < a.size() && ib < b.size()) {
+    if (a[ia] < b[ib]) {
+      ++ia;
+    } else if (b[ib] < a[ia]) {
+      ++ib;
+    } else {
+      ++inter;
+      ++ia;
+      ++ib;
+    }
+  }
+  const auto uni = static_cast<std::int64_t>(a.size() + b.size()) - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+core::SimilarityMatrix exact_all_pairs(
+    const std::vector<std::vector<std::uint64_t>>& samples, int threads) {
+  if (threads < 1) throw std::invalid_argument("exact_all_pairs: threads must be >= 1");
+  const auto n = static_cast<std::int64_t>(samples.size());
+  std::vector<double> s(static_cast<std::size_t>(n * n), 1.0);
+
+  auto compute_row = [&](std::int64_t i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double v = exact_jaccard(samples[static_cast<std::size_t>(i)],
+                                     samples[static_cast<std::size_t>(j)]);
+      s[static_cast<std::size_t>(i * n + j)] = v;
+      s[static_cast<std::size_t>(j * n + i)] = v;
+    }
+  };
+
+  if (threads == 1) {
+    for (std::int64_t i = 0; i < n; ++i) compute_row(i);
+  } else {
+    std::atomic<std::int64_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        for (std::int64_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+          compute_row(i);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  return core::SimilarityMatrix(n, std::move(s));
+}
+
+}  // namespace sas::baselines

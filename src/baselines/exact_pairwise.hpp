@@ -1,0 +1,27 @@
+// exact_pairwise.hpp — single-node exact all-pairs Jaccard.
+//
+// The "what everyone did before" baseline (cf. DSM [71] in paper
+// Table II): every pair of sorted sets intersected by merge-join on one
+// node, optionally with a thread pool over pairs. Exact like
+// SimilarityAtScale, but with no batching/distribution story — it holds
+// all sets in memory at once and does Θ(n²) merges of full sets, which is
+// what stops scaling at Table II sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/similarity_matrix.hpp"
+
+namespace sas::baselines {
+
+/// Exact all-pairs Jaccard over sorted, unique element sets.
+/// `threads` >= 1 parallelizes over output rows.
+[[nodiscard]] core::SimilarityMatrix exact_all_pairs(
+    const std::vector<std::vector<std::uint64_t>>& samples, int threads = 1);
+
+/// Single pair: |A∩B| / |A∪B| by merge-join (J(∅,∅) = 1).
+[[nodiscard]] double exact_jaccard(const std::vector<std::uint64_t>& a,
+                                   const std::vector<std::uint64_t>& b);
+
+}  // namespace sas::baselines

@@ -1,0 +1,36 @@
+// mapreduce_jaccard.hpp — the MapReduce-style comparison point.
+//
+// The paper dismisses MapReduce formulations ([6], [26], [86]) as
+// "inefficient ... [needing] asymptotically more communication due to
+// using the allreduce collective communication pattern over reducers".
+// This baseline implements that exact shape on the bsp runtime so the
+// claim is measurable (bench/comm_model_validation): map emits
+// (attribute → sample) pairs, a hash shuffle groups them on reducers,
+// each reducer accumulates pair co-occurrence counts into a FULL dense
+// n×n matrix, and the reducer matrices are combined with an allreduce —
+// Θ(n²) communication per rank versus SUMMA's Θ(n²·c/p) output term.
+//
+// The result is exact (it is the same algebra, just a worse schedule),
+// which is what makes the communication comparison apples-to-apples.
+#pragma once
+
+#include "bsp/comm.hpp"
+#include "core/sample_source.hpp"
+#include "core/similarity_matrix.hpp"
+
+namespace sas::baselines {
+
+/// Collective over `comm`; result populated on rank 0. `batch_count`
+/// splits the attribute space like the core driver so both pipelines see
+/// identical inputs.
+[[nodiscard]] core::SimilarityMatrix mapreduce_jaccard(bsp::Comm& comm,
+                                                       const core::SampleSource& source,
+                                                       std::int64_t batch_count = 1);
+
+/// Convenience wrapper running on `nranks` threads; returns rank 0's
+/// matrix and, optionally, the per-rank communication counters.
+[[nodiscard]] core::SimilarityMatrix mapreduce_jaccard_threaded(
+    int nranks, const core::SampleSource& source, std::int64_t batch_count = 1,
+    std::vector<bsp::CostCounters>* counters_out = nullptr);
+
+}  // namespace sas::baselines

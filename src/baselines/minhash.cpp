@@ -1,0 +1,96 @@
+#include "baselines/minhash.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/hashing.hpp"
+
+namespace sas::baselines {
+
+MinHashSketch::MinHashSketch(std::span<const std::uint64_t> elements,
+                             std::size_t sketch_size, std::uint64_t seed)
+    : capacity_(sketch_size), seed_(seed) {
+  if (sketch_size == 0) throw std::invalid_argument("MinHashSketch: size must be > 0");
+  const HashFamily h(seed);
+  hashes_.reserve(elements.size());
+  for (std::uint64_t e : elements) hashes_.push_back(h(e));
+  std::sort(hashes_.begin(), hashes_.end());
+  hashes_.erase(std::unique(hashes_.begin(), hashes_.end()), hashes_.end());
+  if (hashes_.size() > capacity_) hashes_.resize(capacity_);
+}
+
+MinHashSketch MinHashSketch::merge(const MinHashSketch& a, const MinHashSketch& b) {
+  if (a.seed_ != b.seed_ || a.capacity_ != b.capacity_) {
+    throw std::invalid_argument("MinHashSketch::merge: incompatible sketches");
+  }
+  MinHashSketch out;
+  out.capacity_ = a.capacity_;
+  out.seed_ = a.seed_;
+  out.hashes_.reserve(a.hashes_.size() + b.hashes_.size());
+  std::merge(a.hashes_.begin(), a.hashes_.end(), b.hashes_.begin(), b.hashes_.end(),
+             std::back_inserter(out.hashes_));
+  out.hashes_.erase(std::unique(out.hashes_.begin(), out.hashes_.end()),
+                    out.hashes_.end());
+  if (out.hashes_.size() > out.capacity_) out.hashes_.resize(out.capacity_);
+  return out;
+}
+
+double MinHashSketch::estimate_jaccard(const MinHashSketch& a, const MinHashSketch& b) {
+  if (a.seed_ != b.seed_ || a.capacity_ != b.capacity_) {
+    throw std::invalid_argument("MinHashSketch::estimate_jaccard: incompatible sketches");
+  }
+  if (a.hashes_.empty() && b.hashes_.empty()) return 1.0;  // J(∅, ∅) = 1
+
+  // Walk the merged order, counting shared elements among the s smallest
+  // of the union (Mash's estimator).
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::size_t taken = 0;
+  std::size_t shared = 0;
+  while (taken < a.capacity_ && (ia < a.hashes_.size() || ib < b.hashes_.size())) {
+    if (ib >= b.hashes_.size() ||
+        (ia < a.hashes_.size() && a.hashes_[ia] < b.hashes_[ib])) {
+      ++ia;
+    } else if (ia >= a.hashes_.size() || b.hashes_[ib] < a.hashes_[ia]) {
+      ++ib;
+    } else {
+      ++shared;
+      ++ia;
+      ++ib;
+    }
+    ++taken;
+  }
+  return taken == 0 ? 1.0 : static_cast<double>(shared) / static_cast<double>(taken);
+}
+
+double mash_distance(double jaccard_estimate, int k) {
+  if (jaccard_estimate <= 0.0) return 1.0;
+  if (jaccard_estimate >= 1.0) return 0.0;
+  const double d =
+      -std::log(2.0 * jaccard_estimate / (1.0 + jaccard_estimate)) / static_cast<double>(k);
+  return std::clamp(d, 0.0, 1.0);
+}
+
+std::vector<double> minhash_all_pairs(
+    const std::vector<std::vector<std::uint64_t>>& samples, std::size_t sketch_size,
+    std::uint64_t seed) {
+  const auto n = static_cast<std::int64_t>(samples.size());
+  std::vector<MinHashSketch> sketches;
+  sketches.reserve(samples.size());
+  for (const auto& sample : samples) {
+    sketches.emplace_back(std::span<const std::uint64_t>(sample), sketch_size, seed);
+  }
+  std::vector<double> estimates(static_cast<std::size_t>(n * n), 1.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double e = MinHashSketch::estimate_jaccard(
+          sketches[static_cast<std::size_t>(i)], sketches[static_cast<std::size_t>(j)]);
+      estimates[static_cast<std::size_t>(i * n + j)] = e;
+      estimates[static_cast<std::size_t>(j * n + i)] = e;
+    }
+  }
+  return estimates;
+}
+
+}  // namespace sas::baselines

@@ -1,0 +1,79 @@
+#include "bsp/comm.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace sas::bsp {
+
+void Comm::barrier() {
+  counters_->supersteps += 1;
+  detail::SharedState& st = *state_;
+  std::unique_lock<std::mutex> lock(st.barrier_mutex);
+  const std::uint64_t generation = st.barrier_generation;
+  if (++st.barrier_arrived == st.size) {
+    st.barrier_arrived = 0;
+    ++st.barrier_generation;
+    st.barrier_cv.notify_all();
+  } else {
+    st.barrier_cv.wait(lock, [&st, generation] {
+      return st.barrier_generation != generation;
+    });
+  }
+}
+
+Comm Comm::split(int color, int key) {
+  // Exchange (color, key) so every rank can compute every group locally,
+  // mirroring the communication MPI_Comm_split performs.
+  struct Entry {
+    int color;
+    int key;
+    int parent_rank;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> all = allgather<Entry>(std::span<const Entry>(&mine, 1));
+
+  std::vector<Entry> group;
+  for (const Entry& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.parent_rank) < std::tie(b.key, b.parent_rank);
+  });
+  const int group_size = static_cast<int>(group.size());
+  int new_rank = 0;
+  for (int i = 0; i < group_size; ++i) {
+    if (group[static_cast<std::size_t>(i)].parent_rank == rank_) new_rank = i;
+  }
+
+  // Get-or-create the child state for (generation, color); the last member
+  // to claim it removes the registry entry.
+  const std::pair<std::uint64_t, int> slot{split_sequence_, color};
+  std::shared_ptr<detail::SharedState> child;
+  {
+    detail::SharedState& st = *state_;
+    std::lock_guard<std::mutex> lock(st.split_mutex);
+    auto it = st.split_children.find(slot);
+    if (it == st.split_children.end()) {
+      child = std::make_shared<detail::SharedState>(group_size);
+      if (group_size > 1) {
+        st.split_children.emplace(slot, child);
+        st.split_remaining.emplace(slot, group_size - 1);
+      }
+    } else {
+      child = it->second;
+      int& remaining = st.split_remaining.at(slot);
+      if (--remaining == 0) {
+        st.split_children.erase(slot);
+        st.split_remaining.erase(slot);
+      }
+    }
+  }
+
+  ++split_sequence_;
+  // The barrier keeps successive split() calls on this communicator from
+  // racing on the registry generation.
+  barrier();
+  return Comm(std::move(child), new_rank, counters_);
+}
+
+}  // namespace sas::bsp

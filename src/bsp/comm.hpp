@@ -1,0 +1,419 @@
+// comm.hpp — SPMD communicator for the in-process BSP runtime.
+//
+// This is the library's substitute for MPI (DESIGN.md §2): ranks are
+// threads, point-to-point messages are buffered byte copies, and the
+// collective set mirrors the MPI collectives the paper's Cyclops backend
+// uses. Collectives are implemented *on top of* point-to-point sends with
+// the textbook algorithms (binomial trees, rings, dissemination), so the
+// message/byte counters reflect realistic communication structure — e.g.
+// a broadcast really costs O(log p) rounds, an all-to-all really moves
+// p·(p−1) messages. That is what makes the §III-C cost-model validation
+// meaningful.
+//
+// Usage (SPMD, same style as an MPI program):
+//   bsp::Runtime::run(8, [](bsp::Comm& comm) {
+//     auto part = ...;                       // rank-local work
+//     auto total = comm.allreduce<std::uint64_t>(part, std::plus<>{});
+//   });
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "bsp/cost_model.hpp"
+#include "bsp/mailbox.hpp"
+
+namespace sas::bsp {
+
+namespace detail {
+
+/// State shared by all ranks of one communicator (world or split group).
+struct SharedState {
+  explicit SharedState(int size_in)
+      : size(size_in), mailboxes(static_cast<std::size_t>(size_in)) {}
+
+  int size;
+  std::vector<Mailbox> mailboxes;
+
+  // Sense-reversing barrier.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_arrived = 0;
+  std::uint64_t barrier_generation = 0;
+
+  // Registry used by split(): the first member of each (generation, color)
+  // group allocates the child state; the last member erases the entry.
+  std::mutex split_mutex;
+  std::condition_variable split_cv;
+  std::map<std::pair<std::uint64_t, int>, std::shared_ptr<SharedState>> split_children;
+  std::map<std::pair<std::uint64_t, int>, int> split_remaining;
+};
+
+}  // namespace detail
+
+/// Reserved tag space for internal collective traffic; user tags must be
+/// non-negative.
+enum InternalTag : int {
+  kTagBcast = -1,
+  kTagReduce = -2,
+  kTagGather = -3,
+  kTagAllgather = -4,
+  kTagScatter = -5,
+  kTagAlltoall = -6,
+  kTagScan = -7,
+  kTagSplit = -8,
+  kTagReduceScatter = -9,
+};
+
+/// SPMD communicator handle. Move-only: every rank owns exactly one
+/// instance per (sub-)communicator so that collective call sequences stay
+/// aligned across ranks.
+class Comm {
+ public:
+  Comm(std::shared_ptr<detail::SharedState> state, int rank, CostCounters* counters)
+      : state_(std::move(state)), rank_(rank), counters_(counters) {}
+
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  Comm(Comm&&) = default;
+  Comm& operator=(Comm&&) = default;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return state_->size; }
+  [[nodiscard]] CostCounters& counters() noexcept { return *counters_; }
+
+  /// Record kernel arithmetic against this rank's γ term.
+  void add_flops(std::uint64_t n) noexcept { counters_->flops += n; }
+
+  /// Global synchronization; counts one BSP superstep.
+  void barrier();
+
+  // ---- point-to-point ----------------------------------------------------
+
+  /// Buffered send of a trivially copyable span. Never blocks.
+  /// Self-sends are delivered but not counted: they are local memcpys,
+  /// not network traffic, and would skew the α-β accounting.
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(dest);
+    Mailbox::Message payload(data.size_bytes());
+    if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size_bytes());
+    if (dest != rank_) {
+      counters_->messages_sent += 1;
+      counters_->bytes_sent += payload.size();
+    }
+    state_->mailboxes[static_cast<std::size_t>(dest)].deposit(rank_, tag,
+                                                              std::move(payload));
+  }
+
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) {
+    send<T>(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Blocking receive of a message from (source, tag).
+  template <typename T>
+  [[nodiscard]] std::vector<T> recv(int source, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    check_rank(source);
+    Mailbox::Message payload =
+        state_->mailboxes[static_cast<std::size_t>(rank_)].retrieve(source, tag);
+    if (payload.size() % sizeof(T) != 0) {
+      throw std::logic_error("bsp::Comm::recv: payload size not a multiple of element size");
+    }
+    std::vector<T> data(payload.size() / sizeof(T));
+    if (!data.empty()) std::memcpy(data.data(), payload.data(), payload.size());
+    return data;
+  }
+
+  template <typename T>
+  [[nodiscard]] T recv_value(int source, int tag) {
+    auto data = recv<T>(source, tag);
+    if (data.size() != 1) {
+      throw std::logic_error("bsp::Comm::recv_value: expected exactly one element");
+    }
+    return data.front();
+  }
+
+  // ---- collectives ---------------------------------------------------
+
+  /// Binomial-tree broadcast from `root`; non-root contents are replaced.
+  template <typename T>
+  void broadcast(std::vector<T>& data, int root) {
+    const int p = size();
+    if (p == 1) return;
+    const int vrank = virtual_rank(root);
+    for (int mask = 1; mask < p; mask <<= 1) {
+      if (vrank < mask) {
+        const int partner = vrank + mask;
+        if (partner < p) {
+          send<T>(real_rank(partner, root), kTagBcast, std::span<const T>(data));
+        }
+      } else if (vrank < (mask << 1)) {
+        data = recv<T>(real_rank(vrank - mask, root), kTagBcast);
+      }
+    }
+  }
+
+  template <typename T>
+  [[nodiscard]] T broadcast_value(T value, int root) {
+    std::vector<T> buf(1, value);
+    broadcast(buf, root);
+    return buf.front();
+  }
+
+  /// Binomial-tree reduction to `root`; `op(a, b)` must be associative and
+  /// commutative. Vector variant combines elementwise; all ranks must pass
+  /// equal-length vectors. Returns the reduced vector on root (others get
+  /// their partially combined buffer back — only root's result is defined).
+  template <typename T, typename Op>
+  void reduce(std::vector<T>& data, Op op, int root) {
+    const int p = size();
+    const int vrank = virtual_rank(root);
+    int top = 1;
+    while (top < p) top <<= 1;
+    for (int mask = top >> 1; mask >= 1; mask >>= 1) {
+      if (vrank < mask) {
+        const int partner = vrank + mask;
+        if (partner < p) {
+          auto incoming = recv<T>(real_rank(partner, root), kTagReduce);
+          combine_elementwise(data, incoming, op);
+        }
+      } else if (vrank < (mask << 1)) {
+        send<T>(real_rank(vrank - mask, root), kTagReduce, std::span<const T>(data));
+        return;  // contributed; out of the tree
+      }
+    }
+  }
+
+  /// reduce-to-root followed by broadcast; result defined on all ranks.
+  template <typename T, typename Op>
+  void allreduce(std::vector<T>& data, Op op) {
+    reduce(data, op, 0);
+    broadcast(data, 0);
+  }
+
+  template <typename T, typename Op>
+  [[nodiscard]] T allreduce_value(T value, Op op) {
+    std::vector<T> buf(1, value);
+    allreduce(buf, op);
+    return buf.front();
+  }
+
+  /// Flat gather of variable-length blocks to root; returns one vector per
+  /// source rank (empty on non-roots).
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> gather_v(std::span<const T> mine, int root) {
+    const int p = size();
+    std::vector<std::vector<T>> blocks;
+    if (rank_ == root) {
+      blocks.resize(static_cast<std::size_t>(p));
+      blocks[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        blocks[static_cast<std::size_t>(r)] = recv<T>(r, kTagGather);
+      }
+    } else {
+      send<T>(root, kTagGather, mine);
+    }
+    return blocks;
+  }
+
+  /// Ring allgather of variable-length blocks; every rank returns all
+  /// blocks in rank order. Bandwidth-optimal: p−1 rounds, each forwarding
+  /// the block received in the previous round.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> allgather_v(std::span<const T> mine) {
+    const int p = size();
+    std::vector<std::vector<T>> blocks(static_cast<std::size_t>(p));
+    blocks[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
+    const int next = (rank_ + 1) % p;
+    const int prev = (rank_ + p - 1) % p;
+    int forwarding = rank_;  // owner of the block sent in this round
+    for (int step = 0; step + 1 < p; ++step) {
+      send<T>(next, kTagAllgather,
+              std::span<const T>(blocks[static_cast<std::size_t>(forwarding)]));
+      const int incoming = (rank_ + p - 1 - step) % p;
+      blocks[static_cast<std::size_t>(incoming)] = recv<T>(prev, kTagAllgather);
+      forwarding = incoming;
+    }
+    return blocks;
+  }
+
+  /// Concatenating allgather (blocks appended in rank order).
+  template <typename T>
+  [[nodiscard]] std::vector<T> allgather(std::span<const T> mine) {
+    auto blocks = allgather_v(mine);
+    std::size_t total = 0;
+    for (const auto& b : blocks) total += b.size();
+    std::vector<T> out;
+    out.reserve(total);
+    for (const auto& b : blocks) out.insert(out.end(), b.begin(), b.end());
+    return out;
+  }
+
+  /// Root sends block r to rank r; returns this rank's block.
+  template <typename T>
+  [[nodiscard]] std::vector<T> scatter_v(const std::vector<std::vector<T>>& blocks,
+                                         int root) {
+    const int p = size();
+    if (rank_ == root) {
+      if (static_cast<int>(blocks.size()) != p) {
+        throw std::invalid_argument("bsp::Comm::scatter_v: need one block per rank");
+      }
+      for (int r = 0; r < p; ++r) {
+        if (r == root) continue;
+        send<T>(r, kTagScatter, std::span<const T>(blocks[static_cast<std::size_t>(r)]));
+      }
+      return blocks[static_cast<std::size_t>(root)];
+    }
+    return recv<T>(root, kTagScatter);
+  }
+
+  /// Personalized all-to-all with variable block sizes. outgoing[r] is the
+  /// block for rank r; returns incoming[r] = block from rank r. Buffered
+  /// sends make the direct exchange deadlock-free.
+  template <typename T>
+  [[nodiscard]] std::vector<std::vector<T>> alltoall_v(
+      const std::vector<std::vector<T>>& outgoing) {
+    const int p = size();
+    if (static_cast<int>(outgoing.size()) != p) {
+      throw std::invalid_argument("bsp::Comm::alltoall_v: need one block per rank");
+    }
+    std::vector<std::vector<T>> incoming(static_cast<std::size_t>(p));
+    incoming[static_cast<std::size_t>(rank_)] = outgoing[static_cast<std::size_t>(rank_)];
+    // Pairwise-offset schedule spreads load across the "network".
+    for (int offset = 1; offset < p; ++offset) {
+      const int dest = (rank_ + offset) % p;
+      send<T>(dest, kTagAlltoall, std::span<const T>(outgoing[static_cast<std::size_t>(dest)]));
+    }
+    for (int offset = 1; offset < p; ++offset) {
+      const int source = (rank_ + p - offset) % p;
+      incoming[static_cast<std::size_t>(source)] = recv<T>(source, kTagAlltoall);
+    }
+    return incoming;
+  }
+
+  /// Ring reduce-scatter: every rank passes equal-length vectors; rank r
+  /// returns the elementwise combination of block r (block_count = p,
+  /// near-equal contiguous blocks). Bandwidth-optimal: p−1 rounds each
+  /// moving one block, (p−1)/p of the data per rank — the building block
+  /// MPI implementations use inside large allreduces.
+  template <typename T, typename Op>
+  [[nodiscard]] std::vector<T> reduce_scatter(const std::vector<T>& data, Op op) {
+    const int p = size();
+    const auto total = static_cast<std::int64_t>(data.size());
+    auto block_begin = [&](int b) {
+      const std::int64_t base = total / p;
+      const std::int64_t extra = total % p;
+      return b * base + (b < static_cast<int>(extra) ? b : static_cast<std::int64_t>(extra));
+    };
+    auto block_of = [&](const std::vector<T>& v, int b) {
+      return std::span<const T>(v.data() + block_begin(b),
+                                static_cast<std::size_t>(block_begin(b + 1) - block_begin(b)));
+    };
+    if (p == 1) return data;
+
+    // Block b leaves rank b+1 first and travels the ring once, combining
+    // each rank's copy on the way; after p−1 rounds it lands fully
+    // reduced on its owner b. Round t: rank r sends block (r−1−t) and
+    // receives + combines block (r−2−t); the last block received is r's.
+    std::vector<T> accum = data;
+    const int next = (rank_ + 1) % p;
+    const int prev = (rank_ + p - 1) % p;
+    for (int t = 0; t < p - 1; ++t) {
+      const int send_block = (rank_ - 1 - t % p + 2 * p) % p;
+      const int recv_block = (rank_ - 2 - t % p + 2 * p) % p;
+      send<T>(next, kTagReduceScatter, block_of(accum, send_block));
+      const std::vector<T> incoming = recv<T>(prev, kTagReduceScatter);
+      const std::int64_t begin = block_begin(recv_block);
+      for (std::size_t i = 0; i < incoming.size(); ++i) {
+        accum[static_cast<std::size_t>(begin) + i] =
+            op(incoming[i], accum[static_cast<std::size_t>(begin) + i]);
+      }
+    }
+    const auto mine = block_of(accum, rank_);
+    return {mine.begin(), mine.end()};
+  }
+
+  /// Inclusive prefix combine (dissemination / Hillis-Steele): returns
+  /// op(x_0, ..., x_rank). O(log p) rounds.
+  template <typename T, typename Op>
+  [[nodiscard]] T scan(T value, Op op) {
+    const int p = size();
+    T inclusive = value;
+    for (int offset = 1; offset < p; offset <<= 1) {
+      if (rank_ + offset < p) send_value<T>(rank_ + offset, kTagScan, inclusive);
+      if (rank_ - offset >= 0) {
+        T incoming = recv_value<T>(rank_ - offset, kTagScan);
+        inclusive = op(incoming, inclusive);
+      }
+    }
+    return inclusive;
+  }
+
+  /// Exclusive prefix combine: returns op(x_0, ..., x_{rank-1}), or
+  /// `identity` on rank 0.
+  template <typename T, typename Op>
+  [[nodiscard]] T exscan(T value, Op op, T identity) {
+    const int p = size();
+    T inclusive = value;
+    T exclusive = identity;
+    bool has_exclusive = false;
+    for (int offset = 1; offset < p; offset <<= 1) {
+      if (rank_ + offset < p) send_value<T>(rank_ + offset, kTagScan, inclusive);
+      if (rank_ - offset >= 0) {
+        T incoming = recv_value<T>(rank_ - offset, kTagScan);
+        inclusive = op(incoming, inclusive);
+        exclusive = has_exclusive ? op(incoming, exclusive) : incoming;
+        has_exclusive = true;
+      }
+    }
+    return exclusive;
+  }
+
+  /// Collective split into sub-communicators, MPI_Comm_split semantics:
+  /// ranks sharing `color` form a group, ordered by (key, parent rank).
+  /// Cost counters keep pointing at this rank's root counters, so
+  /// sub-communicator traffic still accrues to the global BSP accounting.
+  [[nodiscard]] Comm split(int color, int key);
+
+ private:
+  [[nodiscard]] int virtual_rank(int root) const noexcept {
+    return (rank_ - root + size()) % size();
+  }
+  [[nodiscard]] int real_rank(int vrank, int root) const noexcept {
+    return (vrank + root) % size();
+  }
+  void check_rank(int r) const {
+    if (r < 0 || r >= size()) throw std::out_of_range("bsp::Comm: rank out of range");
+  }
+
+  template <typename T, typename Op>
+  static void combine_elementwise(std::vector<T>& into, const std::vector<T>& from,
+                                  Op op) {
+    if (into.size() != from.size()) {
+      throw std::logic_error("bsp reduce: mismatched vector lengths across ranks");
+    }
+    for (std::size_t i = 0; i < into.size(); ++i) into[i] = op(into[i], from[i]);
+  }
+
+  std::shared_ptr<detail::SharedState> state_;
+  int rank_;
+  CostCounters* counters_;
+  std::uint64_t split_sequence_ = 0;  // aligned across ranks by SPMD discipline
+};
+
+}  // namespace sas::bsp

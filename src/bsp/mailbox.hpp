@@ -1,0 +1,48 @@
+// mailbox.hpp — internal message transport for the BSP runtime.
+//
+// One mailbox per destination rank. Messages are byte buffers keyed by
+// (source, tag); per-key delivery is FIFO, matching MPI's non-overtaking
+// guarantee for same (source, tag) pairs. Sends are buffered (never
+// block), so naive send-then-receive exchange patterns cannot deadlock.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace sas::bsp {
+
+class Mailbox {
+ public:
+  using Message = std::vector<std::byte>;
+
+  /// Deposit a message from `source` with `tag`. Never blocks.
+  void deposit(int source, int tag, Message payload) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queues_[{source, tag}].push_back(std::move(payload));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until a message from (source, tag) is available and return it.
+  [[nodiscard]] Message retrieve(int source, int tag) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto& queue = queues_[{source, tag}];
+    cv_.wait(lock, [&queue] { return !queue.empty(); });
+    Message payload = std::move(queue.front());
+    queue.pop_front();
+    return payload;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::pair<int, int>, std::deque<Message>> queues_;
+};
+
+}  // namespace sas::bsp

@@ -1,0 +1,44 @@
+#include "bsp/runtime.hpp"
+
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+namespace sas::bsp {
+
+std::vector<CostCounters> Runtime::run(int nranks,
+                                       const std::function<void(Comm&)>& fn) {
+  if (nranks < 1) throw std::invalid_argument("bsp::Runtime::run: nranks must be >= 1");
+
+  auto state = std::make_shared<detail::SharedState>(nranks);
+  std::vector<CostCounters> counters(static_cast<std::size_t>(nranks));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+
+  if (nranks == 1) {
+    // Fast path: run on the calling thread (serial references, unit tests).
+    Comm comm(state, 0, &counters[0]);
+    fn(comm);
+    return counters;
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm comm(state, r, &counters[static_cast<std::size_t>(r)]);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return counters;
+}
+
+}  // namespace sas::bsp

@@ -1,0 +1,31 @@
+// runtime.hpp — SPMD launcher for the in-process BSP runtime.
+//
+// Runtime::run(p, fn) executes `fn` on p rank-threads, each receiving its
+// own Comm bound to a shared world communicator, and returns the per-rank
+// cost counters. This is the reproduction's stand-in for `mpirun -np p`
+// (DESIGN.md §2): the SPMD code inside `fn` is structured exactly as the
+// MPI program would be, and rank counts may exceed physical cores (the
+// scaling benches oversubscribe deliberately; modelled α-β-γ cost is the
+// machine-independent signal).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "bsp/cost_model.hpp"
+
+namespace sas::bsp {
+
+class Runtime {
+ public:
+  /// Run `fn(comm)` as `nranks` SPMD threads. Blocks until all ranks
+  /// finish. If any rank throws, the first exception (by rank order) is
+  /// rethrown after all threads have been joined.
+  ///
+  /// Returns the per-rank cost counters accumulated during the run.
+  static std::vector<CostCounters> run(int nranks,
+                                       const std::function<void(Comm&)>& fn);
+};
+
+}  // namespace sas::bsp

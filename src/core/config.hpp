@@ -1,0 +1,40 @@
+// config.hpp — tuning knobs of the SimilarityAtScale driver.
+//
+// The defaults reproduce the paper's configuration (bitmask b = 64,
+// zero-row filter on, SUMMA parallelization); every knob is also an
+// ablation axis exercised by bench/ablation_*.
+#pragma once
+
+#include <cstdint>
+
+namespace sas::core {
+
+/// Which AᵀA parallelization the driver uses (DESIGN.md §3).
+enum class Algorithm {
+  kSerial,   ///< rank 0 computes everything (reference / baseline)
+  kRing1D,   ///< 1D column-panel ring — Θ(z) per-rank communication
+  kSumma,    ///< 2D/2.5D SUMMA — Θ(z/√(cp) + cn²/p) per-rank communication
+};
+
+struct Config {
+  /// Number of row batches r (paper Eq. 3). Larger values shrink the
+  /// working set per batch at the cost of per-batch latency (Fig. 2c/2d).
+  std::int64_t batch_count = 1;
+
+  /// Bits packed per word, the paper's b (§III-B technique 3). 64 is the
+  /// production setting; 1 disables compression (ablation).
+  int bit_width = 64;
+
+  /// Replication factor c of the processor grid (paper §III-C). Only
+  /// meaningful for Algorithm::kSumma.
+  int replication = 1;
+
+  Algorithm algorithm = Algorithm::kSumma;
+
+  /// Zero-row filtering via the distributed sparse vector f (Eq. 5–6).
+  /// Disabling it (ablation) packs raw row ids, wasting mask bits on
+  /// hypersparse inputs.
+  bool use_zero_row_filter = true;
+};
+
+}  // namespace sas::core

@@ -1,0 +1,212 @@
+#include "core/driver.hpp"
+
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+
+#include "bsp/runtime.hpp"
+#include "core/packing.hpp"
+#include "distmat/dist_filter.hpp"
+#include "distmat/gather.hpp"
+#include "distmat/proc_grid.hpp"
+#include "distmat/redistribute.hpp"
+#include "distmat/spgemm.hpp"
+#include "util/timer.hpp"
+
+namespace sas::core {
+
+namespace {
+
+using distmat::BlockRange;
+using distmat::DenseBlock;
+using distmat::SparseBlock;
+using distmat::Triplet;
+
+/// Finalize one local block: sᵢⱼ = bᵢⱼ / (âᵢ + âⱼ − bᵢⱼ), with the
+/// J(∅, ∅) = 1 convention when the union is empty (paper §II-A).
+DenseBlock<double> finalize_block(const DenseBlock<std::int64_t>& b,
+                                  const std::vector<std::int64_t>& ahat) {
+  DenseBlock<double> s(b.row_range, b.col_range);
+  for (std::int64_t i = 0; i < b.local_rows(); ++i) {
+    const std::int64_t gi = b.row_range.begin + i;
+    for (std::int64_t j = 0; j < b.local_cols(); ++j) {
+      const std::int64_t gj = b.col_range.begin + j;
+      const std::int64_t inter = b.at_local(i, j);
+      const std::int64_t uni = ahat[static_cast<std::size_t>(gi)] +
+                               ahat[static_cast<std::size_t>(gj)] - inter;
+      s.at_local(i, j) =
+          uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
+                           const Config& config) {
+  const std::int64_t n = source.sample_count();
+  const std::int64_t m = source.attribute_universe();
+  const int p = world.size();
+  if (config.batch_count < 1) {
+    throw std::invalid_argument("similarity_at_scale: batch_count must be >= 1");
+  }
+  if (config.batch_count > m && m > 0) {
+    throw std::invalid_argument("similarity_at_scale: more batches than matrix rows");
+  }
+
+  // Parallel layout. The SUMMA path builds the √(p/c)×√(p/c)×c grid; the
+  // others use the flat communicator directly.
+  std::optional<distmat::ProcGrid> grid;
+  std::optional<DenseBlock<std::int64_t>> b_block;
+  int active_ranks = p;
+  BlockRange my_cols{0, 0};  // columns whose â this rank accumulates
+
+  switch (config.algorithm) {
+    case Algorithm::kSerial:
+      active_ranks = 1;
+      if (world.rank() == 0) {
+        b_block.emplace(BlockRange{0, n}, BlockRange{0, n});
+        my_cols = {0, n};
+      }
+      break;
+    case Algorithm::kRing1D:
+      b_block.emplace(distmat::block_range(n, p, world.rank()), BlockRange{0, n});
+      my_cols = b_block->row_range;
+      break;
+    case Algorithm::kSumma:
+      grid.emplace(world, config.replication);
+      active_ranks = grid->active_ranks();
+      if (grid->active()) {
+        b_block.emplace(distmat::block_range(n, grid->side(), grid->grid_row()),
+                        distmat::block_range(n, grid->side(), grid->grid_col()));
+        my_cols = distmat::block_range(n, grid->side(), grid->grid_col());
+      }
+      break;
+  }
+
+  std::vector<std::int64_t> ahat(static_cast<std::size_t>(n), 0);
+  std::vector<BatchStats> stats;
+
+  const int batches = static_cast<int>(config.batch_count);
+  for (int l = 0; l < batches; ++l) {
+    const BlockRange rows = distmat::block_range(m, batches, l);
+    world.barrier();
+    Timer timer;
+
+    PackedBatch packed =
+        pack_batch(world, source, rows, config.bit_width, config.use_zero_row_filter);
+    const std::int64_t h = packed.word_rows;
+    const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
+
+    switch (config.algorithm) {
+      case Algorithm::kSerial: {
+        auto merged = distmat::redistribute_triplets(
+            world, std::move(packed.triplets),
+            [](std::int64_t, std::int64_t) { return 0; },
+            [](std::uint64_t a, std::uint64_t b) { return a | b; });
+        if (world.rank() == 0) {
+          SparseBlock block{h, n, std::move(merged)};
+          distmat::popcount_join_accumulate(block.entries, block.entries, 0, 0,
+                                            *b_block, &world.counters());
+          distmat::accumulate_column_popcounts(block, 0, ahat);
+        }
+        break;
+      }
+      case Algorithm::kRing1D: {
+        auto merged = distmat::redistribute_triplets(
+            world, std::move(packed.triplets),
+            [n, p](std::int64_t, std::int64_t col) {
+              return distmat::block_owner(n, p, col);
+            },
+            [](std::uint64_t a, std::uint64_t b) { return a | b; });
+        // Localize columns to this rank's panel; rows stay global.
+        for (auto& t : merged) t.col -= my_cols.begin;
+        SparseBlock panel{h, my_cols.size(), std::move(merged)};
+        distmat::ring_ata_accumulate(world, n, panel, *b_block);
+        distmat::accumulate_column_popcounts(panel, my_cols.begin, ahat);
+        break;
+      }
+      case Algorithm::kSumma: {
+        const int s = grid->side();
+        const int c = grid->layers();
+        auto merged = distmat::redistribute_triplets(
+            world, std::move(packed.triplets),
+            [&](std::int64_t w, std::int64_t col) {
+              const int q = distmat::block_owner(h, s * c, w);
+              const int j = distmat::block_owner(n, s, col);
+              return grid->world_rank_of(q / s, q % s, j);
+            },
+            [](std::uint64_t a, std::uint64_t b) { return a | b; });
+        if (grid->active()) {
+          const int q = grid->layer() * s + grid->grid_row();
+          const BlockRange chunk = distmat::block_range(h, s * c, q);
+          for (auto& t : merged) {
+            t.row -= chunk.begin;
+            t.col -= my_cols.begin;
+          }
+          SparseBlock block{chunk.size(), my_cols.size(), std::move(merged)};
+          distmat::summa_ata_accumulate(*grid, block, *b_block);
+          distmat::accumulate_column_popcounts(block, my_cols.begin, ahat);
+        }
+        break;
+      }
+    }
+
+    // Batch instrumentation: the paper times barrier-to-barrier batches.
+    const std::int64_t nnz =
+        world.allreduce_value<std::int64_t>(local_nnz, std::plus<std::int64_t>{});
+    world.barrier();
+    if (world.rank() == 0) {
+      BatchStats bs;
+      bs.seconds = timer.seconds();
+      bs.filtered_rows = packed.filtered_rows;
+      bs.word_rows = packed.word_rows;
+      bs.packed_nnz = nnz;
+      stats.push_back(bs);
+    }
+  }
+
+  // Union cardinalities need â = Σ column popcounts over all batches; the
+  // local accumulators cover disjoint blocks, so a sum-allreduce is exact.
+  world.allreduce(ahat, std::plus<std::int64_t>{});
+
+  // S = B ⊘ C on the owning ranks, then assembled on rank 0. With SUMMA
+  // replication only layer 0 holds the reduced B.
+  std::optional<DenseBlock<double>> s_block;
+  const bool owns_output =
+      b_block.has_value() &&
+      (config.algorithm != Algorithm::kSumma || grid->layer() == 0);
+  if (owns_output) s_block = finalize_block(*b_block, ahat);
+
+  std::vector<double> full = distmat::gather_dense_to_root(
+      world, s_block.has_value() ? &*s_block : nullptr, n, n);
+
+  Result result;
+  result.n = n;
+  result.active_ranks = active_ranks;
+  if (world.rank() == 0) {
+    result.similarity = SimilarityMatrix(n, std::move(full));
+    result.batches = std::move(stats);
+  }
+  return result;
+}
+
+Result similarity_at_scale_threaded(int nranks, const SampleSource& source,
+                                    const Config& config,
+                                    std::vector<bsp::CostCounters>* counters_out) {
+  Result result;
+  std::mutex result_mutex;
+  auto counters = bsp::Runtime::run(nranks, [&](bsp::Comm& comm) {
+    Result local = similarity_at_scale(comm, source, config);
+    if (comm.rank() == 0) {
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result = std::move(local);
+    }
+  });
+  if (counters_out != nullptr) *counters_out = std::move(counters);
+  return result;
+}
+
+}  // namespace sas::core

@@ -1,0 +1,52 @@
+// driver.hpp — the SimilarityAtScale algorithm (paper Listings 1–2).
+//
+// Orchestrates the full batched pipeline over a bsp communicator:
+//
+//   for each batch A⁽ˡ⁾:                               (Eq. 3)
+//     read + filter zero rows + bitmask-compress        (packing.hpp)
+//     redistribute packed entries onto the grid         (redistribute.hpp)
+//     B  += Â⁽ˡ⁾ᵀ Â⁽ˡ⁾  under the popcount semiring      (spgemm.hpp, Eq. 7)
+//     â  += column popcounts                            (Eq. 4)
+//   C = â1ᵀ + 1âᵀ − B;  S = B ⊘ C;  D = 1 − S           (Eq. 2)
+//
+// The returned similarity matrix is assembled on world rank 0.
+#pragma once
+
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "core/config.hpp"
+#include "core/sample_source.hpp"
+#include "core/similarity_matrix.hpp"
+
+namespace sas::core {
+
+/// Per-batch instrumentation (rank-0 view; the benches consume this).
+struct BatchStats {
+  double seconds = 0.0;          ///< wall time, barrier-to-barrier (I/O included)
+  std::int64_t filtered_rows = 0;///< rows surviving the zero-row filter
+  std::int64_t word_rows = 0;    ///< h after bitmask compression
+  std::int64_t packed_nnz = 0;   ///< nonzero words across all ranks
+};
+
+struct Result {
+  std::int64_t n = 0;
+  SimilarityMatrix similarity;      ///< valid on world rank 0
+  std::vector<BatchStats> batches;  ///< valid on world rank 0
+  int active_ranks = 0;             ///< ranks that took part in the product
+};
+
+/// Run SimilarityAtScale collectively over `world`. Every rank of `world`
+/// must call with identical `config`; the result's similarity matrix and
+/// batch statistics are populated on rank 0.
+[[nodiscard]] Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
+                                         const Config& config);
+
+/// Single-threaded convenience wrapper: spins up `nranks` bsp ranks, runs
+/// the driver, and returns rank 0's result (plus the cost counters, if
+/// requested via `counters_out`).
+[[nodiscard]] Result similarity_at_scale_threaded(
+    int nranks, const SampleSource& source, const Config& config,
+    std::vector<bsp::CostCounters>* counters_out = nullptr);
+
+}  // namespace sas::core

@@ -1,0 +1,120 @@
+#include "core/matrix_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace sas::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'A', 'S', 'M'};
+
+void check_names(const std::vector<std::string>& names, const SimilarityMatrix& matrix) {
+  if (static_cast<std::int64_t>(names.size()) != matrix.size()) {
+    throw std::invalid_argument("similarity I/O: one name per sample required");
+  }
+  for (const std::string& name : names) {
+    if (name.find('\n') != std::string::npos) {
+      throw std::invalid_argument("similarity I/O: names must not contain newlines");
+    }
+  }
+}
+
+template <typename T>
+void write_raw(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_raw(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("similarity I/O: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void write_similarity_binary(std::ostream& out, const std::vector<std::string>& names,
+                             const SimilarityMatrix& matrix) {
+  check_names(names, matrix);
+  out.write(kMagic, sizeof(kMagic));
+  write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(matrix.size()));
+  std::string name_block;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) name_block += '\n';
+    name_block += names[i];
+  }
+  write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(name_block.size()));
+  out.write(name_block.data(), static_cast<std::streamsize>(name_block.size()));
+  out.write(reinterpret_cast<const char*>(matrix.values().data()),
+            static_cast<std::streamsize>(matrix.values().size() * sizeof(double)));
+  if (!out) throw std::runtime_error("similarity I/O: write failed");
+}
+
+NamedSimilarity read_similarity_binary(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("similarity I/O: bad magic");
+  }
+  const auto n = static_cast<std::int64_t>(read_raw<std::uint64_t>(in));
+  const auto name_bytes = read_raw<std::uint64_t>(in);
+  std::string name_block(name_bytes, '\0');
+  in.read(name_block.data(), static_cast<std::streamsize>(name_bytes));
+  if (!in) throw std::runtime_error("similarity I/O: truncated names");
+
+  NamedSimilarity result;
+  if (n > 0) {
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t end = name_block.find('\n', start);
+      result.names.push_back(name_block.substr(
+          start, end == std::string::npos ? std::string::npos : end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  }
+  if (static_cast<std::int64_t>(result.names.size()) != n) {
+    throw std::runtime_error("similarity I/O: name count mismatch");
+  }
+  std::vector<double> values(static_cast<std::size_t>(n * n));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("similarity I/O: truncated values");
+  result.matrix = SimilarityMatrix(n, std::move(values));
+  return result;
+}
+
+void write_similarity_binary_file(const std::string& path,
+                                  const std::vector<std::string>& names,
+                                  const SimilarityMatrix& matrix) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write similarity file: " + path);
+  write_similarity_binary(out, names, matrix);
+}
+
+NamedSimilarity read_similarity_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open similarity file: " + path);
+  return read_similarity_binary(in);
+}
+
+void write_similarity_tsv(std::ostream& out, const std::vector<std::string>& names,
+                          const SimilarityMatrix& matrix) {
+  check_names(names, matrix);
+  const std::int64_t n = matrix.size();
+  out << "sample";
+  for (const std::string& name : names) out << '\t' << name;
+  out << '\n';
+  out.precision(17);
+  for (std::int64_t i = 0; i < n; ++i) {
+    out << names[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < n; ++j) out << '\t' << matrix.similarity(i, j);
+    out << '\n';
+  }
+}
+
+}  // namespace sas::core

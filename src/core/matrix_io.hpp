@@ -1,0 +1,42 @@
+// matrix_io.hpp — persistence for similarity matrices.
+//
+// The paper publishes its computed distance matrices "to foster
+// high-performance distributed genomics research"; these routines are the
+// repository's equivalent: a self-describing binary format for exact
+// round-trips and a TSV view for spreadsheets/scripts. PHYLIP export for
+// phylogenetics lives in genome/phylip.hpp.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/similarity_matrix.hpp"
+
+namespace sas::core {
+
+/// Binary format: magic "SASM", u64 n, u64 name-block length, names as
+/// '\n'-joined UTF-8, then n×n little-endian doubles.
+void write_similarity_binary(std::ostream& out, const std::vector<std::string>& names,
+                             const SimilarityMatrix& matrix);
+
+struct NamedSimilarity {
+  std::vector<std::string> names;
+  SimilarityMatrix matrix;
+};
+
+[[nodiscard]] NamedSimilarity read_similarity_binary(std::istream& in);
+
+void write_similarity_binary_file(const std::string& path,
+                                  const std::vector<std::string>& names,
+                                  const SimilarityMatrix& matrix);
+
+[[nodiscard]] NamedSimilarity read_similarity_binary_file(const std::string& path);
+
+/// Tab-separated: header row of names, then one row per sample
+/// (name + n similarity values at full precision).
+void write_similarity_tsv(std::ostream& out, const std::vector<std::string>& names,
+                          const SimilarityMatrix& matrix);
+
+}  // namespace sas::core

@@ -1,0 +1,71 @@
+#include "core/packing.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "distmat/dist_filter.hpp"
+
+namespace sas::core {
+
+PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
+                       distmat::BlockRange rows, int bit_width, bool use_filter) {
+  if (bit_width < 1 || bit_width > 64) {
+    throw std::invalid_argument("pack_batch: bit_width must be in [1, 64]");
+  }
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const std::int64_t n = source.sample_count();
+  const std::int64_t batch_height = rows.size();
+
+  // (1) Read this rank's samples restricted to the batch; store row
+  // offsets relative to the batch start.
+  std::vector<std::int64_t> my_samples;
+  std::vector<std::vector<std::int64_t>> my_offsets;
+  for (std::int64_t i = rank; i < n; i += p) {
+    std::vector<std::int64_t> values = source.values_in_range(i, rows);
+    for (std::int64_t& v : values) v -= rows.begin;
+    my_samples.push_back(i);
+    my_offsets.push_back(std::move(values));
+  }
+
+  // (2) Distributed zero-row filter f⁽ˡ⁾, replicated on all ranks.
+  std::vector<std::int64_t> filter;
+  if (use_filter) {
+    std::vector<std::int64_t> observed;
+    for (const auto& offsets : my_offsets) {
+      observed.insert(observed.end(), offsets.begin(), offsets.end());
+    }
+    filter = distmat::distributed_index_union(
+        comm, std::span<const std::int64_t>(observed), batch_height);
+  }
+
+  PackedBatch out;
+  out.filtered_rows = use_filter ? static_cast<std::int64_t>(filter.size()) : batch_height;
+  out.word_rows = (out.filtered_rows + bit_width - 1) / bit_width;
+
+  // (3) Compact and pack: consecutive compacted rows of one sample that
+  // share a word are OR-merged as they stream by (offsets are sorted, and
+  // the compaction map is monotone, so same-word runs are contiguous).
+  const std::span<const std::int64_t> filter_span(filter);
+  for (std::size_t s = 0; s < my_samples.size(); ++s) {
+    const std::int64_t col = my_samples[s];
+    std::int64_t current_word = -1;
+    std::uint64_t mask = 0;
+    for (std::int64_t offset : my_offsets[s]) {
+      const std::int64_t compacted =
+          use_filter ? distmat::compact_row_id(filter_span, offset) : offset;
+      const std::int64_t word = compacted / bit_width;
+      const int bit = static_cast<int>(compacted % bit_width);
+      if (word != current_word) {
+        if (current_word >= 0) out.triplets.push_back({current_word, col, mask});
+        current_word = word;
+        mask = 0;
+      }
+      mask |= (1ULL << bit);
+    }
+    if (current_word >= 0) out.triplets.push_back({current_word, col, mask});
+  }
+  return out;
+}
+
+}  // namespace sas::core

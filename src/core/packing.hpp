@@ -1,0 +1,45 @@
+// packing.hpp — per-batch preprocessing (paper §III-B, Listing 2's
+// preprocessInput): zero-row filtering and bitmask compression.
+//
+// Given one row batch A⁽ˡ⁾ of the indicator matrix, each rank
+//   1. reads the attribute values of its samples restricted to the batch
+//      (cyclic sample ownership: sample i is read by rank i mod p),
+//   2. contributes observed row offsets to the distributed filter f⁽ˡ⁾
+//      and obtains the replicated sorted filter (Eq. 5),
+//   3. remaps each value to its compacted row id — the prefix sum p⁽ˡ⁾ of
+//      the filter (Eq. 6) — and packs segments of `bit_width` compacted
+//      rows into word masks (Eq. 7).
+//
+// The output triplets are globally indexed (word_row, sample) pairs ready
+// for redistribution onto the processor grid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "core/sample_source.hpp"
+#include "distmat/block.hpp"
+#include "distmat/triplet.hpp"
+
+namespace sas::core {
+
+struct PackedBatch {
+  /// h: word-rows of the packed batch matrix Â⁽ˡ⁾ (absent words are zero).
+  std::int64_t word_rows = 0;
+  /// Rows surviving the zero-row filter (batch height m̃ when filtering is
+  /// disabled). Equals the length of the filter vector's support.
+  std::int64_t filtered_rows = 0;
+  /// This rank's packed entries: (word_row, sample, mask), global indices,
+  /// at most one entry per (word_row, sample) pair.
+  std::vector<distmat::Triplet<std::uint64_t>> triplets;
+};
+
+/// Collective over `comm`: build this rank's packed share of batch
+/// `rows`. `bit_width` ∈ [1, 64] is the paper's b; `use_filter` toggles
+/// the zero-row compaction (Eq. 5–6).
+[[nodiscard]] PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
+                                     distmat::BlockRange rows, int bit_width,
+                                     bool use_filter);
+
+}  // namespace sas::core

@@ -1,0 +1,94 @@
+// sample_source.hpp — the input abstraction of SimilarityAtScale.
+//
+// A SampleSource presents n data samples, each a set of integer attribute
+// ids in [0, m) (paper §II-A: Xᵢ ⊆ {1..m}). The driver streams the
+// attribute space in row batches (Eq. 3), so sources only ever materialize
+// the values of one sample restricted to one range — this is what lets m
+// be astronomically large (4³¹ k-mers) while memory stays bounded.
+//
+// Concrete sources:
+//  * VectorSampleSource    — in-memory sets (tests, examples, small data)
+//  * genome::KmerFileSource— sorted per-sample k-mer files (paper §IV)
+//  * BernoulliSampleSource — synthetic i.i.d. density-p matrices (§V-A3)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distmat/block.hpp"
+
+namespace sas::core {
+
+class SampleSource {
+ public:
+  virtual ~SampleSource() = default;
+
+  /// Number of data samples n (columns of the indicator matrix).
+  [[nodiscard]] virtual std::int64_t sample_count() const = 0;
+
+  /// Attribute universe size m (rows of the indicator matrix).
+  [[nodiscard]] virtual std::int64_t attribute_universe() const = 0;
+
+  /// Sorted, duplicate-free attribute ids of sample `sample` restricted
+  /// to [range.begin, range.end). This is the per-batch read (the paper's
+  /// readFiles(): "scanning through one batch at a time").
+  [[nodiscard]] virtual std::vector<std::int64_t> values_in_range(
+      std::int64_t sample, distmat::BlockRange range) const = 0;
+};
+
+/// In-memory sample sets. Construction sorts and deduplicates.
+class VectorSampleSource final : public SampleSource {
+ public:
+  VectorSampleSource(std::int64_t universe,
+                     std::vector<std::vector<std::int64_t>> samples);
+
+  [[nodiscard]] std::int64_t sample_count() const override {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  [[nodiscard]] std::int64_t attribute_universe() const override { return universe_; }
+  [[nodiscard]] std::vector<std::int64_t> values_in_range(
+      std::int64_t sample, distmat::BlockRange range) const override;
+
+  /// Whole sample as a sorted set (used by brute-force references).
+  [[nodiscard]] const std::vector<std::int64_t>& sample(std::int64_t i) const {
+    return samples_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  std::int64_t universe_;
+  std::vector<std::vector<std::int64_t>> samples_;
+};
+
+/// Synthetic source: attribute k ∈ sample i with probability `density`,
+/// independently (paper §V-A3). Membership is a pure function of
+/// (seed, sample, attribute) — no storage — so benches can model matrices
+/// with millions of rows. Sampling draws Binomial(range, density) ids per
+/// (sample, range) deterministically.
+///
+/// `density_spread` > 1 makes per-sample densities log-uniform in
+/// [density/spread, density·spread], reproducing the "high variability of
+/// density across different columns" of the BIGSI corpus (paper §V-B).
+class BernoulliSampleSource final : public SampleSource {
+ public:
+  BernoulliSampleSource(std::int64_t universe, std::int64_t samples, double density,
+                        std::uint64_t seed, double density_spread = 1.0);
+
+  [[nodiscard]] std::int64_t sample_count() const override { return samples_; }
+  [[nodiscard]] std::int64_t attribute_universe() const override { return universe_; }
+  [[nodiscard]] std::vector<std::int64_t> values_in_range(
+      std::int64_t sample, distmat::BlockRange range) const override;
+
+  [[nodiscard]] double density() const noexcept { return density_; }
+
+  /// Effective density of one sample (= `density` unless spread > 1).
+  [[nodiscard]] double sample_density(std::int64_t sample) const;
+
+ private:
+  std::int64_t universe_;
+  std::int64_t samples_;
+  double density_;
+  std::uint64_t seed_;
+  double spread_;
+};
+
+}  // namespace sas::core

@@ -1,0 +1,33 @@
+#include "core/similarity_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sas::core {
+
+SimilarityMatrix::SimilarityMatrix(std::int64_t n, std::vector<double> values)
+    : n_(n), values_(std::move(values)) {
+  if (static_cast<std::int64_t>(values_.size()) != n * n) {
+    throw std::invalid_argument("SimilarityMatrix: values size must be n*n");
+  }
+}
+
+std::vector<double> SimilarityMatrix::distance_matrix() const {
+  std::vector<double> d(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) d[i] = 1.0 - values_[i];
+  return d;
+}
+
+double SimilarityMatrix::max_abs_diff(const SimilarityMatrix& other) const {
+  if (other.n_ != n_) {
+    throw std::invalid_argument("SimilarityMatrix::max_abs_diff: size mismatch");
+  }
+  double worst = 0.0;
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const double diff = std::fabs(values_[i] - other.values_[i]);
+    if (diff > worst) worst = diff;
+  }
+  return worst;
+}
+
+}  // namespace sas::core

@@ -1,0 +1,45 @@
+// similarity_matrix.hpp — the dense n×n Jaccard similarity matrix S.
+//
+// Produced by the driver on the root rank; offers both views the paper
+// defines (§II-A): similarity J and distance d_J = 1 − J, plus the
+// convention J(∅, ∅) = 1.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sas::core {
+
+class SimilarityMatrix {
+ public:
+  SimilarityMatrix() = default;
+  SimilarityMatrix(std::int64_t n, std::vector<double> values);
+
+  [[nodiscard]] std::int64_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// J(Xᵢ, Xⱼ) ∈ [0, 1].
+  [[nodiscard]] double similarity(std::int64_t i, std::int64_t j) const {
+    return values_[static_cast<std::size_t>(i * n_ + j)];
+  }
+
+  /// d_J(Xᵢ, Xⱼ) = 1 − J(Xᵢ, Xⱼ); a metric on finite sets.
+  [[nodiscard]] double distance(std::int64_t i, std::int64_t j) const {
+    return 1.0 - similarity(i, j);
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Full distance matrix (for clustering / tree-building consumers).
+  [[nodiscard]] std::vector<double> distance_matrix() const;
+
+  /// Maximum |S − other| entry — used by the equivalence tests.
+  [[nodiscard]] double max_abs_diff(const SimilarityMatrix& other) const;
+
+ private:
+  std::int64_t n_ = 0;
+  std::vector<double> values_;  // row-major n×n
+};
+
+}  // namespace sas::core

@@ -1,0 +1,48 @@
+// block.hpp — 1D block partitioning helpers.
+//
+// All distributed objects in the library (indicator-matrix row chunks,
+// sample column chunks, dense output blocks) use contiguous block
+// partitions with the remainder spread over the leading blocks, so that
+// block sizes differ by at most one.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace sas::distmat {
+
+/// Half-open index range [begin, end).
+struct BlockRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t size() const noexcept { return end - begin; }
+  [[nodiscard]] bool contains(std::int64_t i) const noexcept {
+    return i >= begin && i < end;
+  }
+};
+
+/// Range of the b-th of `nblocks` near-equal blocks over [0, total).
+[[nodiscard]] inline BlockRange block_range(std::int64_t total, int nblocks, int b) {
+  if (nblocks <= 0 || b < 0 || b >= nblocks) {
+    throw std::invalid_argument("block_range: invalid block index");
+  }
+  const std::int64_t base = total / nblocks;
+  const std::int64_t extra = total % nblocks;
+  const std::int64_t begin = b * base + (b < extra ? b : extra);
+  const std::int64_t len = base + (b < extra ? 1 : 0);
+  return {begin, begin + len};
+}
+
+/// Index of the block that owns element i under block_range partitioning.
+[[nodiscard]] inline int block_owner(std::int64_t total, int nblocks, std::int64_t i) {
+  if (total <= 0) return 0;
+  const std::int64_t base = total / nblocks;
+  const std::int64_t extra = total % nblocks;
+  const std::int64_t split = (base + 1) * extra;  // first index owned by a small block
+  if (i < split) return static_cast<int>(i / (base + 1));
+  if (base == 0) return nblocks - 1;
+  return static_cast<int>(extra + (i - split) / base);
+}
+
+}  // namespace sas::distmat

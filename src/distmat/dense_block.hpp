@@ -1,0 +1,46 @@
+// dense_block.hpp — local block of a 2D block-distributed dense matrix.
+//
+// The output similarity matrices B, C, S are "generally dense" (paper
+// §III-B), so they live as one contiguous row-major block per grid rank:
+// rank (i, j) of the s×s layer-0 grid owns rows block i × cols block j of
+// the n×n output. DenseBlock carries its global ranges so that kernels
+// can translate between local and global indices.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distmat/block.hpp"
+
+namespace sas::distmat {
+
+template <typename T>
+struct DenseBlock {
+  BlockRange row_range;  ///< global rows covered by this block
+  BlockRange col_range;  ///< global cols covered by this block
+  std::vector<T> values; ///< row-major, size = row_range.size() * col_range.size()
+
+  DenseBlock() = default;
+  DenseBlock(BlockRange rows, BlockRange cols)
+      : row_range(rows), col_range(cols),
+        values(static_cast<std::size_t>(rows.size() * cols.size()), T{}) {}
+
+  [[nodiscard]] std::int64_t local_rows() const noexcept { return row_range.size(); }
+  [[nodiscard]] std::int64_t local_cols() const noexcept { return col_range.size(); }
+
+  [[nodiscard]] T& at_local(std::int64_t r, std::int64_t c) noexcept {
+    return values[static_cast<std::size_t>(r * col_range.size() + c)];
+  }
+  [[nodiscard]] const T& at_local(std::int64_t r, std::int64_t c) const noexcept {
+    return values[static_cast<std::size_t>(r * col_range.size() + c)];
+  }
+
+  [[nodiscard]] T& at_global(std::int64_t r, std::int64_t c) noexcept {
+    return at_local(r - row_range.begin, c - col_range.begin);
+  }
+  [[nodiscard]] const T& at_global(std::int64_t r, std::int64_t c) const noexcept {
+    return at_local(r - row_range.begin, c - col_range.begin);
+  }
+};
+
+}  // namespace sas::distmat

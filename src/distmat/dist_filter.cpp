@@ -1,0 +1,42 @@
+#include "distmat/dist_filter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "distmat/block.hpp"
+
+namespace sas::distmat {
+
+std::vector<std::int64_t> distributed_index_union(bsp::Comm& comm,
+                                                  std::span<const std::int64_t> mine,
+                                                  std::int64_t universe) {
+  const int p = comm.size();
+  std::vector<std::vector<std::int64_t>> outgoing(static_cast<std::size_t>(p));
+  for (std::int64_t idx : mine) {
+    outgoing[static_cast<std::size_t>(block_owner(universe, p, idx))].push_back(idx);
+  }
+  std::vector<std::vector<std::int64_t>> incoming = comm.alltoall_v(outgoing);
+
+  // Owner-side dedup: the (max,×) accumulation of the paper's write().
+  std::vector<std::int64_t> owned;
+  for (auto& block : incoming) {
+    owned.insert(owned.end(), block.begin(), block.end());
+  }
+  std::sort(owned.begin(), owned.end());
+  owned.erase(std::unique(owned.begin(), owned.end()), owned.end());
+
+  // Owners hold disjoint, increasing ranges (block partition), so the
+  // rank-ordered concatenation of an allgather is already sorted.
+  return comm.allgather<std::int64_t>(owned);
+}
+
+std::int64_t compact_row_id(std::span<const std::int64_t> sorted_filter,
+                            std::int64_t global_row) {
+  const auto it = std::lower_bound(sorted_filter.begin(), sorted_filter.end(), global_row);
+  if (it == sorted_filter.end() || *it != global_row) {
+    throw std::logic_error("compact_row_id: row not present in filter");
+  }
+  return static_cast<std::int64_t>(it - sorted_filter.begin());
+}
+
+}  // namespace sas::distmat

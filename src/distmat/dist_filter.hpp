@@ -1,0 +1,31 @@
+// dist_filter.hpp — the distributed zero-row filter f⁽ˡ⁾ (paper Eq. 5).
+//
+// Every rank contributes the row indices it observed nonzeros in; the
+// union is formed with one all-to-all (block owners deduplicate — the
+// (max,×) semiring write of §IV-A) and then replicated on all ranks,
+// matching the paper's implementation choice: "our implementation then
+// proceeds by collecting the sparse vector f on all processors, and
+// performing a local prefix sum". The prefix sum is implicit in the
+// sorted order: the compacted row id of global row g is its position in
+// the returned sorted vector (Eq. 6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bsp/comm.hpp"
+
+namespace sas::distmat {
+
+/// Sorted union of all ranks' index lists, replicated on every rank.
+/// `universe` bounds the index range and defines block ownership.
+[[nodiscard]] std::vector<std::int64_t> distributed_index_union(
+    bsp::Comm& comm, std::span<const std::int64_t> mine, std::int64_t universe);
+
+/// Compacted id of `global_row` in the sorted filter (Eq. 6), i.e. the
+/// prefix-sum p⁽ˡ⁾ evaluated at a nonzero row. Precondition: present.
+[[nodiscard]] std::int64_t compact_row_id(std::span<const std::int64_t> sorted_filter,
+                                          std::int64_t global_row);
+
+}  // namespace sas::distmat

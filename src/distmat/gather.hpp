@@ -1,0 +1,53 @@
+// gather.hpp — assemble a block-distributed dense matrix on the root.
+//
+// Used at the very end of the pipeline to hand the similarity matrix to
+// downstream consumers (tree building, clustering, file output). Each
+// contributing rank ships (ranges, values); rank 0 stitches the full
+// rows×cols matrix. Ranks without a block pass nullptr.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "distmat/dense_block.hpp"
+
+namespace sas::distmat {
+
+/// Collective over `comm`. Returns the assembled rows×cols row-major
+/// matrix on rank 0 and an empty vector elsewhere.
+template <typename T>
+[[nodiscard]] std::vector<T> gather_dense_to_root(bsp::Comm& comm,
+                                                  const DenseBlock<T>* block,
+                                                  std::int64_t rows, std::int64_t cols) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<std::int64_t> header;
+  std::vector<T> payload;
+  if (block != nullptr) {
+    header = {block->row_range.begin, block->row_range.end, block->col_range.begin,
+              block->col_range.end};
+    payload = block->values;
+  }
+  auto headers = comm.gather_v<std::int64_t>(std::span<const std::int64_t>(header), 0);
+  auto payloads = comm.gather_v<T>(std::span<const T>(payload), 0);
+  if (comm.rank() != 0) return {};
+
+  std::vector<T> full(static_cast<std::size_t>(rows * cols), T{});
+  for (std::size_t r = 0; r < headers.size(); ++r) {
+    if (headers[r].empty()) continue;
+    const std::int64_t rb = headers[r][0];
+    const std::int64_t re = headers[r][1];
+    const std::int64_t cb = headers[r][2];
+    const std::int64_t ce = headers[r][3];
+    const std::vector<T>& vals = payloads[r];
+    std::size_t idx = 0;
+    for (std::int64_t i = rb; i < re; ++i) {
+      for (std::int64_t j = cb; j < ce; ++j) {
+        full[static_cast<std::size_t>(i * cols + j)] = vals[idx++];
+      }
+    }
+  }
+  return full;
+}
+
+}  // namespace sas::distmat

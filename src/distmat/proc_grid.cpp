@@ -1,0 +1,48 @@
+#include "distmat/proc_grid.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sas::distmat {
+
+namespace {
+
+/// Largest s with s*s*layers <= p.
+int grid_side(int p, int layers) {
+  if (layers < 1 || p < layers) {
+    throw std::invalid_argument("ProcGrid: need at least `layers` ranks");
+  }
+  int s = static_cast<int>(std::sqrt(static_cast<double>(p / layers)));
+  while ((s + 1) * (s + 1) * layers <= p) ++s;
+  while (s > 1 && s * s * layers > p) --s;
+  return s;
+}
+
+}  // namespace
+
+ProcGrid::ProcGrid(bsp::Comm& world, int layers) : world_(&world), layers_(layers) {
+  side_ = grid_side(world.size(), layers);
+  const int active_count = side_ * side_ * layers_;
+  const int r = world.rank();
+  active_ = r < active_count;
+
+  if (active_) {
+    layer_ = r / (side_ * side_);
+    grid_row_ = (r / side_) % side_;
+    grid_col_ = r % side_;
+  }
+
+  // Inactive ranks take distinct sentinel colors so they participate in
+  // the collective split calls without joining any working group.
+  const int idle = 1 << 28;  // beyond any valid color
+  grid_comm_ = world.split(active_ ? 0 : idle + r, r);
+  row_comm_ = world.split(active_ ? layer_ * side_ + grid_row_ : idle + r, grid_col_);
+  col_comm_ = world.split(active_ ? layer_ * side_ + grid_col_ + side_ * side_
+                                  : idle + r,
+                          grid_row_);
+  fiber_comm_ = world.split(active_ ? grid_row_ * side_ + grid_col_ + 2 * side_ * side_
+                                    : idle + r,
+                            layer_);
+}
+
+}  // namespace sas::distmat

@@ -1,0 +1,65 @@
+// proc_grid.hpp — the √(p/c) × √(p/c) × c processor grid (paper §III-C).
+//
+// SimilarityAtScale parallelizes the AᵀA product over a 3D grid: each of
+// the c layers computes 1/c of the contributions to B on a square s×s
+// 2D grid (s = ⌊√(p/c)⌋), and the layer contributions are reduced at the
+// end. ProcGrid carves the world communicator into the sub-communicators
+// the SUMMA stages need:
+//   row_comm   — ranks sharing (layer, grid row): broadcasts along rows
+//   col_comm   — ranks sharing (layer, grid col): broadcasts along columns
+//   fiber_comm — ranks sharing (row, col) across layers: the final B sum
+//
+// If p is not exactly s²·c, the s²·c lowest world ranks are active and the
+// rest idle through the collective split calls (MPI_UNDEFINED style); the
+// benches report the active rank count.
+#pragma once
+
+#include <optional>
+
+#include "bsp/comm.hpp"
+
+namespace sas::distmat {
+
+class ProcGrid {
+ public:
+  /// Build the grid over `world` with replication factor `layers` (the
+  /// paper's c). Collective: every world rank must call it.
+  ProcGrid(bsp::Comm& world, int layers = 1);
+
+  [[nodiscard]] int side() const noexcept { return side_; }          ///< s
+  [[nodiscard]] int layers() const noexcept { return layers_; }      ///< c
+  [[nodiscard]] int active_ranks() const noexcept { return side_ * side_ * layers_; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+
+  /// Grid coordinates of this rank (valid only when active()).
+  [[nodiscard]] int layer() const noexcept { return layer_; }
+  [[nodiscard]] int grid_row() const noexcept { return grid_row_; }
+  [[nodiscard]] int grid_col() const noexcept { return grid_col_; }
+
+  /// World rank of grid position (layer, row, col).
+  [[nodiscard]] int world_rank_of(int layer, int row, int col) const noexcept {
+    return layer * side_ * side_ + row * side_ + col;
+  }
+
+  [[nodiscard]] bsp::Comm& world() noexcept { return *world_; }
+  [[nodiscard]] bsp::Comm& row_comm() noexcept { return *row_comm_; }
+  [[nodiscard]] bsp::Comm& col_comm() noexcept { return *col_comm_; }
+  [[nodiscard]] bsp::Comm& fiber_comm() noexcept { return *fiber_comm_; }
+  /// All active ranks (used for grid-wide data redistribution).
+  [[nodiscard]] bsp::Comm& grid_comm() noexcept { return *grid_comm_; }
+
+ private:
+  bsp::Comm* world_;
+  int side_ = 1;
+  int layers_ = 1;
+  bool active_ = false;
+  int layer_ = 0;
+  int grid_row_ = 0;
+  int grid_col_ = 0;
+  std::optional<bsp::Comm> grid_comm_;
+  std::optional<bsp::Comm> row_comm_;
+  std::optional<bsp::Comm> col_comm_;
+  std::optional<bsp::Comm> fiber_comm_;
+};
+
+}  // namespace sas::distmat

@@ -1,0 +1,48 @@
+// redistribute.hpp — Cyclops-style accumulating write().
+//
+// Each rank contributes an arbitrary bag of (row, col, value) entries; the
+// entries are routed to their owning ranks with one all-to-all exchange
+// and merged there under the semiring's combine operation. This is the
+// communication pattern behind the paper's `write()` calls (§IV-A): bulk,
+// collective, and accumulation-based so repeated coordinates are legal.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "distmat/triplet.hpp"
+
+namespace sas::distmat {
+
+/// Route `mine` to owners and return this rank's merged entries.
+///
+/// `owner_of(row, col)` maps a coordinate to a rank of `comm`; `combine`
+/// merges values landing on the same coordinate. The result is sorted by
+/// (row, col) with unique coordinates — the canonical local form.
+template <typename T, typename OwnerFn, typename Combine>
+[[nodiscard]] std::vector<Triplet<T>> redistribute_triplets(
+    bsp::Comm& comm, std::vector<Triplet<T>> mine, OwnerFn owner_of, Combine combine) {
+  const int p = comm.size();
+  std::vector<std::vector<Triplet<T>>> outgoing(static_cast<std::size_t>(p));
+  for (Triplet<T>& t : mine) {
+    const int owner = owner_of(t.row, t.col);
+    outgoing[static_cast<std::size_t>(owner)].push_back(t);
+  }
+  mine.clear();
+  mine.shrink_to_fit();
+
+  std::vector<std::vector<Triplet<T>>> incoming = comm.alltoall_v(outgoing);
+  std::vector<Triplet<T>> merged;
+  std::size_t total = 0;
+  for (const auto& block : incoming) total += block.size();
+  merged.reserve(total);
+  for (auto& block : incoming) {
+    merged.insert(merged.end(), block.begin(), block.end());
+    block.clear();
+  }
+  normalize_triplets(merged, combine);
+  return merged;
+}
+
+}  // namespace sas::distmat

@@ -1,0 +1,134 @@
+#include "distmat/spgemm.hpp"
+
+#include <functional>
+#include <stdexcept>
+
+#include "util/popcount.hpp"
+
+namespace sas::distmat {
+
+void popcount_join_accumulate(std::span<const Triplet<std::uint64_t>> L,
+                              std::span<const Triplet<std::uint64_t>> N,
+                              std::int64_t l_col_base, std::int64_t n_col_base,
+                              DenseBlock<std::int64_t>& out,
+                              bsp::CostCounters* counters) {
+  const std::int64_t stride = out.local_cols();
+  std::int64_t* const values = out.values.data();
+  std::uint64_t flops = 0;
+
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < L.size() && j < N.size()) {
+    const std::int64_t lr = L[i].row;
+    const std::int64_t nr = N[j].row;
+    if (lr < nr) {
+      while (i < L.size() && L[i].row == lr) ++i;
+    } else if (nr < lr) {
+      while (j < N.size() && N[j].row == nr) ++j;
+    } else {
+      std::size_t ie = i;
+      while (ie < L.size() && L[ie].row == lr) ++ie;
+      std::size_t je = j;
+      while (je < N.size() && N[je].row == lr) ++je;
+      for (std::size_t a = i; a < ie; ++a) {
+        const std::int64_t out_row = l_col_base + L[a].col;
+        const std::uint64_t wa = L[a].value;
+        std::int64_t* const row_values = values + out_row * stride + n_col_base;
+        for (std::size_t b = j; b < je; ++b) {
+          row_values[N[b].col] += popcount64(wa & N[b].value);
+        }
+      }
+      flops += static_cast<std::uint64_t>(ie - i) * static_cast<std::uint64_t>(je - j);
+      i = ie;
+      j = je;
+    }
+  }
+  if (counters != nullptr) counters->flops += flops;
+}
+
+DenseBlock<std::int64_t> serial_ata(const SparseBlock& block) {
+  DenseBlock<std::int64_t> out(BlockRange{0, block.cols}, BlockRange{0, block.cols});
+  popcount_join_accumulate(block.entries, block.entries, 0, 0, out, nullptr);
+  return out;
+}
+
+void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_panel,
+                         DenseBlock<std::int64_t>& b_panel) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  constexpr int kTagRing = 300;
+
+  if (b_panel.col_range.begin != 0 || b_panel.col_range.end != n) {
+    throw std::invalid_argument("ring_ata_accumulate: b_panel must span all n columns");
+  }
+
+  std::vector<Triplet<std::uint64_t>> current = my_panel.entries;
+  int current_owner = r;
+  for (int step = 0; step < p; ++step) {
+    const std::int64_t col_base = block_range(n, p, current_owner).begin;
+    popcount_join_accumulate(my_panel.entries, current, 0, col_base, b_panel,
+                             &comm.counters());
+    if (step + 1 == p) break;
+    comm.send<Triplet<std::uint64_t>>((r + 1) % p, kTagRing,
+                                      std::span<const Triplet<std::uint64_t>>(current));
+    current = comm.recv<Triplet<std::uint64_t>>((r + p - 1) % p, kTagRing);
+    current_owner = (current_owner + p - 1) % p;
+  }
+}
+
+void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
+                          DenseBlock<std::int64_t>& b_accum) {
+  if (!grid.active()) {
+    throw std::logic_error("summa_ata_accumulate: called by an inactive rank");
+  }
+  const int s = grid.side();
+  constexpr int kTagTranspose = 200;
+
+  // With replication (c > 1), each layer sums into a scratch partial that
+  // is reduced onto layer 0 at the end of the batch (paper §III-C: "one
+  // needs a reduction to sum the contributions ... for each layer").
+  DenseBlock<std::int64_t> partial;
+  const bool replicated = grid.layers() > 1;
+  if (replicated) partial = DenseBlock<std::int64_t>(b_accum.row_range, b_accum.col_range);
+  DenseBlock<std::int64_t>& target = replicated ? partial : b_accum;
+
+  for (int k = 0; k < s; ++k) {
+    // (1) Transpose exchange: owner (ℓ, k, i) ships R(ℓ·s+k, i) to (ℓ, i, k).
+    std::vector<Triplet<std::uint64_t>> lbuf;
+    if (grid.grid_row() == k) {
+      const int dest = grid.world_rank_of(grid.layer(), grid.grid_col(), k);
+      grid.world().send<Triplet<std::uint64_t>>(
+          dest, kTagTranspose + k, std::span<const Triplet<std::uint64_t>>(my_block.entries));
+    }
+    if (grid.grid_col() == k) {
+      const int source = grid.world_rank_of(grid.layer(), k, grid.grid_row());
+      lbuf = grid.world().recv<Triplet<std::uint64_t>>(source, kTagTranspose + k);
+    }
+    // (2) L-side broadcast along the grid row (root = grid column k).
+    grid.row_comm().broadcast(lbuf, k);
+    // (3) N-side broadcast along the grid column (root = grid row k).
+    std::vector<Triplet<std::uint64_t>> nbuf;
+    if (grid.grid_row() == k) nbuf = my_block.entries;
+    grid.col_comm().broadcast(nbuf, k);
+    // (4) Local multiply-accumulate.
+    popcount_join_accumulate(lbuf, nbuf, 0, 0, target, &grid.world().counters());
+  }
+
+  if (replicated) {
+    grid.fiber_comm().reduce(partial.values, std::plus<std::int64_t>{}, 0);
+    if (grid.layer() == 0) {
+      for (std::size_t idx = 0; idx < b_accum.values.size(); ++idx) {
+        b_accum.values[idx] += partial.values[idx];
+      }
+    }
+  }
+}
+
+void accumulate_column_popcounts(const SparseBlock& block, std::int64_t col_offset,
+                                 std::span<std::int64_t> acc) {
+  for (const Triplet<std::uint64_t>& entry : block.entries) {
+    acc[static_cast<std::size_t>(col_offset + entry.col)] += popcount64(entry.value);
+  }
+}
+
+}  // namespace sas::distmat

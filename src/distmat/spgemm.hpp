@@ -1,0 +1,63 @@
+// spgemm.hpp — the popcount-semiring AᵀA product (paper Eq. 7 + §III-C).
+//
+// Computes B-contributions s⁽ˡ⁾ᵢⱼ = Σₖ popcount(âₖᵢ ∧ âₖⱼ) from bit-packed
+// sparse blocks, in four interchangeable parallel forms:
+//
+//   serial_ata             — single-block reference (tests, baselines)
+//   ring_ata_accumulate    — 1D column-panel ring: per-rank comm Θ(z)
+//   summa_ata_accumulate   — 2D/2.5D SUMMA on the √(p/c)×√(p/c)×c grid:
+//                            per-rank comm Θ(z/√(cp) + cn²/p)  [paper bound]
+//
+// All variants produce bit-identical results (enforced by tests); the
+// communication difference is the paper's headline claim and is measured
+// by bench/comm_model_validation through the bsp cost counters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bsp/comm.hpp"
+#include "distmat/dense_block.hpp"
+#include "distmat/proc_grid.hpp"
+#include "distmat/sparse_block.hpp"
+
+namespace sas::distmat {
+
+/// Innermost kernel: for every word-row present in both L and N, add
+/// popcount(L.value ∧ N.value) into out at (L.col + l_col_base,
+/// N.col + n_col_base) (local coordinates of `out`). Both inputs must be
+/// sorted by (row, col) and indexed against the same row space.
+/// Arithmetic work is recorded into `counters` (γ term) when non-null.
+void popcount_join_accumulate(std::span<const Triplet<std::uint64_t>> L,
+                              std::span<const Triplet<std::uint64_t>> N,
+                              std::int64_t l_col_base, std::int64_t n_col_base,
+                              DenseBlock<std::int64_t>& out,
+                              bsp::CostCounters* counters);
+
+/// Reference: full n×n dense AᵀA of one local block (rows = word rows).
+[[nodiscard]] DenseBlock<std::int64_t> serial_ata(const SparseBlock& block);
+
+/// 1D ring variant. Rank r owns the column panel for block_range(n, p, r)
+/// (global word-row ids) and the dense output row-panel
+/// rows = its column chunk × cols = [0, n). Panels circulate p−1 times.
+void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_panel,
+                         DenseBlock<std::int64_t>& b_panel);
+
+/// 2D/2.5D SUMMA variant over `grid`. Rank (ℓ, i, j) holds the R block of
+/// word-row chunk q = ℓ·s + i (chunk-local row ids) × column chunk j.
+/// Per batch, each layer computes its partial sum in s stages
+/// (transpose + row broadcast + column broadcast per stage) and the layer
+/// partials are reduced onto layer 0, accumulating into `b_accum`
+/// (meaningful on layer-0 ranks). Collective over active grid ranks;
+/// inactive ranks must not call. `b_accum` must cover column chunk
+/// grid_row × column chunk grid_col of the n×n output.
+void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
+                          DenseBlock<std::int64_t>& b_accum);
+
+/// â contribution: acc[col_offset + e.col] += popcount(e.value) for every
+/// entry of `block`. `acc` is a full-length replicated accumulator; ranks
+/// sum disjoint row chunks so a final allreduce(+) yields exact â.
+void accumulate_column_popcounts(const SparseBlock& block, std::int64_t col_offset,
+                                 std::span<std::int64_t> acc);
+
+}  // namespace sas::distmat

@@ -1,0 +1,44 @@
+// alphabet.hpp — the DNA nucleotide alphabet and its 2-bit code.
+//
+// Genomes are sequences over {A, C, G, T} with 'N' marking unknown bases
+// (paper Fig. 1 step 2). The 2-bit code is chosen so that complementation
+// is `3 − code`, which keeps reverse-complement computation branch-free.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sas::genome {
+
+/// 2-bit nucleotide codes: A=0, C=1, G=2, T=3.
+inline constexpr int kInvalidBase = -1;
+
+/// Code of an IUPAC base character (case-insensitive); kInvalidBase for
+/// anything outside {A, C, G, T} — including 'N', which breaks k-mer
+/// windows rather than being coerced.
+[[nodiscard]] constexpr int base_code(char base) noexcept {
+  switch (base) {
+    case 'A': case 'a': return 0;
+    case 'C': case 'c': return 1;
+    case 'G': case 'g': return 2;
+    case 'T': case 't': return 3;
+    default: return kInvalidBase;
+  }
+}
+
+/// Character of a 2-bit code.
+[[nodiscard]] constexpr char code_base(int code) noexcept {
+  constexpr std::array<char, 4> kBases{'A', 'C', 'G', 'T'};
+  return kBases[static_cast<std::size_t>(code & 3)];
+}
+
+/// Complement of a 2-bit code (A↔T, C↔G).
+[[nodiscard]] constexpr int complement_code(int code) noexcept { return 3 - code; }
+
+/// Complement character (A↔T, C↔G; anything else maps to 'N').
+[[nodiscard]] constexpr char complement_base(char base) noexcept {
+  const int code = base_code(base);
+  return code == kInvalidBase ? 'N' : code_base(complement_code(code));
+}
+
+}  // namespace sas::genome

@@ -1,0 +1,116 @@
+#include "genome/fasta.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace sas::genome {
+
+namespace {
+
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+void split_header(const std::string& line, SequenceRecord& record) {
+  const std::size_t ws = line.find_first_of(" \t", 1);
+  if (ws == std::string::npos) {
+    record.id = line.substr(1);
+  } else {
+    record.id = line.substr(1, ws - 1);
+    const std::size_t desc = line.find_first_not_of(" \t", ws);
+    if (desc != std::string::npos) record.description = line.substr(desc);
+  }
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open sequence file: " + path);
+  return in;
+}
+
+}  // namespace
+
+std::vector<SequenceRecord> read_fasta(std::istream& in) {
+  std::vector<SequenceRecord> records;
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    strip_cr(line);
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      records.emplace_back();
+      split_header(line, records.back());
+      have_record = true;
+    } else {
+      if (!have_record) {
+        throw std::runtime_error("read_fasta: sequence data before first header");
+      }
+      records.back().sequence += line;
+    }
+  }
+  return records;
+}
+
+std::vector<SequenceRecord> read_fasta_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_fasta(in);
+}
+
+std::vector<SequenceRecord> read_fastq(std::istream& in) {
+  std::vector<SequenceRecord> records;
+  std::string header;
+  std::string sequence;
+  std::string plus;
+  std::string quality;
+  while (std::getline(in, header)) {
+    strip_cr(header);
+    if (header.empty()) continue;
+    if (header[0] != '@') throw std::runtime_error("read_fastq: expected '@' header");
+    if (!std::getline(in, sequence) || !std::getline(in, plus) ||
+        !std::getline(in, quality)) {
+      throw std::runtime_error("read_fastq: truncated record");
+    }
+    strip_cr(sequence);
+    strip_cr(plus);
+    strip_cr(quality);
+    if (plus.empty() || plus[0] != '+') {
+      throw std::runtime_error("read_fastq: expected '+' separator");
+    }
+    if (quality.size() != sequence.size()) {
+      throw std::runtime_error("read_fastq: quality/sequence length mismatch");
+    }
+    SequenceRecord record;
+    split_header(header, record);
+    record.sequence = std::move(sequence);
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+std::vector<SequenceRecord> read_fastq_file(const std::string& path) {
+  auto in = open_or_throw(path);
+  return read_fastq(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<SequenceRecord>& records,
+                 int width) {
+  if (width < 1) throw std::invalid_argument("write_fasta: width must be positive");
+  for (const SequenceRecord& record : records) {
+    out << '>' << record.id;
+    if (!record.description.empty()) out << ' ' << record.description;
+    out << '\n';
+    for (std::size_t pos = 0; pos < record.sequence.size();
+         pos += static_cast<std::size_t>(width)) {
+      out << record.sequence.substr(pos, static_cast<std::size_t>(width)) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<SequenceRecord>& records, int width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write FASTA file: " + path);
+  write_fasta(out, records, width);
+}
+
+}  // namespace sas::genome

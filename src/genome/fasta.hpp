@@ -1,0 +1,43 @@
+// fasta.hpp — FASTA/FASTQ sequence file I/O (paper §IV-A, [60]).
+//
+// GenomeAtScale "maintains compatibility with standard bioinformatics
+// data formats": inputs are FASTA files (one or more records per sample)
+// or FASTQ sequencing reads. The parser accepts multi-line sequences,
+// lower/upper case, blank lines, and CRLF endings; the writer wraps at a
+// configurable width.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sas::genome {
+
+struct SequenceRecord {
+  std::string id;           ///< token after '>'/'@' up to first whitespace
+  std::string description;  ///< remainder of the header line (may be empty)
+  std::string sequence;     ///< concatenated sequence characters
+};
+
+/// Parse all FASTA records from a stream. Throws on malformed input
+/// (sequence data before the first header).
+[[nodiscard]] std::vector<SequenceRecord> read_fasta(std::istream& in);
+
+/// Parse all FASTA records from a file path.
+[[nodiscard]] std::vector<SequenceRecord> read_fasta_file(const std::string& path);
+
+/// Parse FASTQ (4-line records). Quality strings are validated for length
+/// and discarded — GenomeAtScale's k-mer pipeline does not use them.
+[[nodiscard]] std::vector<SequenceRecord> read_fastq(std::istream& in);
+
+[[nodiscard]] std::vector<SequenceRecord> read_fastq_file(const std::string& path);
+
+/// Write records in FASTA format, wrapping sequence lines at `width`.
+void write_fasta(std::ostream& out, const std::vector<SequenceRecord>& records,
+                 int width = 70);
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<SequenceRecord>& records, int width = 70);
+
+}  // namespace sas::genome

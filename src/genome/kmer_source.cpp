@@ -1,0 +1,74 @@
+#include "genome/kmer_source.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sas::genome {
+
+namespace {
+
+std::int64_t universe_for_k(int k) {
+  if (k < 1 || k > 31) throw std::invalid_argument("k must be in [1, 31]");
+  return std::int64_t{1} << (2 * k);
+}
+
+std::vector<std::int64_t> codes_in_range(const std::vector<std::uint64_t>& kmers,
+                                         distmat::BlockRange range) {
+  const auto lo = std::lower_bound(kmers.begin(), kmers.end(),
+                                   static_cast<std::uint64_t>(range.begin));
+  const auto hi = std::lower_bound(lo, kmers.end(),
+                                   static_cast<std::uint64_t>(range.end));
+  std::vector<std::int64_t> out;
+  out.reserve(static_cast<std::size_t>(hi - lo));
+  for (auto it = lo; it != hi; ++it) out.push_back(static_cast<std::int64_t>(*it));
+  return out;
+}
+
+void validate_sample(const KmerSample& sample, std::int64_t universe) {
+  if (!sample.kmers.empty() &&
+      sample.kmers.back() >= static_cast<std::uint64_t>(universe)) {
+    throw std::out_of_range("k-mer code exceeds 4^k universe for sample " + sample.name);
+  }
+}
+
+}  // namespace
+
+KmerSampleSource::KmerSampleSource(int k, std::vector<KmerSample> samples)
+    : universe_(universe_for_k(k)), samples_(std::move(samples)) {
+  for (const KmerSample& s : samples_) validate_sample(s, universe_);
+}
+
+std::vector<std::int64_t> KmerSampleSource::values_in_range(
+    std::int64_t sample, distmat::BlockRange range) const {
+  return codes_in_range(samples_[static_cast<std::size_t>(sample)].kmers, range);
+}
+
+std::vector<std::string> KmerSampleSource::sample_names() const {
+  std::vector<std::string> names;
+  names.reserve(samples_.size());
+  for (const KmerSample& s : samples_) names.push_back(s.name);
+  return names;
+}
+
+KmerFileSource::KmerFileSource(int k, const std::vector<std::string>& sample_paths)
+    : universe_(universe_for_k(k)) {
+  samples_.reserve(sample_paths.size());
+  for (const std::string& path : sample_paths) {
+    samples_.push_back(read_sample_file(path));
+    validate_sample(samples_.back(), universe_);
+  }
+}
+
+std::vector<std::int64_t> KmerFileSource::values_in_range(
+    std::int64_t sample, distmat::BlockRange range) const {
+  return codes_in_range(samples_[static_cast<std::size_t>(sample)].kmers, range);
+}
+
+std::vector<std::string> KmerFileSource::sample_names() const {
+  std::vector<std::string> names;
+  names.reserve(samples_.size());
+  for (const KmerSample& s : samples_) names.push_back(s.name);
+  return names;
+}
+
+}  // namespace sas::genome

@@ -1,0 +1,60 @@
+// kmer_source.hpp — adapters from k-mer samples to the core driver.
+//
+// The indicator matrix of GenomeAtScale has one row per possible k-mer
+// (m = 4ᵏ) and one column per sample (paper Table III); these sources
+// expose KmerSample sets through the core::SampleSource batch interface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sample_source.hpp"
+#include "genome/sample.hpp"
+
+namespace sas::genome {
+
+/// In-memory adapter over built samples.
+class KmerSampleSource final : public core::SampleSource {
+ public:
+  KmerSampleSource(int k, std::vector<KmerSample> samples);
+
+  [[nodiscard]] std::int64_t sample_count() const override {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  [[nodiscard]] std::int64_t attribute_universe() const override { return universe_; }
+  [[nodiscard]] std::vector<std::int64_t> values_in_range(
+      std::int64_t sample, distmat::BlockRange range) const override;
+
+  [[nodiscard]] const KmerSample& sample(std::int64_t i) const {
+    return samples_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::vector<std::string> sample_names() const;
+
+ private:
+  std::int64_t universe_;
+  std::vector<KmerSample> samples_;
+};
+
+/// File-backed adapter over GenomeAtScale sample files (sorted numeric
+/// representation, §IV). Files are parsed once at construction; range
+/// queries binary-search the sorted codes, matching the streaming batch
+/// reads of the paper's readFiles().
+class KmerFileSource final : public core::SampleSource {
+ public:
+  KmerFileSource(int k, const std::vector<std::string>& sample_paths);
+
+  [[nodiscard]] std::int64_t sample_count() const override {
+    return static_cast<std::int64_t>(samples_.size());
+  }
+  [[nodiscard]] std::int64_t attribute_universe() const override { return universe_; }
+  [[nodiscard]] std::vector<std::int64_t> values_in_range(
+      std::int64_t sample, distmat::BlockRange range) const override;
+
+  [[nodiscard]] std::vector<std::string> sample_names() const;
+
+ private:
+  std::int64_t universe_;
+  std::vector<KmerSample> samples_;
+};
+
+}  // namespace sas::genome

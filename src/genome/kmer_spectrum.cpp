@@ -1,0 +1,50 @@
+#include "genome/kmer_spectrum.hpp"
+
+#include <unordered_map>
+
+namespace sas::genome {
+
+std::int64_t KmerSpectrum::kept_at(std::int64_t threshold) const {
+  std::int64_t kept = 0;
+  for (const auto& [count, distinct] : histogram) {
+    if (count >= threshold) kept += distinct;
+  }
+  return kept;
+}
+
+KmerSpectrum build_spectrum(const std::vector<SequenceRecord>& records,
+                            const KmerCodec& codec) {
+  std::unordered_map<std::uint64_t, std::int64_t> counts;
+  for (const SequenceRecord& record : records) {
+    for (std::uint64_t code : codec.canonical_kmers(record.sequence)) ++counts[code];
+  }
+  KmerSpectrum spectrum;
+  spectrum.distinct_kmers = static_cast<std::int64_t>(counts.size());
+  for (const auto& [code, count] : counts) {
+    ++spectrum.histogram[count];
+    spectrum.total_kmers += count;
+  }
+  return spectrum;
+}
+
+int suggest_min_count(const KmerSpectrum& spectrum) {
+  // Walk the histogram in count order; the first valley is where the
+  // bucket size stops decreasing. Everything strictly below it is noise.
+  std::int64_t previous_count = -1;
+  std::int64_t previous_size = -1;
+  for (const auto& [count, size] : spectrum.histogram) {
+    if (previous_size >= 0) {
+      const bool contiguous = count == previous_count + 1;
+      if (!contiguous || size >= previous_size) {
+        // Rising again (or a gap, meaning the error peak ended): the
+        // valley is at the previous count's successor.
+        return static_cast<int>(previous_count + 1);
+      }
+    }
+    previous_count = count;
+    previous_size = size;
+  }
+  return 1;  // monotone decreasing or trivial spectrum: keep everything
+}
+
+}  // namespace sas::genome

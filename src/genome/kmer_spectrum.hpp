@@ -1,0 +1,44 @@
+// kmer_spectrum.hpp — k-mer count spectra and noise-threshold selection.
+//
+// The paper's corpora were preprocessed by dropping rare k-mers:
+// "minimum k-mer count thresholds were set based on the total sizes of
+// the raw sequencing read sets" (§V-A2, following [73]/[21]). This module
+// makes that step a first-class, testable operation: build the count
+// spectrum (histogram of k-mer multiplicities) of a read set and pick the
+// threshold at the spectrum's first valley — the classic separation point
+// between the error peak (low multiplicities, ~coverage·error·k noise
+// k-mers seen once or twice) and the genomic peak (~coverage).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "genome/fasta.hpp"
+#include "genome/kmer.hpp"
+
+namespace sas::genome {
+
+/// Count spectrum: spectrum[c] = number of distinct k-mers occurring
+/// exactly c times across the records.
+struct KmerSpectrum {
+  std::map<std::int64_t, std::int64_t> histogram;
+  std::int64_t distinct_kmers = 0;
+  std::int64_t total_kmers = 0;  ///< with multiplicity
+
+  /// Distinct k-mers with count >= threshold (what a min-count filter keeps).
+  [[nodiscard]] std::int64_t kept_at(std::int64_t threshold) const;
+};
+
+/// Build the spectrum of a record set under `codec`.
+[[nodiscard]] KmerSpectrum build_spectrum(const std::vector<SequenceRecord>& records,
+                                          const KmerCodec& codec);
+
+/// First-valley threshold: the smallest count c >= 2 where the histogram
+/// stops decreasing (the dip between the error peak and the coverage
+/// peak). Falls back to 1 (keep everything) when no valley exists —
+/// e.g. assembled genomes, where every k-mer occurs once and nothing
+/// should be dropped.
+[[nodiscard]] int suggest_min_count(const KmerSpectrum& spectrum);
+
+}  // namespace sas::genome

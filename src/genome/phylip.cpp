@@ -1,0 +1,54 @@
+#include "genome/phylip.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <stdexcept>
+
+namespace sas::genome {
+
+void write_phylip(std::ostream& out, const std::vector<std::string>& names,
+                  const std::vector<double>& distances, std::int64_t n) {
+  if (static_cast<std::int64_t>(names.size()) != n ||
+      static_cast<std::int64_t>(distances.size()) != n * n) {
+    throw std::invalid_argument("write_phylip: dimension mismatch");
+  }
+  out << n << '\n';
+  out << std::fixed << std::setprecision(6);
+  for (std::int64_t i = 0; i < n; ++i) {
+    out << names[static_cast<std::size_t>(i)];
+    for (std::int64_t j = 0; j < n; ++j) {
+      out << "  " << distances[static_cast<std::size_t>(i * n + j)];
+    }
+    out << '\n';
+  }
+}
+
+void write_phylip_file(const std::string& path, const std::vector<std::string>& names,
+                       const std::vector<double>& distances, std::int64_t n) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write PHYLIP file: " + path);
+  write_phylip(out, names, distances, n);
+}
+
+PhylipMatrix read_phylip(std::istream& in) {
+  PhylipMatrix matrix;
+  if (!(in >> matrix.n) || matrix.n < 1) {
+    throw std::runtime_error("read_phylip: bad sample count");
+  }
+  matrix.names.resize(static_cast<std::size_t>(matrix.n));
+  matrix.distances.resize(static_cast<std::size_t>(matrix.n * matrix.n));
+  for (std::int64_t i = 0; i < matrix.n; ++i) {
+    if (!(in >> matrix.names[static_cast<std::size_t>(i)])) {
+      throw std::runtime_error("read_phylip: truncated name row");
+    }
+    for (std::int64_t j = 0; j < matrix.n; ++j) {
+      if (!(in >> matrix.distances[static_cast<std::size_t>(i * matrix.n + j)])) {
+        throw std::runtime_error("read_phylip: truncated distance row");
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace sas::genome

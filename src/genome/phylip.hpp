@@ -1,0 +1,34 @@
+// phylip.hpp — PHYLIP distance-matrix output.
+//
+// The distance matrix D = 1 − S feeds downstream phylogenetics tools
+// (paper Fig. 1 steps 7–9); the PHYLIP square format is the lingua franca
+// those tools consume, keeping GenomeAtScale "seamlessly integrated into
+// existing analysis pipelines".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sas::genome {
+
+/// Write an n×n distance matrix in PHYLIP square format. Names longer
+/// than 10 characters are written in relaxed PHYLIP style (name, two
+/// spaces, values), which modern tools accept.
+void write_phylip(std::ostream& out, const std::vector<std::string>& names,
+                  const std::vector<double>& distances, std::int64_t n);
+
+void write_phylip_file(const std::string& path, const std::vector<std::string>& names,
+                       const std::vector<double>& distances, std::int64_t n);
+
+/// Parse a square PHYLIP matrix (inverse of write_phylip; used by tests).
+struct PhylipMatrix {
+  std::vector<std::string> names;
+  std::vector<double> distances;  ///< row-major n×n
+  std::int64_t n = 0;
+};
+
+[[nodiscard]] PhylipMatrix read_phylip(std::istream& in);
+
+}  // namespace sas::genome

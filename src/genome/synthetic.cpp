@@ -1,0 +1,113 @@
+#include "genome/synthetic.hpp"
+
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+#include "genome/alphabet.hpp"
+
+namespace sas::genome {
+
+std::string random_genome(std::int64_t length, Rng& rng) {
+  std::string genome(static_cast<std::size_t>(length), 'A');
+  for (char& base : genome) base = code_base(static_cast<int>(rng.uniform(4)));
+  return genome;
+}
+
+std::string mutate_point(const std::string& genome, double rate, Rng& rng) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("mutate_point: rate must be in [0, 1]");
+  }
+  std::string mutated = genome;
+  for (char& base : mutated) {
+    if (!rng.bernoulli(rate)) continue;
+    const int old_code = base_code(base);
+    if (old_code == kInvalidBase) continue;
+    // Substitute with one of the three other bases, uniformly.
+    const int shift = 1 + static_cast<int>(rng.uniform(3));
+    base = code_base((old_code + shift) & 3);
+  }
+  return mutated;
+}
+
+double expected_jaccard_after_mutation(int k, double rate) {
+  const double t = std::pow(1.0 - rate, k);
+  return t / (2.0 - t);
+}
+
+double mutation_rate_for_jaccard(int k, double jaccard) {
+  if (jaccard <= 0.0 || jaccard > 1.0) {
+    throw std::invalid_argument("mutation_rate_for_jaccard: jaccard must be in (0, 1]");
+  }
+  // Invert J = t/(2−t):  t = 2J/(1+J);  r = 1 − t^(1/k).
+  const double t = 2.0 * jaccard / (1.0 + jaccard);
+  return 1.0 - std::pow(t, 1.0 / static_cast<double>(k));
+}
+
+std::vector<SequenceRecord> simulate_reads(const std::string& genome, int read_length,
+                                           double coverage, double error_rate,
+                                           Rng& rng) {
+  if (read_length < 1 || static_cast<std::size_t>(read_length) > genome.size()) {
+    throw std::invalid_argument("simulate_reads: read_length out of range");
+  }
+  const auto genome_len = static_cast<double>(genome.size());
+  const auto read_count = static_cast<std::int64_t>(
+      std::ceil(coverage * genome_len / static_cast<double>(read_length)));
+  const std::uint64_t start_bound = genome.size() - static_cast<std::size_t>(read_length) + 1;
+
+  std::vector<SequenceRecord> reads;
+  reads.reserve(static_cast<std::size_t>(read_count));
+  for (std::int64_t i = 0; i < read_count; ++i) {
+    const auto start = static_cast<std::size_t>(rng.uniform(start_bound));
+    std::string bases = genome.substr(start, static_cast<std::size_t>(read_length));
+    for (char& base : bases) {
+      if (!rng.bernoulli(error_rate)) continue;
+      const int old_code = base_code(base);
+      if (old_code == kInvalidBase) continue;
+      const int shift = 1 + static_cast<int>(rng.uniform(3));
+      base = code_base((old_code + shift) & 3);
+    }
+    // Reads come from either strand with equal probability.
+    if (rng.bernoulli(0.5)) {
+      std::string rc(bases.rbegin(), bases.rend());
+      for (char& base : rc) base = complement_base(base);
+      bases = std::move(rc);
+    }
+    reads.push_back({"read_" + std::to_string(i), "", std::move(bases)});
+  }
+  return reads;
+}
+
+EvolvedPopulation evolve_population(const std::string& ancestor, int leaves,
+                                    double rate_per_branch, Rng& rng) {
+  if (leaves < 1) throw std::invalid_argument("evolve_population: need >= 1 leaf");
+
+  EvolvedPopulation pop;
+  // Grow a random binary tree by repeatedly splitting a frontier node.
+  // Node 0 is the root carrying the ancestor genome.
+  std::vector<std::string> genome_of_node{ancestor};
+  pop.parent.push_back(-1);
+  std::deque<int> frontier{0};
+  while (static_cast<int>(frontier.size()) < leaves) {
+    // Pick a random frontier node and split it into two mutated children.
+    const auto pick = static_cast<std::size_t>(rng.uniform(frontier.size()));
+    const int node = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<std::ptrdiff_t>(pick));
+    for (int child = 0; child < 2; ++child) {
+      const int id = static_cast<int>(pop.parent.size());
+      pop.parent.push_back(node);
+      genome_of_node.push_back(mutate_point(genome_of_node[static_cast<std::size_t>(node)],
+                                            rate_per_branch, rng));
+      frontier.push_back(id);
+    }
+  }
+  for (int node : frontier) {
+    const int leaf_index = static_cast<int>(pop.leaf_genomes.size());
+    pop.leaf_genomes.push_back(genome_of_node[static_cast<std::size_t>(node)]);
+    pop.leaf_names.push_back("leaf_" + std::to_string(leaf_index));
+    pop.node_of_leaf.push_back(node);
+  }
+  return pop;
+}
+
+}  // namespace sas::genome

@@ -1,0 +1,79 @@
+// bitvector.hpp — a compact dynamic bit vector over 64-bit words.
+//
+// Used by the bitmask-compression stage (paper §III-B technique 3): rows
+// of the filtered indicator matrix are packed b = 64 to a word, turning
+// the inner product into popcount(x ∧ y).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/popcount.hpp"
+
+namespace sas {
+
+class BitVector {
+ public:
+  static constexpr std::size_t kWordBits = 64;
+
+  BitVector() = default;
+
+  /// A vector of `bits` zero bits.
+  explicit BitVector(std::size_t bits)
+      : bits_(bits), words_((bits + kWordBits - 1) / kWordBits, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+  [[nodiscard]] std::size_t word_count() const noexcept { return words_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return bits_ == 0; }
+
+  void set(std::size_t i) noexcept {
+    words_[i / kWordBits] |= (1ULL << (i % kWordBits));
+  }
+
+  void clear(std::size_t i) noexcept {
+    words_[i / kWordBits] &= ~(1ULL << (i % kWordBits));
+  }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+  }
+
+  /// Grow to at least `bits` bits, preserving contents.
+  void resize(std::size_t bits) {
+    bits_ = bits;
+    words_.resize((bits + kWordBits - 1) / kWordBits, 0);
+  }
+
+  void reset() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return popcount_sum(words());
+  }
+
+  /// |this ∧ other| — intersection cardinality of two bit sets.
+  [[nodiscard]] std::uint64_t intersection_count(const BitVector& other) const noexcept {
+    return popcount_and_sum(words(), other.words());
+  }
+
+  [[nodiscard]] std::span<const std::uint64_t> words() const noexcept {
+    return {words_.data(), words_.size()};
+  }
+
+  [[nodiscard]] std::span<std::uint64_t> mutable_words() noexcept {
+    return {words_.data(), words_.size()};
+  }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sas

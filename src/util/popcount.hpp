@@ -1,0 +1,37 @@
+// popcount.hpp — hardware-assisted population counts.
+//
+// The SimilarityAtScale kernel computes sᵢⱼ = Σₖ popcount(aₖᵢ ∧ aₖⱼ)
+// (paper Eq. 7); these helpers are that kernel's innermost operations.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+
+namespace sas {
+
+/// Number of set bits in a single machine word.
+[[nodiscard]] constexpr int popcount64(std::uint64_t x) noexcept {
+  return std::popcount(x);
+}
+
+/// Σ popcount over a word span (used for column-cardinality vectors â).
+[[nodiscard]] inline std::uint64_t popcount_sum(std::span<const std::uint64_t> words) noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t w : words) total += static_cast<std::uint64_t>(std::popcount(w));
+  return total;
+}
+
+/// Σ popcount(x ∧ y) over two equal-length word spans — the intersection
+/// cardinality of two bit-packed columns. Callers guarantee equal sizes.
+[[nodiscard]] inline std::uint64_t popcount_and_sum(std::span<const std::uint64_t> x,
+                                                    std::span<const std::uint64_t> y) noexcept {
+  std::uint64_t total = 0;
+  const std::size_t len = x.size() < y.size() ? x.size() : y.size();
+  for (std::size_t i = 0; i < len; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(x[i] & y[i]));
+  }
+  return total;
+}
+
+}  // namespace sas

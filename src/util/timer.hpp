@@ -1,0 +1,87 @@
+// timer.hpp — wall-clock timing and batch-time statistics.
+//
+// The paper reports per-batch means with 95% confidence intervals under a
+// normality assumption (Fig. 2 caption); StatAccumulator reproduces that
+// reporting convention, including the warm-up skip (3 of 11 batches).
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace sas {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates sample values (e.g., per-batch times) and reports the
+/// mean, standard deviation, and a 95% normal confidence half-width —
+/// matching the paper's Fig. 2 reporting.
+class StatAccumulator {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sum_ += value;
+    sum_sq_ += value * value;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+
+  [[nodiscard]] double mean() const {
+    return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] double min() const {
+    double m = values_.empty() ? 0.0 : values_.front();
+    for (double v : values_) m = v < m ? v : m;
+    return m;
+  }
+
+  [[nodiscard]] double max() const {
+    double m = values_.empty() ? 0.0 : values_.front();
+    for (double v : values_) m = v > m ? v : m;
+    return m;
+  }
+
+  /// Sample standard deviation (n−1 denominator).
+  [[nodiscard]] double stddev() const {
+    const auto n = static_cast<double>(values_.size());
+    if (values_.size() < 2) return 0.0;
+    const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+
+  /// Half-width of the 95% confidence interval for the mean, assuming
+  /// normally distributed samples (z = 1.96), as in the paper.
+  [[nodiscard]] double ci95_halfwidth() const {
+    if (values_.size() < 2) return 0.0;
+    return 1.96 * stddev() / std::sqrt(static_cast<double>(values_.size()));
+  }
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+};
+
+}  // namespace sas

@@ -1,0 +1,380 @@
+// test_analysis.cpp — downstream analyses over Jaccard distances:
+// phylogenetic trees (Newick, cophenetic distances, neighbor joining with
+// exact recovery on additive matrices), hierarchical clustering with all
+// linkages, k-medoids, and proximity-based outlier scores.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/similarity_matrix.hpp"
+#include "analysis/clustering.hpp"
+#include "analysis/neighbor_joining.hpp"
+#include "analysis/phylo_tree.hpp"
+#include "analysis/similar_pairs.hpp"
+#include "analysis/upgma.hpp"
+#include "util/rng.hpp"
+
+namespace sas::analysis {
+namespace {
+
+// ------------------------------------------------------------- PhyloTree
+
+PhyloTree small_tree() {
+  // ((a:1,b:2):3,c:7);
+  PhyloTree tree;
+  const int root = tree.add_node();
+  const int inner = tree.add_node();
+  const int a = tree.add_node("a");
+  const int b = tree.add_node("b");
+  const int c = tree.add_node("c");
+  tree.link(root, inner, 3.0);
+  tree.link(inner, a, 1.0);
+  tree.link(inner, b, 2.0);
+  tree.link(root, c, 7.0);
+  return tree;
+}
+
+TEST(PhyloTree, NewickRendersStructure) {
+  const std::string newick = small_tree().to_newick();
+  EXPECT_EQ(newick, "((a:1.000000,b:2.000000):3.000000,c:7.000000);");
+}
+
+TEST(PhyloTree, LeavesAndRoot) {
+  const PhyloTree tree = small_tree();
+  EXPECT_EQ(tree.root(), 0);
+  const auto leaves = tree.leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  EXPECT_EQ(tree.node(leaves[0]).name, "a");
+}
+
+TEST(PhyloTree, CopheneticDistances) {
+  const auto d = small_tree().cophenetic_distances();
+  // leaf order: a, b, c
+  ASSERT_EQ(d.size(), 9u);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 1], 3.0);   // a-b: 1 + 2
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 2], 11.0);  // a-c: 1 + 3 + 7
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 2], 12.0);  // b-c: 2 + 3 + 7
+  EXPECT_DOUBLE_EQ(d[2 * 3 + 1], 12.0);  // symmetric
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+}
+
+TEST(PhyloTree, LinkRejectsDoubleParent) {
+  PhyloTree tree;
+  const int a = tree.add_node();
+  const int b = tree.add_node();
+  const int c = tree.add_node();
+  tree.link(a, b, 1.0);
+  EXPECT_THROW(tree.link(c, b, 1.0), std::logic_error);
+}
+
+// ------------------------------------------------------ neighbor joining
+
+TEST(NeighborJoining, TextbookFourTaxaExample) {
+  // Classic additive matrix; NJ must reproduce it exactly.
+  const std::vector<std::string> names{"a", "b", "c", "d"};
+  const std::vector<double> d{
+      0, 7, 11, 14,
+      7, 0, 6, 9,
+      11, 6, 0, 7,
+      14, 9, 7, 0};
+  const PhyloTree tree = neighbor_joining(d, names);
+  const auto leaves = tree.leaves();
+  const auto coph = tree.cophenetic_distances();
+  // Map leaf order back to input order.
+  std::map<std::string, std::size_t> pos;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    pos[tree.node(leaves[i]).name] = i;
+  }
+  const auto nl = static_cast<std::int64_t>(leaves.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      EXPECT_NEAR(coph[static_cast<std::size_t>(
+                      static_cast<std::int64_t>(pos[names[i]]) * nl +
+                      static_cast<std::int64_t>(pos[names[j]]))],
+                  d[i * 4 + j], 1e-9)
+          << names[i] << "-" << names[j];
+    }
+  }
+}
+
+/// Random additive matrices: generate a random tree with positive branch
+/// lengths, take its cophenetic matrix, and require exact recovery.
+class NjRecovery : public ::testing::TestWithParam<int> {};
+
+TEST_P(NjRecovery, RecoversAdditiveMatrices) {
+  const int leaves = GetParam();
+  Rng rng(static_cast<std::uint64_t>(leaves) * 17);
+
+  // Random caterpillar-ish tree through sequential joins.
+  PhyloTree truth;
+  std::vector<int> open;
+  for (int i = 0; i < leaves; ++i) {
+    open.push_back(truth.add_node("t" + std::to_string(i)));
+  }
+  while (open.size() > 1) {
+    const auto a = static_cast<std::size_t>(rng.uniform(open.size()));
+    std::size_t b = a;
+    while (b == a) b = static_cast<std::size_t>(rng.uniform(open.size()));
+    const int parent = truth.add_node();
+    truth.link(parent, open[a], 0.1 + rng.uniform_real());
+    truth.link(parent, open[b], 0.1 + rng.uniform_real());
+    std::vector<int> next;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      if (i != a && i != b) next.push_back(open[i]);
+    }
+    next.push_back(parent);
+    open = std::move(next);
+  }
+
+  const auto truth_leaves = truth.leaves();
+  std::vector<std::string> names;
+  for (int leaf : truth_leaves) names.push_back(truth.node(leaf).name);
+  const auto d = truth.cophenetic_distances();
+
+  const PhyloTree rebuilt = neighbor_joining(d, names);
+  const auto rebuilt_leaves = rebuilt.leaves();
+  const auto coph = rebuilt.cophenetic_distances();
+  std::map<std::string, std::size_t> pos;
+  for (std::size_t i = 0; i < rebuilt_leaves.size(); ++i) {
+    pos[rebuilt.node(rebuilt_leaves[i]).name] = i;
+  }
+  const auto nl = static_cast<std::int64_t>(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      EXPECT_NEAR(coph[static_cast<std::size_t>(
+                      static_cast<std::int64_t>(pos[names[i]]) * nl +
+                      static_cast<std::int64_t>(pos[names[j]]))],
+                  d[i * static_cast<std::size_t>(nl) + j], 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NjRecovery, ::testing::Values(2, 3, 4, 6, 9, 14));
+
+TEST(NeighborJoining, RejectsBadInput) {
+  EXPECT_THROW(neighbor_joining({0}, {"a"}), std::invalid_argument);
+  EXPECT_THROW(neighbor_joining({0, 1, 1}, {"a", "b"}), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- clustering
+
+/// Block-structured distances: two tight groups {0,1,2} and {3,4}, far apart.
+std::vector<double> planted_two_clusters() {
+  const std::int64_t n = 5;
+  std::vector<double> d(static_cast<std::size_t>(n * n), 0.9);
+  auto set = [&](std::int64_t i, std::int64_t j, double v) {
+    d[static_cast<std::size_t>(i * n + j)] = v;
+    d[static_cast<std::size_t>(j * n + i)] = v;
+  };
+  for (std::int64_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i * n + i)] = 0.0;
+  set(0, 1, 0.1);
+  set(0, 2, 0.15);
+  set(1, 2, 0.12);
+  set(3, 4, 0.05);
+  return d;
+}
+
+class LinkageTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageTest, RecoversPlantedClusters) {
+  const auto d = planted_two_clusters();
+  const auto merges = hierarchical_cluster(d, 5, GetParam());
+  ASSERT_EQ(merges.size(), 4u);
+  // Heights must be non-decreasing for these clean planted data.
+  for (std::size_t i = 1; i < merges.size(); ++i) {
+    EXPECT_GE(merges[i].height, merges[i - 1].height - 1e-12);
+  }
+  const auto labels = cut_dendrogram(merges, 5, 2);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Linkages, LinkageTest,
+                         ::testing::Values(Linkage::kSingle, Linkage::kComplete,
+                                           Linkage::kAverage));
+
+TEST(Clustering, SingleVsCompleteDifferOnChains) {
+  // Chain 0-1-2: single linkage merges the chain early, complete late.
+  const std::int64_t n = 4;
+  std::vector<double> d(static_cast<std::size_t>(n * n), 1.0);
+  auto set = [&](std::int64_t i, std::int64_t j, double v) {
+    d[static_cast<std::size_t>(i * n + j)] = v;
+    d[static_cast<std::size_t>(j * n + i)] = v;
+  };
+  for (std::int64_t i = 0; i < n; ++i) d[static_cast<std::size_t>(i * n + i)] = 0.0;
+  set(0, 1, 0.1);
+  set(1, 2, 0.2);
+  set(0, 2, 0.8);  // chain: 0 close to 1, 1 close to 2, 0 far from 2
+  const auto single = hierarchical_cluster(d, n, Linkage::kSingle);
+  const auto complete = hierarchical_cluster(d, n, Linkage::kComplete);
+  // Second merge height: single takes min(0.2, ...) = 0.2; complete 0.8.
+  EXPECT_NEAR(single[1].height, 0.2, 1e-12);
+  EXPECT_NEAR(complete[1].height, 0.8, 1e-12);
+}
+
+TEST(Clustering, CutToTrivialExtremes) {
+  const auto d = planted_two_clusters();
+  const auto merges = hierarchical_cluster(d, 5, Linkage::kAverage);
+  const auto one = cut_dendrogram(merges, 5, 1);
+  for (int label : one) EXPECT_EQ(label, 0);
+  const auto all = cut_dendrogram(merges, 5, 5);
+  std::set<int> distinct(all.begin(), all.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(Clustering, KMedoidsRecoversPlantedClusters) {
+  const auto d = planted_two_clusters();
+  const auto labels = k_medoids(d, 5, 2, /*seed=*/123);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(Clustering, KMedoidsValidatesArguments) {
+  const auto d = planted_two_clusters();
+  EXPECT_THROW(k_medoids(d, 5, 0, 1), std::invalid_argument);
+  EXPECT_THROW(k_medoids(d, 5, 6, 1), std::invalid_argument);
+}
+
+TEST(Outliers, FlagsTheIsolatedSample) {
+  // Sample 4 is far from everything; 0..3 are mutually close.
+  const std::int64_t n = 5;
+  std::vector<double> d(static_cast<std::size_t>(n * n), 0.1);
+  for (std::int64_t i = 0; i < n; ++i) {
+    d[static_cast<std::size_t>(i * n + i)] = 0.0;
+    d[static_cast<std::size_t>(i * n + 4)] = 0.95;
+    d[static_cast<std::size_t>(4 * n + i)] = 0.95;
+  }
+  d[static_cast<std::size_t>(4 * n + 4)] = 0.0;
+  const auto scores = knn_outlier_scores(d, n, 2);
+  for (int i = 0; i < 4; ++i) EXPECT_LT(scores[static_cast<std::size_t>(i)], scores[4]);
+}
+
+TEST(Outliers, ValidatesNeighborCount) {
+  const auto d = planted_two_clusters();
+  EXPECT_THROW(knn_outlier_scores(d, 5, 0), std::invalid_argument);
+  EXPECT_THROW(knn_outlier_scores(d, 5, 5), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ UPGMA
+
+TEST(Upgma, RecoversUltrametricMatricesExactly) {
+  // Ultrametric input: cophenetic distance = merge height. ((a,b),(c,d))
+  // with heights 0.2 for {a,b}, 0.3 for {c,d}, 0.8 at the root.
+  const std::vector<std::string> names{"a", "b", "c", "d"};
+  const std::vector<double> d{
+      0.0, 0.2, 0.8, 0.8,
+      0.2, 0.0, 0.8, 0.8,
+      0.8, 0.8, 0.0, 0.3,
+      0.8, 0.8, 0.3, 0.0};
+  const PhyloTree tree = upgma(d, names);
+  const auto leaves = tree.leaves();
+  const auto coph = tree.cophenetic_distances();
+  std::map<std::string, std::size_t> pos;
+  for (std::size_t i = 0; i < leaves.size(); ++i) pos[tree.node(leaves[i]).name] = i;
+  const auto nl = static_cast<std::int64_t>(leaves.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = 0; j < names.size(); ++j) {
+      EXPECT_NEAR(coph[static_cast<std::size_t>(
+                      static_cast<std::int64_t>(pos[names[i]]) * nl +
+                      static_cast<std::int64_t>(pos[names[j]]))],
+                  d[i * 4 + j], 1e-12);
+    }
+  }
+}
+
+TEST(Upgma, TreesAreUltrametric) {
+  // Every leaf must sit at the same distance from the root, even on
+  // non-ultrametric input (UPGMA's molecular-clock assumption).
+  Rng rng(99);
+  const std::int64_t n = 7;
+  std::vector<double> d(static_cast<std::size_t>(n * n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double v = 0.1 + rng.uniform_real();
+      d[static_cast<std::size_t>(i * n + j)] = v;
+      d[static_cast<std::size_t>(j * n + i)] = v;
+    }
+  }
+  std::vector<std::string> names;
+  for (std::int64_t i = 0; i < n; ++i) names.push_back("t" + std::to_string(i));
+  const PhyloTree tree = upgma(d, names);
+
+  std::vector<double> to_root(static_cast<std::size_t>(tree.node_count()), 0.0);
+  for (int pass = 0; pass < tree.node_count(); ++pass) {
+    for (int i = 0; i < tree.node_count(); ++i) {
+      if (tree.node(i).parent != -1) {
+        to_root[static_cast<std::size_t>(i)] =
+            to_root[static_cast<std::size_t>(tree.node(i).parent)] +
+            tree.node(i).branch_length;
+      }
+    }
+  }
+  const auto leaves = tree.leaves();
+  for (std::size_t i = 1; i < leaves.size(); ++i) {
+    EXPECT_NEAR(to_root[static_cast<std::size_t>(leaves[i])],
+                to_root[static_cast<std::size_t>(leaves[0])], 1e-9);
+  }
+}
+
+TEST(Upgma, SingleTaxonAndValidation) {
+  const PhyloTree tree = upgma({0.0}, {"only"});
+  EXPECT_EQ(tree.leaves().size(), 1u);
+  EXPECT_THROW((void)upgma({}, {}), std::invalid_argument);
+  EXPECT_THROW((void)upgma({0.0, 1.0}, {"a", "b"}), std::invalid_argument);
+}
+
+// ---------------------------------------------------- similar-pair queries
+
+core::SimilarityMatrix toy_similarity() {
+  // 4 samples: (0,1) most similar, then (2,3), then the cross pairs.
+  return core::SimilarityMatrix(
+      4, {1.0, 0.9, 0.1, 0.2,
+          0.9, 1.0, 0.3, 0.1,
+          0.1, 0.3, 1.0, 0.8,
+          0.2, 0.1, 0.8, 1.0});
+}
+
+TEST(SimilarPairs, TopKOrdersDescending) {
+  const auto pairs = top_k_pairs(toy_similarity(), 3);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].a, 0);
+  EXPECT_EQ(pairs[0].b, 1);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 0.9);
+  EXPECT_EQ(pairs[1].a, 2);
+  EXPECT_EQ(pairs[1].b, 3);
+  EXPECT_DOUBLE_EQ(pairs[2].similarity, 0.3);
+}
+
+TEST(SimilarPairs, TopKClampsAndValidates) {
+  EXPECT_EQ(top_k_pairs(toy_similarity(), 100).size(), 6u);  // all pairs
+  EXPECT_EQ(top_k_pairs(toy_similarity(), 0).size(), 0u);
+  EXPECT_THROW((void)top_k_pairs(toy_similarity(), -1), std::invalid_argument);
+}
+
+TEST(SimilarPairs, ThresholdFiltersInclusively) {
+  const auto pairs = pairs_above(toy_similarity(), 0.8);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_DOUBLE_EQ(pairs[0].similarity, 0.9);
+  EXPECT_DOUBLE_EQ(pairs[1].similarity, 0.8);
+  EXPECT_TRUE(pairs_above(toy_similarity(), 0.95).empty());
+}
+
+TEST(SimilarPairs, NearestNeighboursOfAQuery) {
+  const auto nn = nearest_neighbours(toy_similarity(), 2, 2);
+  ASSERT_EQ(nn.size(), 2u);
+  // Sample 2's closest is 3 (0.8), then 1 (0.3).
+  EXPECT_EQ(nn[0].b, 3);
+  EXPECT_DOUBLE_EQ(nn[0].similarity, 0.8);
+  EXPECT_DOUBLE_EQ(nn[1].similarity, 0.3);
+  EXPECT_THROW((void)nearest_neighbours(toy_similarity(), 9, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sas::analysis

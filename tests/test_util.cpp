@@ -1,0 +1,216 @@
+// test_util.cpp — unit tests for the util substrate: hashing, popcount,
+// bit vectors, RNG, statistics, text tables, and CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/bitvector.hpp"
+#include "util/hashing.hpp"
+#include "util/popcount.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace sas {
+namespace {
+
+TEST(Hashing, Splitmix64IsDeterministicAndDispersive) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) seen.insert(splitmix64(i));
+  EXPECT_EQ(seen.size(), 1000u);  // invertible mixer: no collisions
+}
+
+TEST(Hashing, HashBytesDistinguishesStrings) {
+  EXPECT_NE(hash_bytes("ACGT"), hash_bytes("TGCA"));
+  EXPECT_EQ(hash_bytes(""), hash_bytes(""));
+  EXPECT_NE(hash_bytes("a"), hash_bytes("b"));
+}
+
+TEST(Hashing, FamilyMembersDecorrelate) {
+  const HashFamily h1(1);
+  const HashFamily h2(2);
+  int agreements = 0;
+  for (std::uint64_t x = 0; x < 512; ++x) {
+    if ((h1(x) & 0xff) == (h2(x) & 0xff)) ++agreements;
+  }
+  // Chance agreement on the low byte is ~1/256; allow generous slack.
+  EXPECT_LT(agreements, 20);
+}
+
+TEST(Hashing, HashCombineOrderDependent) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2), hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(Popcount, WordAndSpanSums) {
+  EXPECT_EQ(popcount64(0), 0);
+  EXPECT_EQ(popcount64(~0ULL), 64);
+  EXPECT_EQ(popcount64(0b1011), 3);
+  const std::vector<std::uint64_t> words{0xffULL, 0x1ULL, 0x0ULL};
+  EXPECT_EQ(popcount_sum(words), 9u);
+}
+
+TEST(Popcount, AndSumIsIntersection) {
+  const std::vector<std::uint64_t> a{0b1100, 0b1111};
+  const std::vector<std::uint64_t> b{0b1010, 0b0110};
+  EXPECT_EQ(popcount_and_sum(a, b), 1u + 2u);
+}
+
+TEST(BitVector, SetTestClearCount) {
+  BitVector bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  EXPECT_EQ(bits.word_count(), 3u);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(1));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.clear(64);
+  EXPECT_FALSE(bits.test(64));
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(BitVector, IntersectionCount) {
+  BitVector a(200);
+  BitVector b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 200; i += 5) b.set(i);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < 200; i += 15) ++expected;
+  EXPECT_EQ(a.intersection_count(b), expected);
+}
+
+TEST(BitVector, ResizePreservesContents) {
+  BitVector bits(10);
+  bits.set(7);
+  bits.resize(500);
+  EXPECT_TRUE(bits.test(7));
+  EXPECT_FALSE(bits.test(400));
+  bits.set(400);
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  Rng c(8);
+  bool all_equal = true;
+  bool any_diff_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a();
+    all_equal = all_equal && (va == b());
+    any_diff_c = any_diff_c || (va != c());
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_c);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(4);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform_real();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng rng(6);
+  Rng f1 = rng.fork(1);
+  Rng f2 = rng.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (f1() == f2()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Stats, MeanStdDevCi) {
+  StatAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_NEAR(acc.ci95_halfwidth(), 1.96 * acc.stddev() / std::sqrt(8.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, EmptyAndSingle) {
+  StatAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.add(3.5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.ci95_halfwidth(), 0.0);
+}
+
+TEST(Table, AlignsColumnsAndValidatesArity) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  const std::string rendered = table.str();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("22222"), std::string::npos);
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_count(446506), "446,506");
+  EXPECT_EQ(fmt_count(7), "7");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_NE(fmt_bytes(1.8e12).find("TB"), std::string::npos);
+  EXPECT_NE(fmt_duration(42.14).find("s"), std::string::npos);
+  EXPECT_NE(fmt_duration(24.95 * 3600).find("h"), std::string::npos);
+  EXPECT_NE(fmt_duration(3.0 * 86400).find("d"), std::string::npos);
+}
+
+TEST(Args, ParsesNamedPositionalAndFlags) {
+  const char* argv[] = {"prog",   "--nodes", "32",   "input.fa", "--batches=64",
+                        "--verbose", "--ratio", "0.5"};
+  const ArgParser args(8, argv);
+  EXPECT_EQ(args.get_int("nodes", 0), 32);
+  EXPECT_EQ(args.get_int("batches", 0), 64);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+  EXPECT_DOUBLE_EQ(args.get_double("ratio", 0.0), 0.5);
+  EXPECT_EQ(args.get_string("missing", "fallback"), "fallback");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input.fa");
+  EXPECT_EQ(args.program_name(), "prog");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer timer;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.seconds(), 0.0);
+  EXPECT_GE(sink, 0.0);  // keeps the timed loop observable
+  EXPECT_GE(timer.milliseconds(), timer.seconds());
+}
+
+}  // namespace
+}  // namespace sas

@@ -1,0 +1,252 @@
+// gas — the GenomeAtScale command-line tool.
+//
+// The paper ships GenomeAtScale as a tool that "maintains compatibility
+// with standard bioinformatics data formats" so it can be "seamlessly
+// integrated into existing analysis pipelines" (§IV, §VII). This binary
+// is that tool: Mash-style subcommands over FASTA/FASTQ inputs, sample
+// files, PHYLIP matrices, and Newick trees.
+//
+//   gas sketch   <in.fa|in.fq> ... --k 31 --min-count 1 --out-dir DIR
+//       Extract canonical k-mer sets ("sorted numerical representation",
+//       §IV) from sequence files, one .kmers sample file per input.
+//
+//   gas dist     <a.kmers> <b.kmers> ... --ranks 8 --batches 16
+//                [--phylip out.phylip] [--algorithm summa|ring|serial]
+//                [--replication c] [--bits b] [--no-filter]
+//       All-pairs exact Jaccard via the distributed SimilarityAtScale
+//       pipeline; prints the distance matrix and optionally writes
+//       PHYLIP for downstream tools.
+//
+//   gas tree     <dist.phylip> [--out tree.nwk]
+//       Neighbor-joining tree from a PHYLIP distance matrix (Fig. 1
+//       steps 7/9: phylogenies and MSA guide trees).
+//
+//   gas simulate --samples 8 --length 20000 --rate 0.01 --out-dir DIR
+//                [--reads] [--coverage 20] [--error 0.003]
+//       Synthetic corpus generator (mutated relatives of one ancestor,
+//       optionally as noisy sequencing reads) for testing pipelines.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/neighbor_joining.hpp"
+#include "analysis/similar_pairs.hpp"
+#include "analysis/upgma.hpp"
+#include "core/config.hpp"
+#include "core/matrix_io.hpp"
+#include "genome/genome_at_scale.hpp"
+#include "genome/kmer_source.hpp"
+#include "genome/kmer_spectrum.hpp"
+#include "genome/phylip.hpp"
+#include "genome/synthetic.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace fs = std::filesystem;
+using namespace sas;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: gas <sketch|dist|tree|simulate> [args...]\n"
+               "  gas sketch <seq files...> --k 31 [--min-count 1 | --auto-threshold]\n"
+               "           [--fastq] [--out-dir .]\n"
+               "  gas dist <sample files...> --k 31 [--ranks 8] [--batches 16]\n"
+               "           [--phylip out] [--similarity-out out.sasm] [--tsv out.tsv]\n"
+               "           [--top N | --threshold J] [--algorithm summa|ring|serial]\n"
+               "           [--replication 1] [--bits 64] [--no-filter]\n"
+               "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
+               "  gas simulate --samples 8 --length 20000 --rate 0.01 "
+               "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n");
+  return 2;
+}
+
+std::string stem_of(const std::string& path) {
+  return fs::path(path).stem().string();
+}
+
+int cmd_sketch(const ArgParser& args) {
+  if (args.positional().size() < 2) return usage();
+  const int k = static_cast<int>(args.get_int("k", 31));
+  const bool fastq = args.get_bool("fastq", false);
+  const bool auto_threshold = args.get_bool("auto-threshold", false);
+  const fs::path out_dir = args.get_string("out-dir", ".");
+  fs::create_directories(out_dir);
+
+  const genome::KmerCodec codec(k);
+  for (std::size_t i = 1; i < args.positional().size(); ++i) {
+    const std::string& path = args.positional()[i];
+    const auto records = fastq ? genome::read_fastq_file(path)
+                               : genome::read_fasta_file(path);
+    // Noise threshold: explicit --min-count, or the per-sample spectrum
+    // valley when --auto-threshold is given (paper §V-A2 preprocessing).
+    int min_count = static_cast<int>(args.get_int("min-count", 1));
+    if (auto_threshold) {
+      min_count = genome::suggest_min_count(genome::build_spectrum(records, codec));
+    }
+    const auto sample = genome::build_sample(stem_of(path), records, codec, min_count);
+    const fs::path out = out_dir / (stem_of(path) + ".kmers");
+    genome::write_sample_file(out.string(), sample);
+    std::printf("%s: %lld canonical %d-mers (min count %d%s) -> %s\n", path.c_str(),
+                static_cast<long long>(sample.size()), k, min_count,
+                auto_threshold ? ", auto" : "", out.string().c_str());
+  }
+  return 0;
+}
+
+int cmd_dist(const ArgParser& args) {
+  if (args.positional().size() < 3) {
+    std::fprintf(stderr, "gas dist: need at least two sample files\n");
+    return 2;
+  }
+  const int k = static_cast<int>(args.get_int("k", 31));
+  genome::GenomeAtScaleOptions options;
+  options.k = k;
+  options.ranks = static_cast<int>(args.get_int("ranks", 8));
+  options.core.batch_count = args.get_int("batches", 16);
+  options.core.bit_width = static_cast<int>(args.get_int("bits", 64));
+  options.core.replication = static_cast<int>(args.get_int("replication", 1));
+  options.core.use_zero_row_filter = !args.get_bool("no-filter", false);
+  const std::string algorithm = args.get_string("algorithm", "summa");
+  if (algorithm == "ring") {
+    options.core.algorithm = core::Algorithm::kRing1D;
+  } else if (algorithm == "serial") {
+    options.core.algorithm = core::Algorithm::kSerial;
+  } else if (algorithm == "summa") {
+    options.core.algorithm = core::Algorithm::kSumma;
+  } else {
+    std::fprintf(stderr, "gas dist: unknown --algorithm '%s'\n", algorithm.c_str());
+    return 2;
+  }
+
+  std::vector<std::string> paths(args.positional().begin() + 1, args.positional().end());
+  const genome::KmerFileSource source(k, paths);
+  core::Result result = core::similarity_at_scale_threaded(options.ranks, source,
+                                                           options.core);
+  const auto names = source.sample_names();
+  const auto n = result.n;
+
+  if (args.has("top") || args.has("threshold")) {
+    // Similar-sample discovery (paper Fig. 1 step 8): only the most
+    // related pairs instead of the full quadratic listing.
+    std::vector<analysis::ScoredPair> pairs;
+    if (args.has("top")) {
+      pairs = analysis::top_k_pairs(result.similarity, args.get_int("top", 10));
+    } else {
+      pairs = analysis::pairs_above(result.similarity,
+                                    args.get_double("threshold", 0.9));
+    }
+    TextTable table({"sample A", "sample B", "Jaccard", "distance"});
+    for (const auto& pair : pairs) {
+      table.add_row({names[static_cast<std::size_t>(pair.a)],
+                     names[static_cast<std::size_t>(pair.b)],
+                     fmt_fixed(pair.similarity, 6),
+                     fmt_fixed(1.0 - pair.similarity, 6)});
+    }
+    table.print();
+  } else {
+    TextTable table({"sample A", "sample B", "Jaccard", "distance"});
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        table.add_row({names[static_cast<std::size_t>(i)],
+                       names[static_cast<std::size_t>(j)],
+                       fmt_fixed(result.similarity.similarity(i, j), 6),
+                       fmt_fixed(result.similarity.distance(i, j), 6)});
+      }
+    }
+    table.print();
+  }
+
+  if (args.has("phylip")) {
+    const std::string out = args.get_string("phylip", "distances.phylip");
+    genome::write_phylip_file(out, names, result.similarity.distance_matrix(), n);
+    std::printf("\nPHYLIP matrix written to %s\n", out.c_str());
+  }
+  if (args.has("similarity-out")) {
+    const std::string out = args.get_string("similarity-out", "similarity.sasm");
+    core::write_similarity_binary_file(out, names, result.similarity);
+    std::printf("Binary similarity matrix written to %s\n", out.c_str());
+  }
+  if (args.has("tsv")) {
+    const std::string out_path = args.get_string("tsv", "similarity.tsv");
+    std::ofstream tsv(out_path);
+    core::write_similarity_tsv(tsv, names, result.similarity);
+    std::printf("TSV similarity matrix written to %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+int cmd_tree(const ArgParser& args) {
+  if (args.positional().size() != 2) return usage();
+  std::ifstream in(args.positional()[1]);
+  if (!in) {
+    std::fprintf(stderr, "gas tree: cannot open %s\n", args.positional()[1].c_str());
+    return 1;
+  }
+  const genome::PhylipMatrix matrix = genome::read_phylip(in);
+  const std::string method = args.get_string("method", "nj");
+  analysis::PhyloTree tree;
+  if (method == "nj") {
+    tree = analysis::neighbor_joining(matrix.distances, matrix.names);
+  } else if (method == "upgma") {
+    tree = analysis::upgma(matrix.distances, matrix.names);
+  } else {
+    std::fprintf(stderr, "gas tree: unknown --method '%s' (nj|upgma)\n", method.c_str());
+    return 2;
+  }
+  const std::string newick = tree.to_newick();
+  if (args.has("out")) {
+    std::ofstream out(args.get_string("out", "tree.nwk"));
+    out << newick << '\n';
+    std::printf("Newick tree written to %s\n", args.get_string("out", "tree.nwk").c_str());
+  } else {
+    std::printf("%s\n", newick.c_str());
+  }
+  return 0;
+}
+
+int cmd_simulate(const ArgParser& args) {
+  const auto n_samples = args.get_int("samples", 8);
+  const auto length = args.get_int("length", 20000);
+  const double rate = args.get_double("rate", 0.01);
+  const bool as_reads = args.get_bool("reads", false);
+  const double coverage = args.get_double("coverage", 20.0);
+  const double error = args.get_double("error", 0.003);
+  const fs::path out_dir = args.get_string("out-dir", ".");
+  fs::create_directories(out_dir);
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  const std::string ancestor = genome::random_genome(length, rng);
+  for (std::int64_t i = 0; i < n_samples; ++i) {
+    const std::string individual =
+        i == 0 ? ancestor : genome::mutate_point(ancestor, rate, rng);
+    const std::string name = "sample" + std::to_string(i);
+    std::vector<genome::SequenceRecord> records;
+    if (as_reads) {
+      records = genome::simulate_reads(individual, 100, coverage, error, rng);
+    } else {
+      records = {{name, "simulated genome", individual}};
+    }
+    const fs::path out = out_dir / (name + ".fa");
+    genome::write_fasta_file(out.string(), records);
+    std::printf("%s: %zu record(s), %lld bp genome\n", out.string().c_str(),
+                records.size(), static_cast<long long>(length));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  if (args.positional().empty()) return usage();
+  const std::string& command = args.positional()[0];
+  if (command == "sketch") return cmd_sketch(args);
+  if (command == "dist") return cmd_dist(args);
+  if (command == "tree") return cmd_tree(args);
+  if (command == "simulate") return cmd_simulate(args);
+  return usage();
+}
