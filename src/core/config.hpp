@@ -35,6 +35,18 @@ struct Config {
   /// Disabling it (ablation) packs raw row ids, wasting mask bits on
   /// hypersparse inputs.
   bool use_zero_row_filter = true;
+
+  /// Ring schedule (Algorithm::kRing1D only): post the panel rotation
+  /// send before the local multiply so transfer overlaps compute.
+  /// Disabling it (ablation) restores the synchronous send-after-compute
+  /// ring that serializes rotation with the multiply.
+  bool ring_overlap = true;
+
+  /// Worker threads per rank for the SpGEMM tile accumulation (1 = run
+  /// inline). Only engages on output blocks whose multiply work clears
+  /// the kernel's spawn threshold; leave at 1 when rank threads already
+  /// oversubscribe the cores (the scaling benches do).
+  int kernel_threads = 1;
 };
 
 }  // namespace sas::core

@@ -100,6 +100,11 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
     const std::int64_t h = packed.word_rows;
     const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
 
+    // Kernel tuning shared by all schedules: CSR panels are built once
+    // per redistributed batch (not re-derived per ring step / SUMMA
+    // stage), and large output blocks may thread the tile accumulation.
+    const distmat::CsrAtaOptions kernel_options{config.kernel_threads, 0};
+
     switch (config.algorithm) {
       case Algorithm::kSerial: {
         auto merged = distmat::redistribute_triplets(
@@ -108,8 +113,9 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
             [](std::uint64_t a, std::uint64_t b) { return a | b; });
         if (world.rank() == 0) {
           SparseBlock block{h, n, std::move(merged)};
-          distmat::popcount_join_accumulate(block.entries, block.entries, 0, 0,
-                                            *b_block, &world.counters());
+          const distmat::CsrPanel panel = distmat::CsrPanel::from_block(block);
+          distmat::csr_popcount_ata_accumulate(panel, panel, 0, 0, *b_block,
+                                               &world.counters(), kernel_options);
           distmat::accumulate_column_popcounts(block, 0, ahat);
         }
         break;
@@ -124,7 +130,11 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
         // Localize columns to this rank's panel; rows stay global.
         for (auto& t : merged) t.col -= my_cols.begin;
         SparseBlock panel{h, my_cols.size(), std::move(merged)};
-        distmat::ring_ata_accumulate(world, n, panel, *b_block);
+        distmat::ring_ata_accumulate(world, n, panel, *b_block,
+                                     config.ring_overlap
+                                         ? distmat::RingSchedule::kOverlapped
+                                         : distmat::RingSchedule::kSynchronous,
+                                     kernel_options);
         distmat::accumulate_column_popcounts(panel, my_cols.begin, ahat);
         break;
       }
@@ -147,7 +157,7 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
             t.col -= my_cols.begin;
           }
           SparseBlock block{chunk.size(), my_cols.size(), std::move(merged)};
-          distmat::summa_ata_accumulate(*grid, block, *b_block);
+          distmat::summa_ata_accumulate(*grid, block, *b_block, kernel_options);
           distmat::accumulate_column_popcounts(block, my_cols.begin, ahat);
         }
         break;

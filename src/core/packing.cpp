@@ -19,8 +19,11 @@ PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
 
   // (1) Read this rank's samples restricted to the batch; store row
   // offsets relative to the batch start.
+  const auto my_sample_count = static_cast<std::size_t>(rank < n ? (n - rank + p - 1) / p : 0);
   std::vector<std::int64_t> my_samples;
   std::vector<std::vector<std::int64_t>> my_offsets;
+  my_samples.reserve(my_sample_count);
+  my_offsets.reserve(my_sample_count);
   for (std::int64_t i = rank; i < n; i += p) {
     std::vector<std::int64_t> values = source.values_in_range(i, rows);
     for (std::int64_t& v : values) v -= rows.begin;
@@ -46,6 +49,10 @@ PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
   // (3) Compact and pack: consecutive compacted rows of one sample that
   // share a word are OR-merged as they stream by (offsets are sorted, and
   // the compaction map is monotone, so same-word runs are contiguous).
+  // One packed triplet is emitted per (sample, word) run — up to b× fewer
+  // than the raw offsets, so amortized growth beats reserving the loose
+  // offset-count bound (which would pin up to 64× the needed capacity for
+  // the batch's lifetime).
   const std::span<const std::int64_t> filter_span(filter);
   for (std::size_t s = 0; s < my_samples.size(); ++s) {
     const std::int64_t col = my_samples[s];

@@ -35,6 +35,15 @@ struct DenseBlock {
     return values[static_cast<std::size_t>(r * col_range.size() + c)];
   }
 
+  /// Raw pointer to the start of local row r — the accumulator row handed
+  /// to the unrolled popcount kernels (which index it by local column).
+  [[nodiscard]] T* row_data(std::int64_t r) noexcept {
+    return values.data() + static_cast<std::size_t>(r * col_range.size());
+  }
+  [[nodiscard]] const T* row_data(std::int64_t r) const noexcept {
+    return values.data() + static_cast<std::size_t>(r * col_range.size());
+  }
+
   [[nodiscard]] T& at_global(std::int64_t r, std::int64_t c) noexcept {
     return at_local(r - row_range.begin, c - col_range.begin);
   }

@@ -1,7 +1,10 @@
 #include "distmat/spgemm.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 #include "util/popcount.hpp"
 
@@ -46,14 +49,220 @@ void popcount_join_accumulate(std::span<const Triplet<std::uint64_t>> L,
   if (counters != nullptr) counters->flops += flops;
 }
 
+namespace {
+
+/// Word-rows present in both panels — a two-pointer merge over the two
+/// sorted occupied-row lists, O(occupied_L + occupied_N) regardless of
+/// the nominal row space (which is ~10¹² in the unfiltered hypersparse
+/// regime) — plus the exact multiply work they imply (Σ nnz_L·nnz_N over
+/// matches; every (a, b) pair is processed exactly once across all tiles
+/// and threads, so this is the γ contribution).
+struct CommonRow {
+  std::int64_t l_index;  ///< occupied-row index into L
+  std::int64_t n_index;  ///< occupied-row index into N
+};
+
+struct CommonRows {
+  std::vector<CommonRow> rows;
+  std::uint64_t flops = 0;
+};
+
+CommonRows find_common_rows(const CsrPanel& L, const CsrPanel& N) {
+  CommonRows common;
+  std::int64_t kl = 0;
+  std::int64_t kn = 0;
+  while (kl < L.occupied() && kn < N.occupied()) {
+    const std::int64_t lr = L.row_id(kl);
+    const std::int64_t nr = N.row_id(kn);
+    if (lr < nr) {
+      ++kl;
+    } else if (nr < lr) {
+      ++kn;
+    } else {
+      common.rows.push_back({kl, kn});
+      common.flops += static_cast<std::uint64_t>(L.row_nnz(kl)) *
+                      static_cast<std::uint64_t>(N.row_nnz(kn));
+      ++kl;
+      ++kn;
+    }
+  }
+  return common;
+}
+
+/// Accumulate the contribution of N columns [col_begin, col_end) into
+/// `out`, tile by tile. Per-row cursors start at the first N entry with
+/// column ≥ col_begin (one binary search per common row) and advance
+/// monotonically through the row, so each N entry in the range is
+/// visited exactly once regardless of the tile width. Thread-safe for
+/// disjoint column ranges: all writes land in out columns
+/// [n_col_base + col_begin, n_col_base + col_end).
+void accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
+                             std::span<const CommonRow> common_rows,
+                             std::int64_t l_col_base, std::int64_t n_col_base,
+                             std::int64_t col_begin, std::int64_t col_end,
+                             std::int64_t tile_cols, DenseBlock<std::int64_t>& out) {
+  const std::int64_t* const ncols = N.col_idx.data();
+  const std::uint64_t* const nvals = N.values.data();
+  const std::int64_t* const lcols = L.col_idx.data();
+  const std::uint64_t* const lvals = L.values.data();
+
+  std::vector<std::int64_t> cursor(common_rows.size());
+  for (std::size_t idx = 0; idx < common_rows.size(); ++idx) {
+    const std::int64_t k = common_rows[idx].n_index;
+    cursor[idx] = std::lower_bound(ncols + N.row_begin(k), ncols + N.row_end(k),
+                                   col_begin) -
+                  ncols;
+  }
+
+  for (std::int64_t tile = col_begin; tile < col_end; tile += tile_cols) {
+    const std::int64_t tile_end = std::min(col_end, tile + tile_cols);
+    for (std::size_t idx = 0; idx < common_rows.size(); ++idx) {
+      const std::int64_t b = cursor[idx];
+      const std::int64_t row_end = N.row_end(common_rows[idx].n_index);
+      std::int64_t e = b;
+      while (e < row_end && ncols[e] < tile_end) ++e;
+      cursor[idx] = e;
+      const auto count = static_cast<std::size_t>(e - b);
+      if (count == 0) continue;
+      const std::int64_t la = L.row_begin(common_rows[idx].l_index);
+      const std::int64_t le = L.row_end(common_rows[idx].l_index);
+      // Register-block four L entries per pass: each (col, mask) of the
+      // N segment is loaded once and scattered into four output rows.
+      std::int64_t a = la;
+      for (; a + 4 <= le; a += 4) {
+        auto* const acc0 = out.row_data(l_col_base + lcols[a]) + n_col_base;
+        auto* const acc1 = out.row_data(l_col_base + lcols[a + 1]) + n_col_base;
+        auto* const acc2 = out.row_data(l_col_base + lcols[a + 2]) + n_col_base;
+        auto* const acc3 = out.row_data(l_col_base + lcols[a + 3]) + n_col_base;
+        popcount_and_scatter_4(lvals[a], lvals[a + 1], lvals[a + 2], lvals[a + 3],
+                               ncols + b, nvals + b, count, acc0, acc1, acc2, acc3);
+      }
+      for (; a < le; ++a) {
+        std::int64_t* const acc = out.row_data(l_col_base + lcols[a]) + n_col_base;
+        popcount_and_scatter(lvals[a], ncols + b, nvals + b, count, acc);
+      }
+    }
+  }
+}
+
+/// Dense path worker: every output cell (i, j) for j in [j_begin, j_end)
+/// is one streaming popcount dot product — no scatter stores, so the
+/// kernel runs at vector popcount throughput instead of the one
+/// store-per-madd ceiling of the scatter loop.
+void dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_cols,
+                            const DenseColumnPanel& nd, std::int64_t j_begin,
+                            std::int64_t j_end, std::int64_t l_col_base,
+                            std::int64_t n_col_base, DenseBlock<std::int64_t>& out) {
+  const std::int64_t words = ld.words;
+  for (std::int64_t i = 0; i < l_cols; ++i) {
+    const std::uint64_t* const lcol = ld.column(i);
+    std::int64_t* const row = out.row_data(l_col_base + i) + n_col_base;
+    for (std::int64_t j = j_begin; j < j_end; ++j) {
+      row[j] += static_cast<std::int64_t>(
+          popcount_and_sum_stream(lcol, nd.column(j), static_cast<std::size_t>(words)));
+    }
+  }
+}
+
+/// Sparse/dense crossover on the product of panel fill ratios. The dense
+/// path does words·colsL·colsN word-madds where the scatter path does
+/// fillL·fillN·words·colsL·colsN, so dense wins when fillL·fillN exceeds
+/// the (scatter rate / stream rate) ratio — measured ≈0.26 with a vector
+/// popcount and ≈0.55 scalar; a margin covers the densify cost.
+[[nodiscard]] bool dense_path_profitable(const CsrPanel& L, const CsrPanel& N,
+                                         std::int64_t words) {
+  if (words <= 0 || L.cols <= 0 || N.cols <= 0) return false;
+  // Densified panels must stay modest: 32 MiB of words at the default cap.
+  if (words * (L.cols + N.cols) > (std::int64_t{1} << 22)) return false;
+  const double fill_l =
+      static_cast<double>(L.nnz()) / (static_cast<double>(words) * static_cast<double>(L.cols));
+  const double fill_n =
+      static_cast<double>(N.nnz()) / (static_cast<double>(words) * static_cast<double>(N.cols));
+  const double crossover = popcount_stream_vectorized() ? 0.30 : 0.60;
+  return fill_l * fill_n >= crossover;
+}
+
+}  // namespace
+
+void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
+                                 std::int64_t l_col_base, std::int64_t n_col_base,
+                                 DenseBlock<std::int64_t>& out,
+                                 bsp::CostCounters* counters,
+                                 const CsrAtaOptions& options) {
+  if (L.empty() || N.empty()) return;
+  const CommonRows common = find_common_rows(L, N);
+  if (counters != nullptr) counters->flops += common.flops;
+  if (common.rows.empty()) return;
+
+  const std::int64_t words = std::min(L.rows, N.rows);
+  const bool use_dense = options.allow_dense && dense_path_profitable(L, N, words);
+
+  const std::int64_t tile_cols = options.tile_cols > 0 ? options.tile_cols : kAtaTileCols;
+  const std::int64_t ntiles = (N.cols + tile_cols - 1) / tile_cols;
+  const int threads =
+      (options.threads > 1 && common.flops >= kAtaThreadMinFlops)
+          ? static_cast<int>(std::min<std::int64_t>(options.threads,
+                                                    use_dense ? N.cols : ntiles))
+          : 1;
+
+  if (use_dense) {
+    // Memoized on the panels: the ring's loop-invariant L side densifies
+    // once per batch, and L ≡ N (serial_ata, the diagonal ring step)
+    // reuses one densification.
+    const DenseColumnPanel& ld = L.dense_columns(words);
+    const DenseColumnPanel& nd = N.dense_columns(words);
+    if (threads <= 1) {
+      dense_accumulate_range(ld, L.cols, nd, 0, N.cols, l_col_base, n_col_base, out);
+    } else {
+      std::vector<std::thread> workers;
+      workers.reserve(static_cast<std::size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        const BlockRange js = block_range(N.cols, threads, t);
+        if (js.size() <= 0) continue;
+        workers.emplace_back([&, js] {
+          dense_accumulate_range(ld, L.cols, nd, js.begin, js.end, l_col_base,
+                                 n_col_base, out);
+        });
+      }
+      for (std::thread& w : workers) w.join();
+    }
+    return;
+  }
+
+  const std::span<const CommonRow> rows(common.rows);
+  if (threads <= 1) {
+    accumulate_column_range(L, N, rows, l_col_base, n_col_base, 0, N.cols, tile_cols,
+                            out);
+    return;
+  }
+
+  // Tiles are disjoint output-column ranges; hand each worker a
+  // contiguous run of whole tiles so no accumulator slot is shared.
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const BlockRange tiles = block_range(ntiles, threads, t);
+    const std::int64_t col_begin = tiles.begin * tile_cols;
+    const std::int64_t col_end = std::min(N.cols, tiles.end * tile_cols);
+    if (col_begin >= col_end) continue;
+    workers.emplace_back([&, col_begin, col_end] {
+      accumulate_column_range(L, N, rows, l_col_base, n_col_base, col_begin, col_end,
+                              tile_cols, out);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+}
+
 DenseBlock<std::int64_t> serial_ata(const SparseBlock& block) {
   DenseBlock<std::int64_t> out(BlockRange{0, block.cols}, BlockRange{0, block.cols});
-  popcount_join_accumulate(block.entries, block.entries, 0, 0, out, nullptr);
+  const CsrPanel panel = CsrPanel::from_block(block);
+  csr_popcount_ata_accumulate(panel, panel, 0, 0, out, nullptr);
   return out;
 }
 
 void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_panel,
-                         DenseBlock<std::int64_t>& b_panel) {
+                         DenseBlock<std::int64_t>& b_panel, RingSchedule schedule,
+                         const CsrAtaOptions& options) {
   const int p = comm.size();
   const int r = comm.rank();
   constexpr int kTagRing = 300;
@@ -62,22 +271,45 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
     throw std::invalid_argument("ring_ata_accumulate: b_panel must span all n columns");
   }
 
+  // The L-side panel participates in every step: convert once per batch.
+  const CsrPanel lpanel = CsrPanel::from_block(my_panel);
+
   std::vector<Triplet<std::uint64_t>> current = my_panel.entries;
   int current_owner = r;
   for (int step = 0; step < p; ++step) {
-    const std::int64_t col_base = block_range(n, p, current_owner).begin;
-    popcount_join_accumulate(my_panel.entries, current, 0, col_base, b_panel,
-                             &comm.counters());
-    if (step + 1 == p) break;
-    comm.send<Triplet<std::uint64_t>>((r + 1) % p, kTagRing,
-                                      std::span<const Triplet<std::uint64_t>>(current));
+    const bool last_step = step + 1 == p;
+    // Double buffering: post the rotation send *before* the multiply.
+    // Sends are buffered copies, so `current` stays valid for the local
+    // CSR build and the neighbour's transfer completes while we compute.
+    if (!last_step && schedule == RingSchedule::kOverlapped) {
+      comm.send<Triplet<std::uint64_t>>(
+          (r + 1) % p, kTagRing, std::span<const Triplet<std::uint64_t>>(current));
+    }
+
+    const BlockRange owner_cols = block_range(n, p, current_owner);
+    CsrPanel received;
+    const CsrPanel* npanel = &lpanel;
+    if (current_owner != r) {
+      received = CsrPanel::from_triplets(my_panel.rows, owner_cols.size(),
+                                         std::span<const Triplet<std::uint64_t>>(current));
+      npanel = &received;
+    }
+    csr_popcount_ata_accumulate(lpanel, *npanel, 0, owner_cols.begin, b_panel,
+                                &comm.counters(), options);
+
+    if (last_step) break;
+    if (schedule == RingSchedule::kSynchronous) {
+      comm.send<Triplet<std::uint64_t>>(
+          (r + 1) % p, kTagRing, std::span<const Triplet<std::uint64_t>>(current));
+    }
     current = comm.recv<Triplet<std::uint64_t>>((r + p - 1) % p, kTagRing);
     current_owner = (current_owner + p - 1) % p;
   }
 }
 
 void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
-                          DenseBlock<std::int64_t>& b_accum) {
+                          DenseBlock<std::int64_t>& b_accum,
+                          const CsrAtaOptions& options) {
   if (!grid.active()) {
     throw std::logic_error("summa_ata_accumulate: called by an inactive rank");
   }
@@ -110,8 +342,17 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
     std::vector<Triplet<std::uint64_t>> nbuf;
     if (grid.grid_row() == k) nbuf = my_block.entries;
     grid.col_comm().broadcast(nbuf, k);
-    // (4) Local multiply-accumulate.
-    popcount_join_accumulate(lbuf, nbuf, 0, 0, target, &grid.world().counters());
+    // (4) Local multiply-accumulate on CSR panels built once per stage.
+    // Both buffers are slices of chunk ℓ·s+k, so they share a row space;
+    // the tight per-panel row bounds are enough (the kernel intersects).
+    const std::span<const Triplet<std::uint64_t>> lspan(lbuf);
+    const std::span<const Triplet<std::uint64_t>> nspan(nbuf);
+    const CsrPanel lpanel =
+        CsrPanel::from_triplets(sorted_row_bound(lspan), target.row_range.size(), lspan);
+    const CsrPanel npanel =
+        CsrPanel::from_triplets(sorted_row_bound(nspan), target.col_range.size(), nspan);
+    csr_popcount_ata_accumulate(lpanel, npanel, 0, 0, target, &grid.world().counters(),
+                                options);
   }
 
   if (replicated) {

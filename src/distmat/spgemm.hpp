@@ -11,37 +11,137 @@
 // All variants produce bit-identical results (enforced by tests); the
 // communication difference is the paper's headline claim and is measured
 // by bench/comm_model_validation through the bsp cost counters.
+//
+// == Kernel architecture (CSR tiles + overlapped rotation) ===============
+//
+// The local multiply is a Gustavson-style CSR×CSR row intersection over
+// word-rows: each operand panel is converted ONCE into a CsrPanel
+// (row starts over word-rows, column indices and 64-bit masks in two
+// contiguous SoA arrays), then for every word-row k present in both
+// panels the rank-1 update
+//
+//     B[Lcol(a), Ncol(b)] += popcount(Lval(a) ∧ Nval(b))
+//
+// is applied for all entry pairs (a, b) of that row. Three levers make
+// this fast where the old triplet merge-join was not:
+//
+//   1. No run re-derivation. The merge-join re-scanned the triplet array
+//      to find row-run boundaries on every call (p calls per batch in the
+//      ring). CsrPanel indexes the OCCUPIED word-rows once per received
+//      panel (sorted row_ids + compact row_ptr — a dense rows+1 array is
+//      impossible in the unfiltered hypersparse regime, where the nominal
+//      row space exceeds 10¹²), and the common-row list is one two-pointer
+//      merge over the occupied rows, shared by all tiles.
+//   2. Cache-sized output tiles. The N-side columns are processed in
+//      tiles of kAtaTileCols output columns, so the touched segments of
+//      the dense accumulator rows stay resident across the whole L-side
+//      loop (the accumulator row stride is the full output width n —
+//      untiled, large n thrashes every level of cache). Per-row cursors
+//      advance monotonically through each CSR row, so tiling adds no
+//      re-scan cost.
+//   3. Unrolled popcount inner loops. The innermost operations are
+//      popcount_and_scatter / popcount_and_scatter_4 (util/popcount.hpp):
+//      4-way unrolled word loops over the contiguous mask array with
+//      __restrict accumulators — independent POPCNT chains, and the
+//      4-row form loads each (col, mask) pair once for four output rows —
+//      instead of the strict load-popcnt-add dependence the interleaved
+//      24-byte triplet layout forced on the compiler.
+//   4. Density-adaptive dense-block path. Scatter accumulation is
+//      limited to ~1 store per madd; when the panel fill product clears
+//      the measured sparse/dense crossover, both panels are densified
+//      into column-major bit vectors and every output cell becomes one
+//      store-free streaming popcount dot product
+//      (popcount_and_sum_stream), which runs at vector popcount
+//      throughput. This is the Joubert et al. (CoMet) formulation,
+//      engaged exactly where it wins.
+//
+// Large output blocks can additionally be threaded inside a rank
+// (CsrAtaOptions::threads): column tiles are disjoint output ranges, so
+// threads partition the tile space with no synchronization beyond a
+// final flop-counter sum.
+//
+// The ring schedule is double-buffered: the send of the currently held
+// panel is posted *before* the local multiply (bsp sends are buffered
+// copies, so the payload is immutable once posted), which lets the
+// neighbour's receive — and hence the whole rotation hop — complete
+// while this rank computes. The synchronous schedule is retained for the
+// ablation bench.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
 #include "bsp/comm.hpp"
+#include "distmat/csr.hpp"
 #include "distmat/dense_block.hpp"
 #include "distmat/proc_grid.hpp"
 #include "distmat/sparse_block.hpp"
 
 namespace sas::distmat {
 
-/// Innermost kernel: for every word-row present in both L and N, add
-/// popcount(L.value ∧ N.value) into out at (L.col + l_col_base,
-/// N.col + n_col_base) (local coordinates of `out`). Both inputs must be
-/// sorted by (row, col) and indexed against the same row space.
-/// Arithmetic work is recorded into `counters` (γ term) when non-null.
+/// Reference kernel (retained for tests/benches): for every word-row
+/// present in both L and N, add popcount(L.value ∧ N.value) into out at
+/// (L.col + l_col_base, N.col + n_col_base) (local coordinates of `out`).
+/// Both inputs must be sorted by (row, col) and indexed against the same
+/// row space. Arithmetic work is recorded into `counters` (γ term) when
+/// non-null. Superseded on the hot path by csr_popcount_ata_accumulate.
 void popcount_join_accumulate(std::span<const Triplet<std::uint64_t>> L,
                               std::span<const Triplet<std::uint64_t>> N,
                               std::int64_t l_col_base, std::int64_t n_col_base,
                               DenseBlock<std::int64_t>& out,
                               bsp::CostCounters* counters);
 
+/// Tuning knobs of the CSR tile kernel.
+struct CsrAtaOptions {
+  /// Max worker threads for the per-tile accumulation (1 = run inline).
+  /// Threads only engage when the estimated multiply work clears
+  /// kAtaThreadMinFlops — small blocks are not worth the spawn cost.
+  int threads = 1;
+  /// Output-column tile width; 0 = kAtaTileCols. Tests force tiny tiles
+  /// to exercise the tiling logic on small inputs.
+  std::int64_t tile_cols = 0;
+  /// Permit the density-adaptive dense-block path (technique 4 above).
+  /// Benches disable it to measure the sparse tile kernel in isolation.
+  bool allow_dense = true;
+};
+
+/// Default output-column tile width: 512 × 8-byte accumulators = 4 KiB
+/// per touched output row, so a handful of active rows fit in L1 and a
+/// few dozen in L2 across the whole L-side loop.
+inline constexpr std::int64_t kAtaTileCols = 512;
+
+/// Minimum estimated multiply flops before the kernel spawns threads.
+inline constexpr std::uint64_t kAtaThreadMinFlops = 1u << 21;
+
+/// Hot-path kernel: B += ("Lᵀ N" in the popcount semiring) over the
+/// word-rows common to both CSR panels, accumulating into `out` at
+/// (L.col + l_col_base, N.col + n_col_base). Exact same contract and
+/// bit-identical results as popcount_join_accumulate, restructured as
+/// described in the kernel-architecture note above.
+void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
+                                 std::int64_t l_col_base, std::int64_t n_col_base,
+                                 DenseBlock<std::int64_t>& out,
+                                 bsp::CostCounters* counters,
+                                 const CsrAtaOptions& options = {});
+
 /// Reference: full n×n dense AᵀA of one local block (rows = word rows).
 [[nodiscard]] DenseBlock<std::int64_t> serial_ata(const SparseBlock& block);
+
+/// Ring rotation schedule (see the kernel-architecture note).
+enum class RingSchedule {
+  kSynchronous,  ///< send after compute — rotation serializes with multiply
+  kOverlapped,   ///< send posted before compute — rotation overlaps multiply
+};
 
 /// 1D ring variant. Rank r owns the column panel for block_range(n, p, r)
 /// (global word-row ids) and the dense output row-panel
 /// rows = its column chunk × cols = [0, n). Panels circulate p−1 times.
+/// The local CsrPanel is built once up front; each received panel is
+/// converted once on arrival.
 void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_panel,
-                         DenseBlock<std::int64_t>& b_panel);
+                         DenseBlock<std::int64_t>& b_panel,
+                         RingSchedule schedule = RingSchedule::kOverlapped,
+                         const CsrAtaOptions& options = {});
 
 /// 2D/2.5D SUMMA variant over `grid`. Rank (ℓ, i, j) holds the R block of
 /// word-row chunk q = ℓ·s + i (chunk-local row ids) × column chunk j.
@@ -50,9 +150,11 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
 /// partials are reduced onto layer 0, accumulating into `b_accum`
 /// (meaningful on layer-0 ranks). Collective over active grid ranks;
 /// inactive ranks must not call. `b_accum` must cover column chunk
-/// grid_row × column chunk grid_col of the n×n output.
+/// grid_row × column chunk grid_col of the n×n output. Broadcast panels
+/// are CSR-converted once per stage before the local multiply.
 void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
-                          DenseBlock<std::int64_t>& b_accum);
+                          DenseBlock<std::int64_t>& b_accum,
+                          const CsrAtaOptions& options = {});
 
 /// â contribution: acc[col_offset + e.col] += popcount(e.value) for every
 /// entry of `block`. `acc` is a full-length replicated accumulator; ranks

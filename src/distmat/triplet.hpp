@@ -32,6 +32,14 @@ template <typename T>
   return a.row != b.row ? a.row < b.row : a.col < b.col;
 }
 
+/// Exclusive upper bound on the row ids of a (row, col)-sorted span —
+/// the tight word-row count for building a CsrPanel from a panel whose
+/// nominal height is not carried alongside (e.g. SUMMA broadcast buffers).
+template <typename T>
+[[nodiscard]] inline std::int64_t sorted_row_bound(std::span<const Triplet<T>> entries) noexcept {
+  return entries.empty() ? 0 : entries.back().row + 1;
+}
+
 /// Sort by (row, col) and merge duplicate coordinates with `combine`.
 /// For the bit-packed indicator matrix, combine is bitwise OR; for count
 /// accumulation it is +.

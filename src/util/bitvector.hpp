@@ -55,6 +55,8 @@ class BitVector {
   }
 
   /// |this ∧ other| — intersection cardinality of two bit sets.
+  /// Precondition: both vectors span the same universe (equal word
+  /// counts); enforced by the assert inside popcount_and_sum.
   [[nodiscard]] std::uint64_t intersection_count(const BitVector& other) const noexcept {
     return popcount_and_sum(words(), other.words());
   }

@@ -60,6 +60,51 @@ TEST(Popcount, AndSumIsIntersection) {
   EXPECT_EQ(popcount_and_sum(a, b), 1u + 2u);
 }
 
+TEST(Popcount, AndSumRejectsMismatchedSpans) {
+  // The doc contract: callers must pass equal-length spans; silent
+  // truncation used to mask packing bugs. Asserts stay on in this build.
+  const std::vector<std::uint64_t> a{1, 2, 3};
+  const std::vector<std::uint64_t> b{1, 2};
+  EXPECT_DEATH((void)popcount_and_sum(a, b), "span lengths");
+}
+
+TEST(Popcount, AndSumBlockMatchesScalarAcrossLengthsAndTails) {
+  Rng rng(17);
+  for (std::size_t len : {0u, 1u, 2u, 3u, 4u, 5u, 7u, 8u, 64u, 129u}) {
+    std::vector<std::uint64_t> x(len);
+    std::vector<std::uint64_t> y(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      x[i] = rng();
+      y[i] = rng();
+    }
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+      expect += static_cast<std::uint64_t>(popcount64(x[i] & y[i]));
+    }
+    EXPECT_EQ(popcount_and_sum_block(x.data(), y.data(), len), expect) << "len=" << len;
+  }
+}
+
+TEST(Popcount, AndScatterMatchesScalarAcrossCountsAndTails) {
+  Rng rng(23);
+  for (std::size_t count : {0u, 1u, 3u, 4u, 5u, 8u, 33u}) {
+    std::vector<std::int64_t> cols(count);
+    std::vector<std::uint64_t> vals(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      cols[k] = static_cast<std::int64_t>(2 * k);  // unique, strided slots
+      vals[k] = rng();
+    }
+    const std::uint64_t word = rng();
+    std::vector<std::int64_t> expect(2 * count + 1, 5);
+    std::vector<std::int64_t> got = expect;
+    for (std::size_t k = 0; k < count; ++k) {
+      expect[static_cast<std::size_t>(cols[k])] += popcount64(word & vals[k]);
+    }
+    popcount_and_scatter(word, cols.data(), vals.data(), count, got.data());
+    EXPECT_EQ(got, expect) << "count=" << count;
+  }
+}
+
 TEST(BitVector, SetTestClearCount) {
   BitVector bits(130);
   EXPECT_EQ(bits.size(), 130u);
