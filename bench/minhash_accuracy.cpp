@@ -1,41 +1,111 @@
-// minhash_accuracy — quantifies the paper's §I motivation.
+// minhash_accuracy — sketch-estimator accuracy vs exact Jaccard, and the
+// CI accuracy gate for the sketch subsystem.
 //
-// "These approximations often lead to inaccurate approximations of d_J
-// for highly similar pairs of sequence sets, and tend to be ineffective
-// for computation of a distance between highly dissimilar sets unless
-// very large sketch sizes are used."
+// Quantifies the paper's §I motivation ("these approximations often lead
+// to inaccurate approximations of d_J for highly similar pairs ... and
+// tend to be ineffective ... for highly dissimilar sets unless very
+// large sketch sizes are used") across the three src/sketch/ estimators:
+// genome pairs are generated at controlled true Jaccard levels via the
+// point-mutation model and each estimator's mean absolute error over
+// hash-seed trials is compared against the exact value the
+// SimilarityAtScale pipeline computes by construction.
 //
-// Genome pairs are generated at controlled true Jaccard levels via the
-// point-mutation model; MinHash estimates at several sketch sizes are
-// compared against the exact value that SimilarityAtScale computes by
-// construction. Reported: mean absolute and mean relative error over
-// hash-seed trials. The exact method's error is identically zero.
+// Second half: the distributed sketch-exchange pipeline on a mutated-
+// genome corpus — estimated SimilarityMatrix error vs the exact driver,
+// and the communicated bytes from the bsp cost counters (the sketch ring
+// moves O(samples_per_rank · sketch_bytes) per rotation step; the exact
+// ring moves O(nnz) panel bytes).
+//
+// EXIT CODE is the CI gate: non-zero when any default-size estimator's
+// mean absolute Jaccard error exceeds its documented bound
+// (hll_jaccard_error_bound / oph_jaccard_error_bound /
+// bottomk_jaccard_error_bound), or when a sketch pipeline fails to
+// communicate fewer bytes than the exact pipeline on this workload.
 #include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "baselines/exact_pairwise.hpp"
-#include "baselines/minhash.hpp"
 #include "bench_common.hpp"
+#include "genome/kmer_source.hpp"
 #include "genome/sample.hpp"
 #include "genome/synthetic.hpp"
+#include "sketch/bottomk.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/one_perm_minhash.hpp"
+#include "util/args.hpp"
 
 using namespace sas;
 using namespace sas::bench;
 
-int main() {
+namespace {
+
+constexpr int kDefaultHllPrecision = 12;
+constexpr std::int64_t kDefaultSketchSize = 1024;
+constexpr int kDefaultMinhashBits = 16;
+
+double estimate_once(const std::string& kind, std::span<const std::uint64_t> a,
+                     std::span<const std::uint64_t> b, std::int64_t size,
+                     std::uint64_t seed) {
+  if (kind == "hll") {
+    return sketch::HyperLogLog::estimate_jaccard(
+        sketch::HyperLogLog(a, static_cast<int>(size), seed),
+        sketch::HyperLogLog(b, static_cast<int>(size), seed));
+  }
+  if (kind == "minhash") {
+    return sketch::OnePermMinHash::estimate_jaccard(
+        sketch::OnePermMinHash(a, size, kDefaultMinhashBits, seed),
+        sketch::OnePermMinHash(b, size, kDefaultMinhashBits, seed));
+  }
+  return sketch::BottomKSketch::estimate_jaccard(
+      sketch::BottomKSketch(a, static_cast<std::size_t>(size), seed),
+      sketch::BottomKSketch(b, static_cast<std::size_t>(size), seed));
+}
+
+std::int64_t sketch_bytes(const std::string& kind, std::int64_t size) {
+  if (kind == "hll") return std::int64_t{1} << size;            // 2^p registers
+  if (kind == "minhash") return size * kDefaultMinhashBits / 8; // k·b/8
+  return size * 8;                                              // bottom-k slots
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
   const int k = 21;
-  const std::int64_t genome_length = 60000;
-  const int trials = 8;
-  print_header("MinHash accuracy vs exact Jaccard (paper §I / §VI motivation)",
-               "Besta et al., IPDPS'20, §I (Mash limitations)",
-               "genome pairs at controlled true J, k=21, 60kbp, 8 hash seeds");
+  const std::int64_t genome_length = args.get_int("length", 60000);
+  const int trials = static_cast<int>(args.get_int("trials", 6));
+  print_header("Sketch-estimator accuracy vs exact Jaccard (paper §I / §VI motivation)",
+               "Besta et al., IPDPS'20, §I (Mash limitations) + sketch subsystem",
+               "genome pairs at controlled true J, k=21, " +
+                   std::to_string(genome_length) + "bp, " + std::to_string(trials) +
+                   " hash seeds");
 
   const genome::KmerCodec codec(k);
   Rng rng(1234);
   const std::string base = genome::random_genome(genome_length, rng);
   const auto base_sample = genome::build_sample("base", {{"g", "", base}}, codec);
 
-  TextTable table({"true J (exact)", "regime", "sketch", "mean |err|", "mean rel err",
-                   "exact method err"});
+  // Default-size error accumulators for the CI gate.
+  double gate_err_hll = 0.0;
+  double gate_err_oph = 0.0;
+  double gate_err_bk = 0.0;
+  int gate_count = 0;
+
+  struct Variant {
+    const char* kind;
+    std::vector<std::int64_t> sizes;  // hll: precision p; others: slots k
+  };
+  const std::vector<Variant> variants = {
+      {"hll", {8, kDefaultHllPrecision, 16}},
+      {"minhash", {128, kDefaultSketchSize, 8192}},
+      {"bottomk", {128, kDefaultSketchSize, 8192}},
+  };
+
+  TextTable table({"true J (exact)", "regime", "estimator", "size", "bytes",
+                   "mean |err|", "mean rel err"});
   for (double target : {0.999, 0.99, 0.9, 0.5, 0.1, 0.01, 0.002}) {
     const double rate = genome::mutation_rate_for_jaccard(k, target);
     const std::string mutated = genome::mutate_point(base, rate, rng);
@@ -44,50 +114,131 @@ int main() {
     const char* regime =
         target >= 0.9 ? "highly similar" : (target <= 0.01 ? "highly dissimilar" : "mid");
 
-    for (std::size_t sketch : {128, 1024, 8192}) {
-      double abs_err = 0.0;
-      double rel_err = 0.0;
-      for (int t = 0; t < trials; ++t) {
-        const baselines::MinHashSketch sa(base_sample.kmers, sketch,
-                                          100 + static_cast<std::uint64_t>(t));
-        const baselines::MinHashSketch sb(other.kmers, sketch,
-                                          100 + static_cast<std::uint64_t>(t));
-        const double est = baselines::MinHashSketch::estimate_jaccard(sa, sb);
-        abs_err += std::fabs(est - truth);
-        rel_err += truth > 0 ? std::fabs(est - truth) / truth : 0.0;
+    for (const Variant& variant : variants) {
+      for (std::int64_t size : variant.sizes) {
+        double abs_err = 0.0;
+        double rel_err = 0.0;
+        for (int t = 0; t < trials; ++t) {
+          const double est =
+              estimate_once(variant.kind, base_sample.kmers, other.kmers, size,
+                            100 + static_cast<std::uint64_t>(t));
+          abs_err += std::fabs(est - truth);
+          rel_err += truth > 0 ? std::fabs(est - truth) / truth : 0.0;
+        }
+        abs_err /= trials;
+        rel_err /= trials;
+        const bool is_default = (variant.kind == std::string("hll") &&
+                                 size == kDefaultHllPrecision) ||
+                                (variant.kind != std::string("hll") &&
+                                 size == kDefaultSketchSize);
+        if (is_default) {
+          if (variant.kind == std::string("hll")) gate_err_hll += abs_err;
+          if (variant.kind == std::string("minhash")) gate_err_oph += abs_err;
+          if (variant.kind == std::string("bottomk")) gate_err_bk += abs_err;
+        }
+        table.add_row({fmt_fixed(truth, 4), regime, variant.kind, std::to_string(size),
+                       std::to_string(sketch_bytes(variant.kind, size)),
+                       fmt_fixed(abs_err, 5), fmt_fixed(100.0 * rel_err, 1) + "%"});
       }
-      table.add_row({fmt_fixed(truth, 4), regime, std::to_string(sketch),
-                     fmt_fixed(abs_err / trials, 5),
-                     fmt_fixed(100.0 * rel_err / trials, 1) + "%", "0 (exact)"});
     }
+    ++gate_count;
   }
   table.print();
+  gate_err_hll /= gate_count;
+  gate_err_oph /= gate_count;
+  gate_err_bk /= gate_count;
 
   std::printf("\nShapes to match (paper's motivation):\n"
               "  * highly dissimilar pairs: relative error is huge at small sketches\n"
-              "    (estimates quantize at 1/sketch or collapse to 0);\n"
+              "    (estimates quantize at 1/size or collapse to 0);\n"
               "  * highly similar pairs: the DISTANCE d_J = 1-J inherits the absolute\n"
               "    error, which dwarfs the tiny true distance;\n"
-              "  * error shrinks ~1/sqrt(sketch), i.e. accuracy costs sketch size;\n"
+              "  * error shrinks ~1/sqrt(size), i.e. accuracy costs sketch bytes;\n"
               "  * the exact pipeline has zero error at every operating point.\n");
 
-  // Distance-space view for the highly-similar regime.
-  std::printf("\nDistance-space error for a highly similar pair (true J = 0.999):\n");
-  const double rate = genome::mutation_rate_for_jaccard(k, 0.999);
-  const std::string mutated = genome::mutate_point(base, rate, rng);
-  const auto other = genome::build_sample("m", {{"g", "", mutated}}, codec);
-  const double truth = baselines::exact_jaccard(base_sample.kmers, other.kmers);
-  TextTable dist({"sketch", "true d_J", "est d_J (one seed)", "rel distance err"});
-  for (std::size_t sketch : {128, 1024, 8192}) {
-    const baselines::MinHashSketch sa(base_sample.kmers, sketch, 77);
-    const baselines::MinHashSketch sb(other.kmers, sketch, 77);
-    const double est = baselines::MinHashSketch::estimate_jaccard(sa, sb);
-    const double true_d = 1.0 - truth;
-    const double est_d = 1.0 - est;
-    dist.add_row({std::to_string(sketch), fmt_fixed(true_d, 5), fmt_fixed(est_d, 5),
-                  true_d > 0 ? fmt_fixed(100.0 * std::fabs(est_d - true_d) / true_d, 1) + "%"
-                             : "n/a"});
+  // ---- distributed sketch-exchange pipeline vs the exact driver ----------
+  std::printf("\nDistributed pipeline: sketch-exchange ring vs exact ring "
+              "(12 mutated genomes, 4 ranks)\n\n");
+  std::vector<genome::KmerSample> corpus;
+  Rng corpus_rng(77);
+  const std::string ancestor = genome::random_genome(20000, corpus_rng);
+  for (int i = 0; i < 12; ++i) {
+    const double rate = 0.002 * i;
+    const std::string individual =
+        i == 0 ? ancestor : genome::mutate_point(ancestor, rate, corpus_rng);
+    corpus.push_back(
+        genome::build_sample("s" + std::to_string(i), {{"g", "", individual}}, codec));
   }
-  dist.print();
-  return 0;
+  const genome::KmerSampleSource source(k, std::move(corpus));
+  const std::int64_t n = source.sample_count();
+
+  core::Config exact_cfg;
+  exact_cfg.algorithm = core::Algorithm::kRing1D;
+  exact_cfg.batch_count = 4;
+  const RunResult exact = run_driver(4, source, exact_cfg);
+
+  struct PipelineCase {
+    const char* name;
+    core::Estimator estimator;
+    double bound;
+  };
+  const std::vector<PipelineCase> cases = {
+      {"hll", core::Estimator::kHll, sketch::hll_jaccard_error_bound(kDefaultHllPrecision)},
+      {"minhash", core::Estimator::kMinhash,
+       sketch::oph_jaccard_error_bound(kDefaultSketchSize, kDefaultMinhashBits)},
+      {"bottomk", core::Estimator::kBottomK,
+       sketch::bottomk_jaccard_error_bound(kDefaultSketchSize)},
+  };
+
+  bool ok = true;
+  TextTable pipe({"estimator", "mean |err|", "error bound", "max bytes/rank",
+                  "total bytes", "vs exact bytes", "gate"});
+  pipe.add_row({"exact", "0 (exact)", "0", std::to_string(exact.cost.max_bytes),
+                std::to_string(exact.cost.total_bytes), "1.00x", "-"});
+  for (const PipelineCase& c : cases) {
+    core::Config cfg = exact_cfg;
+    cfg.estimator = c.estimator;
+    const RunResult run = run_driver(4, source, cfg);
+    double err = 0.0;
+    int pairs = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = i + 1; j < n; ++j) {
+        err += std::fabs(run.result.similarity.similarity(i, j) -
+                         exact.result.similarity.similarity(i, j));
+        ++pairs;
+      }
+    }
+    err /= pairs;
+    const bool pass = err <= c.bound && run.cost.total_bytes < exact.cost.total_bytes;
+    ok = ok && pass;
+    pipe.add_row({c.name, fmt_fixed(err, 5), fmt_fixed(c.bound, 5),
+                  std::to_string(run.cost.max_bytes), std::to_string(run.cost.total_bytes),
+                  fmt_fixed(static_cast<double>(run.cost.total_bytes) /
+                                static_cast<double>(exact.cost.total_bytes),
+                            3) + "x",
+                  pass ? "PASS" : "FAIL"});
+  }
+  pipe.print();
+
+  // ---- the CI gate --------------------------------------------------------
+  std::printf("\nAccuracy gate (mean |err| at default sizes vs documented bounds):\n");
+  struct Gate {
+    const char* name;
+    double err;
+    double bound;
+  };
+  for (const Gate& g : {Gate{"hll p=12", gate_err_hll,
+                             sketch::hll_jaccard_error_bound(kDefaultHllPrecision)},
+                        Gate{"minhash k=1024 b=16", gate_err_oph,
+                             sketch::oph_jaccard_error_bound(kDefaultSketchSize,
+                                                             kDefaultMinhashBits)},
+                        Gate{"bottomk k=1024", gate_err_bk,
+                             sketch::bottomk_jaccard_error_bound(kDefaultSketchSize)}}) {
+    const bool pass = g.err <= g.bound;
+    ok = ok && pass;
+    std::printf("  %-20s mean |err| %.5f  bound %.5f  %s\n", g.name, g.err, g.bound,
+                pass ? "PASS" : "FAIL");
+  }
+  std::printf("\n%s\n", ok ? "sketch accuracy gate: PASS" : "sketch accuracy gate: FAIL");
+  return ok ? 0 : 1;
 }

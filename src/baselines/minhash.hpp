@@ -1,63 +1,23 @@
-// minhash.hpp — Mash-style MinHash sketching (paper refs [63], [57]).
+// minhash.hpp — Mash-style MinHash baseline (paper refs [63], [57]).
 //
-// The principal comparison point of the paper: Mash approximates Jaccard
-// similarity with bottom-s MinHash sketches, which is fast but — as the
-// paper stresses in §I — "often lead[s] to inaccurate approximations of
-// d_J for highly similar pairs ... and tend[s] to be ineffective for
-// computation of a distance between highly dissimilar sets unless very
-// large sketch sizes are used". bench/minhash_accuracy quantifies exactly
-// that against the library's exact computation.
-//
-// Implementation: bottom-s sketch over a single 64-bit hash family
-// (k-mers hashed through an invertible mixer emulate a random
-// permutation); the Jaccard estimator merges two sketches and counts the
-// shared elements among the s smallest of the union, as in Mash.
+// The MinHash math now lives in exactly one place: the sketch subsystem
+// (src/sketch/bottomk.hpp, where the bottom-k implementation gained
+// incremental construction, serialization, and membership in the
+// distributed sketch-exchange pipeline). This header keeps the baseline
+// spelling — bench/minhash_accuracy, the ablation benches, and existing
+// callers compare against `baselines::MinHashSketch` — as thin aliases
+// onto that implementation.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
+#include "sketch/bottomk.hpp"
 
 namespace sas::baselines {
 
-class MinHashSketch {
- public:
-  /// Sketch the element ids (e.g. canonical k-mer codes) into the s
-  /// smallest hash values. `seed` selects the hash family member; both
-  /// sides of a comparison must share it.
-  MinHashSketch(std::span<const std::uint64_t> elements, std::size_t sketch_size,
-                std::uint64_t seed);
+/// Bottom-k MinHash sketch (see sketch/bottomk.hpp for the accuracy and
+/// wire-format documentation).
+using MinHashSketch = sketch::BottomKSketch;
 
-  [[nodiscard]] std::size_t sketch_size() const noexcept { return capacity_; }
-  [[nodiscard]] const std::vector<std::uint64_t>& hashes() const noexcept {
-    return hashes_;  // sorted ascending, size <= sketch_size
-  }
-
-  /// Mergeability: the sketch of A ∪ B from the sketches of A and B —
-  /// the property that lets Mash sketch streams incrementally.
-  [[nodiscard]] static MinHashSketch merge(const MinHashSketch& a, const MinHashSketch& b);
-
-  /// Mash's Jaccard estimator: of the s smallest hashes of the union of
-  /// both sketches, the fraction present in both.
-  [[nodiscard]] static double estimate_jaccard(const MinHashSketch& a,
-                                               const MinHashSketch& b);
-
- private:
-  MinHashSketch() = default;
-  std::size_t capacity_ = 0;
-  std::uint64_t seed_ = 0;
-  std::vector<std::uint64_t> hashes_;
-};
-
-/// The Mash distance (Ondov et al. 2016): d = −(1/k)·ln(2j/(1+j)), an
-/// estimate of the per-base mutation rate from a Jaccard estimate j of
-/// k-mer sets. Returns 1.0 when j = 0 (saturated, as in Mash).
-[[nodiscard]] double mash_distance(double jaccard_estimate, int k);
-
-/// All-pairs Jaccard estimates from per-sample element sets, the way the
-/// Mash tool computes a distance table. Returns row-major n×n estimates.
-[[nodiscard]] std::vector<double> minhash_all_pairs(
-    const std::vector<std::vector<std::uint64_t>>& samples, std::size_t sketch_size,
-    std::uint64_t seed);
+using sketch::mash_distance;
+using sketch::minhash_all_pairs;
 
 }  // namespace sas::baselines

@@ -16,6 +16,19 @@ enum class Algorithm {
   kSumma,    ///< 2D/2.5D SUMMA — Θ(z/√(cp) + cn²/p) per-rank communication
 };
 
+/// Which Jaccard estimator the driver runs (src/sketch/sketch.hpp has the
+/// error/bytes guide). kExact is the paper's SpGEMM pipeline; the sketch
+/// estimators swap it for the sketch-exchange ring, which rotates
+/// fixed-size per-sample summaries — O(samples_per_rank · sketch_bytes)
+/// per step instead of O(nnz) panel bytes — at a bounded, documented
+/// estimation error.
+enum class Estimator {
+  kExact,    ///< exact popcount-semiring AᵀA (zero error)
+  kHll,      ///< HyperLogLog + inclusion–exclusion (sketch/hyperloglog.hpp)
+  kMinhash,  ///< b-bit one-permutation MinHash (sketch/one_perm_minhash.hpp)
+  kBottomK,  ///< Mash-style bottom-k MinHash (sketch/bottomk.hpp)
+};
+
 struct Config {
   /// Number of row batches r (paper Eq. 3). Larger values shrink the
   /// working set per batch at the cost of per-batch latency (Fig. 2c/2d).
@@ -47,6 +60,32 @@ struct Config {
   /// the kernel's spawn threshold; leave at 1 when rank threads already
   /// oversubscribe the cores (the scaling benches do).
   int kernel_threads = 1;
+
+  /// Sparse/dense fill-product crossover of the SpGEMM kernel. 0 (the
+  /// default) derives it from a one-shot startup micro-calibration of the
+  /// scatter vs streaming-popcount rates on this machine
+  /// (distmat/crossover.hpp); a positive value pins it (ablation /
+  /// reproducing a recorded run).
+  double dense_crossover = 0.0;
+
+  /// Jaccard estimator (kExact = the paper's pipeline; others trade a
+  /// documented error bound for fixed-size communication).
+  Estimator estimator = Estimator::kExact;
+
+  /// HyperLogLog precision p (2^p registers), estimator == kHll.
+  int hll_precision = 12;
+
+  /// Sketch slots: one-permutation MinHash bins (kMinhash) or bottom-k
+  /// capacity (kBottomK).
+  std::int64_t sketch_size = 1024;
+
+  /// Register width b of the b-bit one-permutation MinHash wire form
+  /// (kMinhash). Must divide 64.
+  int minhash_bits = 16;
+
+  /// Hash-family seed shared by all ranks' sketches. Any value works;
+  /// runs are reproducible given (seed, estimator parameters).
+  std::uint64_t sketch_seed = 0x5a5;
 };
 
 }  // namespace sas::core

@@ -12,6 +12,7 @@
 #include "distmat/proc_grid.hpp"
 #include "distmat/redistribute.hpp"
 #include "distmat/spgemm.hpp"
+#include "sketch/exchange.hpp"
 #include "util/timer.hpp"
 
 namespace sas::core {
@@ -54,6 +55,13 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
   }
   if (config.batch_count > m && m > 0) {
     throw std::invalid_argument("similarity_at_scale: more batches than matrix rows");
+  }
+
+  // Approximate estimators swap the SpGEMM pipeline for the sketch-
+  // exchange ring (fixed-size panels, documented error bounds — see
+  // sketch/sketch.hpp for the tradeoff guide).
+  if (config.estimator != Estimator::kExact) {
+    return sketch::sketch_similarity_at_scale(world, source, config);
   }
 
   // Parallel layout. The SUMMA path builds the √(p/c)×√(p/c)×c grid; the
@@ -103,7 +111,9 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
     // Kernel tuning shared by all schedules: CSR panels are built once
     // per redistributed batch (not re-derived per ring step / SUMMA
     // stage), and large output blocks may thread the tile accumulation.
-    const distmat::CsrAtaOptions kernel_options{config.kernel_threads, 0};
+    distmat::CsrAtaOptions kernel_options;
+    kernel_options.threads = config.kernel_threads;
+    kernel_options.dense_crossover = config.dense_crossover;
 
     switch (config.algorithm) {
       case Algorithm::kSerial: {

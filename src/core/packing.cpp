@@ -75,4 +75,40 @@ PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
   return out;
 }
 
+std::vector<std::uint64_t> pack_word_panel(
+    const std::vector<std::vector<std::uint64_t>>& blobs) {
+  std::size_t payload = 0;
+  for (const auto& blob : blobs) payload += blob.size();
+  std::vector<std::uint64_t> panel;
+  panel.reserve(1 + blobs.size() + payload);
+  panel.push_back(blobs.size());
+  for (const auto& blob : blobs) panel.push_back(blob.size());
+  for (const auto& blob : blobs) panel.insert(panel.end(), blob.begin(), blob.end());
+  return panel;
+}
+
+std::vector<std::span<const std::uint64_t>> unpack_word_panel(
+    std::span<const std::uint64_t> panel) {
+  if (panel.empty()) throw std::invalid_argument("unpack_word_panel: empty panel");
+  const auto count = static_cast<std::size_t>(panel[0]);
+  if (panel.size() < 1 + count) {
+    throw std::invalid_argument("unpack_word_panel: truncated length table");
+  }
+  std::vector<std::span<const std::uint64_t>> views;
+  views.reserve(count);
+  std::size_t offset = 1 + count;
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto len = static_cast<std::size_t>(panel[1 + i]);
+    if (offset + len > panel.size()) {
+      throw std::invalid_argument("unpack_word_panel: truncated payload");
+    }
+    views.push_back(panel.subspan(offset, len));
+    offset += len;
+  }
+  if (offset != panel.size()) {
+    throw std::invalid_argument("unpack_word_panel: trailing bytes");
+  }
+  return views;
+}
+
 }  // namespace sas::core

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "bsp/comm.hpp"
@@ -41,5 +42,23 @@ struct PackedBatch {
 [[nodiscard]] PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
                                      distmat::BlockRange rows, int bit_width,
                                      bool use_filter);
+
+// ---- sketch-panel wire packing -------------------------------------------
+//
+// The sketch-exchange pipeline (sketch/exchange.hpp) rotates one message
+// per ring step: a rank's per-sample sketch blobs flattened into a single
+// contiguous word vector. The layout is self-describing so a received
+// panel can be sliced back into per-sample views without copies:
+//
+//   [count, len_0, ..., len_{count-1}, payload_0, ..., payload_{count-1}]
+
+/// Flatten per-sample word blobs into one wire panel.
+[[nodiscard]] std::vector<std::uint64_t> pack_word_panel(
+    const std::vector<std::vector<std::uint64_t>>& blobs);
+
+/// Slice a packed panel back into per-blob views. The returned spans
+/// alias `panel`; throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<std::span<const std::uint64_t>> unpack_word_panel(
+    std::span<const std::uint64_t> panel);
 
 }  // namespace sas::core

@@ -1,0 +1,107 @@
+#include "distmat/crossover.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/popcount.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace sas::distmat {
+
+namespace {
+
+/// Safety factor over the raw rate ratio: the dense path also pays the
+/// (amortized) densification pass, so it must win by a margin before the
+/// kernel switches.
+constexpr double kCalibrationMargin = 1.15;
+
+/// Per-loop problem sizes: big enough to amortize call overhead and give
+/// the timer ~tens of microseconds per repetition, small enough that both
+/// working sets stay L1/L2-resident (the kernel tiles for exactly that).
+constexpr std::size_t kScatterSegment = 2048;  // CSR row entries per pass
+constexpr std::size_t kStreamWords = 4096;     // words per dot product
+constexpr int kPasses = 16;                    // inner passes per timing
+constexpr int kRepetitions = 7;                // timings; min is kept
+
+/// Defeat dead-code elimination without a memory barrier: fold results
+/// into a sink read after timing.
+std::uint64_t g_calibration_sink = 0;
+
+/// Launder a size through a volatile so the timed loops run the generic
+/// kernel instead of a constant-specialized clone (which would both skew
+/// the measurement and trip -Waggressive-loop-optimizations).
+std::size_t opaque_size(std::size_t n) noexcept {
+  volatile std::size_t v = n;
+  return v;
+}
+
+double min_scatter_seconds_per_op() {
+  Rng rng(0xca11b7a7e);
+  const std::size_t segment = opaque_size(kScatterSegment);
+  std::vector<std::int64_t> cols(segment);
+  std::vector<std::uint64_t> vals(segment);
+  std::vector<std::int64_t> acc(segment, 0);
+  for (std::size_t i = 0; i < segment; ++i) {
+    cols[i] = static_cast<std::int64_t>(i);
+    vals[i] = rng();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Timer timer;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      popcount_and_scatter(rng(), cols.data(), vals.data(), segment, acc.data());
+    }
+    best = std::min(best, timer.seconds());
+  }
+  g_calibration_sink += static_cast<std::uint64_t>(acc[segment / 2]);
+  return best / static_cast<double>(kPasses * kScatterSegment);
+}
+
+double min_stream_seconds_per_word() {
+  Rng rng(0x57e3a1);
+  const std::size_t words = opaque_size(kStreamWords);
+  std::vector<std::uint64_t> x(words);
+  std::vector<std::uint64_t> y(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    x[i] = rng();
+    y[i] = rng();
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    Timer timer;
+    std::uint64_t sum = 0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      sum += popcount_and_sum_stream(x.data(), y.data(), words);
+      x[pass] ^= sum;  // keep passes data-dependent so none can be hoisted
+    }
+    best = std::min(best, timer.seconds());
+    g_calibration_sink += sum;
+  }
+  return best / static_cast<double>(kPasses * kStreamWords);
+}
+
+double measure_crossover() {
+  const double scatter = min_scatter_seconds_per_op();
+  const double stream = min_stream_seconds_per_word();
+  // A coarse or broken clock yields zero/denormal timings; the ratio is
+  // then meaningless — keep the compile-time constants instead.
+  if (!(scatter > 0.0) || !(stream > 0.0)) return fallback_dense_crossover();
+  return std::clamp(kCalibrationMargin * stream / scatter, kMinDenseCrossover,
+                    kMaxDenseCrossover);
+}
+
+}  // namespace
+
+double fallback_dense_crossover() noexcept {
+  return popcount_stream_vectorized() ? 0.30 : 0.60;
+}
+
+double calibrated_dense_crossover() {
+  static const double value = measure_crossover();
+  return value;
+}
+
+}  // namespace sas::distmat

@@ -1,0 +1,39 @@
+// crossover.hpp — startup micro-calibration of the SpGEMM sparse/dense
+// crossover.
+//
+// The dense-block path of the tile kernel wins when the product of the
+// two panel fill ratios exceeds the ratio of the two inner loops' per-
+// element costs: the dense path spends words·colsL·colsN streaming
+// popcount word-madds where the scatter path spends fillL·fillN times as
+// many scatter ops. The original thresholds (0.30 with a vector
+// popcount, 0.60 scalar) were measured on one box; this module measures
+// them on THE box the run is on: a one-shot, memoized micro-benchmark
+// times both inner loops (util/popcount.hpp's popcount_and_scatter and
+// popcount_and_sum_stream) on L1-resident synthetic data and derives
+//
+//   crossover = margin · (stream seconds/word) / (scatter seconds/op)
+//
+// with a margin covering the densification cost, clamped to a sane
+// range. Config::dense_crossover (plumbed through CsrAtaOptions)
+// overrides the calibration with a pinned value for ablations and
+// reproducing recorded runs.
+#pragma once
+
+namespace sas::distmat {
+
+/// Calibration clamp range: outside it the measurement is distrusted.
+inline constexpr double kMinDenseCrossover = 0.05;
+inline constexpr double kMaxDenseCrossover = 0.95;
+
+/// The compile-time fallback thresholds (the pre-calibration constants),
+/// selected by whether popcount_and_sum_stream vectorizes.
+[[nodiscard]] double fallback_dense_crossover() noexcept;
+
+/// Measured crossover for this machine. The micro-benchmark runs once
+/// (a few hundred microseconds) on first use and is memoized; concurrent
+/// first calls from rank threads serialize on the magic static. Falls
+/// back to fallback_dense_crossover() when the clock is too coarse to
+/// trust the measurement.
+[[nodiscard]] double calibrated_dense_crossover();
+
+}  // namespace sas::distmat

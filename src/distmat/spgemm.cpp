@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "distmat/crossover.hpp"
 #include "util/popcount.hpp"
 
 namespace sas::distmat {
@@ -167,10 +168,11 @@ void dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_cols,
 /// Sparse/dense crossover on the product of panel fill ratios. The dense
 /// path does words·colsL·colsN word-madds where the scatter path does
 /// fillL·fillN·words·colsL·colsN, so dense wins when fillL·fillN exceeds
-/// the (scatter rate / stream rate) ratio — measured ≈0.26 with a vector
-/// popcount and ≈0.55 scalar; a margin covers the densify cost.
+/// the (scatter rate / stream rate) ratio. The threshold is micro-
+/// calibrated at startup on this machine (distmat/crossover.hpp) unless
+/// the caller pins one through CsrAtaOptions::dense_crossover.
 [[nodiscard]] bool dense_path_profitable(const CsrPanel& L, const CsrPanel& N,
-                                         std::int64_t words) {
+                                         std::int64_t words, double crossover_override) {
   if (words <= 0 || L.cols <= 0 || N.cols <= 0) return false;
   // Densified panels must stay modest: 32 MiB of words at the default cap.
   if (words * (L.cols + N.cols) > (std::int64_t{1} << 22)) return false;
@@ -178,7 +180,8 @@ void dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_cols,
       static_cast<double>(L.nnz()) / (static_cast<double>(words) * static_cast<double>(L.cols));
   const double fill_n =
       static_cast<double>(N.nnz()) / (static_cast<double>(words) * static_cast<double>(N.cols));
-  const double crossover = popcount_stream_vectorized() ? 0.30 : 0.60;
+  const double crossover =
+      crossover_override > 0.0 ? crossover_override : calibrated_dense_crossover();
   return fill_l * fill_n >= crossover;
 }
 
@@ -195,7 +198,8 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
   if (common.rows.empty()) return;
 
   const std::int64_t words = std::min(L.rows, N.rows);
-  const bool use_dense = options.allow_dense && dense_path_profitable(L, N, words);
+  const bool use_dense = options.allow_dense &&
+                         dense_path_profitable(L, N, words, options.dense_crossover);
 
   const std::int64_t tile_cols = options.tile_cols > 0 ? options.tile_cols : kAtaTileCols;
   const std::int64_t ntiles = (N.cols + tile_cols - 1) / tile_cols;
@@ -324,14 +328,25 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
   if (replicated) partial = DenseBlock<std::int64_t>(b_accum.row_range, b_accum.col_range);
   DenseBlock<std::int64_t>& target = replicated ? partial : b_accum;
 
-  for (int k = 0; k < s; ++k) {
-    // (1) Transpose exchange: owner (ℓ, k, i) ships R(ℓ·s+k, i) to (ℓ, i, k).
-    std::vector<Triplet<std::uint64_t>> lbuf;
+  // (1) Transpose exchange: owner (ℓ, k, i) ships R(ℓ·s+k, i) to (ℓ, i, k).
+  // Sends are posted one stage AHEAD of the multiply that consumes them
+  // (stage 0 before the loop, stage k+1 before stage k's local work):
+  // bsp sends are buffered copies and the per-stage tags keep them
+  // ordered, so the stage-k+1 transpose hop completes while stage k
+  // multiplies — the same overlap the ring schedule gets from double
+  // buffering.
+  const auto post_transpose = [&](int k) {
     if (grid.grid_row() == k) {
       const int dest = grid.world_rank_of(grid.layer(), grid.grid_col(), k);
       grid.world().send<Triplet<std::uint64_t>>(
           dest, kTagTranspose + k, std::span<const Triplet<std::uint64_t>>(my_block.entries));
     }
+  };
+  post_transpose(0);
+
+  for (int k = 0; k < s; ++k) {
+    if (k + 1 < s) post_transpose(k + 1);
+    std::vector<Triplet<std::uint64_t>> lbuf;
     if (grid.grid_col() == k) {
       const int source = grid.world_rank_of(grid.layer(), k, grid.grid_row());
       lbuf = grid.world().recv<Triplet<std::uint64_t>>(source, kTagTranspose + k);

@@ -65,7 +65,10 @@
 // copies, so the payload is immutable once posted), which lets the
 // neighbour's receive — and hence the whole rotation hop — complete
 // while this rank computes. The synchronous schedule is retained for the
-// ablation bench.
+// ablation bench. SUMMA overlaps its stages the same way: the stage-k+1
+// transpose send is posted before the stage-k broadcasts and multiply,
+// so the next stage's longest point-to-point hop hides under the current
+// stage's compute.
 #pragma once
 
 #include <cstdint>
@@ -103,6 +106,10 @@ struct CsrAtaOptions {
   /// Permit the density-adaptive dense-block path (technique 4 above).
   /// Benches disable it to measure the sparse tile kernel in isolation.
   bool allow_dense = true;
+  /// Sparse/dense fill-product crossover. 0 = derive from the startup
+  /// micro-calibration (distmat/crossover.hpp); a positive value pins
+  /// the threshold (ablations, recorded-run reproduction).
+  double dense_crossover = 0.0;
 };
 
 /// Default output-column tile width: 512 × 8-byte accumulators = 4 KiB

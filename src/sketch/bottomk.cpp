@@ -1,0 +1,155 @@
+#include "sketch/bottomk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/hashing.hpp"
+
+namespace sas::sketch {
+
+namespace {
+
+/// Mash's estimator over two sorted hash lists: of the `capacity`
+/// smallest hashes of the merged order, the fraction present in both.
+/// Shared by the object and wire paths (bit-identical by construction).
+double bottomk_walk(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+                    std::size_t capacity) {
+  if (a.empty() && b.empty()) return 1.0;  // J(∅, ∅) = 1
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  std::size_t taken = 0;
+  std::size_t shared = 0;
+  while (taken < capacity && (ia < a.size() || ib < b.size())) {
+    if (ib >= b.size() || (ia < a.size() && a[ia] < b[ib])) {
+      ++ia;
+    } else if (ia >= a.size() || b[ib] < a[ia]) {
+      ++ib;
+    } else {
+      ++shared;
+      ++ia;
+      ++ib;
+    }
+    ++taken;
+  }
+  return taken == 0 ? 1.0 : static_cast<double>(shared) / static_cast<double>(taken);
+}
+
+}  // namespace
+
+BottomKSketch::BottomKSketch(std::size_t sketch_size, std::uint64_t seed)
+    : capacity_(sketch_size), seed_(seed) {
+  if (sketch_size == 0) throw std::invalid_argument("BottomKSketch: size must be > 0");
+}
+
+BottomKSketch::BottomKSketch(std::span<const std::uint64_t> elements,
+                             std::size_t sketch_size, std::uint64_t seed)
+    : BottomKSketch(sketch_size, seed) {
+  const HashFamily h(seed);
+  hashes_.reserve(elements.size());
+  for (std::uint64_t e : elements) hashes_.push_back(h(e));
+  std::sort(hashes_.begin(), hashes_.end());
+  hashes_.erase(std::unique(hashes_.begin(), hashes_.end()), hashes_.end());
+  if (hashes_.size() > capacity_) hashes_.resize(capacity_);
+}
+
+void BottomKSketch::add(std::uint64_t element) {
+  const std::uint64_t h = HashFamily(seed_)(element);
+  if (hashes_.size() >= capacity_ && h >= hashes_.back()) return;
+  const auto pos = std::lower_bound(hashes_.begin(), hashes_.end(), h);
+  if (pos != hashes_.end() && *pos == h) return;  // distinct hashes only
+  hashes_.insert(pos, h);
+  if (hashes_.size() > capacity_) hashes_.pop_back();
+}
+
+BottomKSketch BottomKSketch::merge(const BottomKSketch& a, const BottomKSketch& b) {
+  if (a.seed_ != b.seed_ || a.capacity_ != b.capacity_) {
+    throw std::invalid_argument("BottomKSketch::merge: incompatible sketches");
+  }
+  BottomKSketch out(a.capacity_, a.seed_);
+  out.hashes_.reserve(a.hashes_.size() + b.hashes_.size());
+  std::merge(a.hashes_.begin(), a.hashes_.end(), b.hashes_.begin(), b.hashes_.end(),
+             std::back_inserter(out.hashes_));
+  out.hashes_.erase(std::unique(out.hashes_.begin(), out.hashes_.end()),
+                    out.hashes_.end());
+  if (out.hashes_.size() > out.capacity_) out.hashes_.resize(out.capacity_);
+  return out;
+}
+
+double BottomKSketch::estimate_jaccard(const BottomKSketch& a, const BottomKSketch& b) {
+  if (a.seed_ != b.seed_ || a.capacity_ != b.capacity_) {
+    throw std::invalid_argument("BottomKSketch::estimate_jaccard: incompatible sketches");
+  }
+  return bottomk_walk(a.hashes_, b.hashes_, a.capacity_);
+}
+
+std::vector<std::uint64_t> BottomKSketch::serialize() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(kWireHeaderWords + hashes_.size());
+  out.push_back(wire_header_word(WireType::kBottomK));
+  out.push_back(static_cast<std::uint64_t>(capacity_));
+  out.push_back(seed_);
+  out.insert(out.end(), hashes_.begin(), hashes_.end());
+  return out;
+}
+
+BottomKSketch BottomKSketch::deserialize(std::span<const std::uint64_t> wire) {
+  if (wire_type(wire) != WireType::kBottomK) {
+    throw std::invalid_argument("BottomKSketch::deserialize: not a bottom-k blob");
+  }
+  const auto capacity = static_cast<std::size_t>(wire[1]);
+  if (capacity == 0 || wire.size() > kWireHeaderWords + capacity) {
+    throw std::invalid_argument("BottomKSketch::deserialize: malformed payload");
+  }
+  BottomKSketch out(capacity, wire[2]);
+  out.hashes_.assign(wire.begin() + kWireHeaderWords, wire.end());
+  if (!std::is_sorted(out.hashes_.begin(), out.hashes_.end())) {
+    throw std::invalid_argument("BottomKSketch::deserialize: payload not sorted");
+  }
+  return out;
+}
+
+double mash_distance(double jaccard_estimate, int k) {
+  if (jaccard_estimate <= 0.0) return 1.0;
+  if (jaccard_estimate >= 1.0) return 0.0;
+  const double d =
+      -std::log(2.0 * jaccard_estimate / (1.0 + jaccard_estimate)) / static_cast<double>(k);
+  return std::clamp(d, 0.0, 1.0);
+}
+
+std::vector<double> minhash_all_pairs(
+    const std::vector<std::vector<std::uint64_t>>& samples, std::size_t sketch_size,
+    std::uint64_t seed) {
+  const auto n = static_cast<std::int64_t>(samples.size());
+  std::vector<BottomKSketch> sketches;
+  sketches.reserve(samples.size());
+  for (const auto& sample : samples) {
+    sketches.emplace_back(std::span<const std::uint64_t>(sample), sketch_size, seed);
+  }
+  std::vector<double> estimates(static_cast<std::size_t>(n * n), 1.0);
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      const double e = BottomKSketch::estimate_jaccard(
+          sketches[static_cast<std::size_t>(i)], sketches[static_cast<std::size_t>(j)]);
+      estimates[static_cast<std::size_t>(i * n + j)] = e;
+      estimates[static_cast<std::size_t>(j * n + i)] = e;
+    }
+  }
+  return estimates;
+}
+
+double bottomk_wire_jaccard(std::span<const std::uint64_t> a,
+                            std::span<const std::uint64_t> b) {
+  if (a.size() < kWireHeaderWords || b.size() < kWireHeaderWords || a[1] != b[1] ||
+      a[2] != b[2]) {
+    throw std::invalid_argument("bottomk_wire_jaccard: incompatible blobs");
+  }
+  const auto capacity = static_cast<std::size_t>(a[1]);
+  if (capacity == 0 || a.size() > kWireHeaderWords + capacity ||
+      b.size() > kWireHeaderWords + capacity) {
+    throw std::invalid_argument("bottomk_wire_jaccard: malformed blob");
+  }
+  return bottomk_walk(a.subspan(kWireHeaderWords), b.subspan(kWireHeaderWords),
+                      capacity);
+}
+
+}  // namespace sas::sketch

@@ -1,0 +1,141 @@
+#include "sketch/exchange.hpp"
+
+#include <functional>
+#include <stdexcept>
+#include <utility>
+
+#include "core/packing.hpp"
+#include "distmat/block.hpp"
+#include "distmat/dense_block.hpp"
+#include "distmat/gather.hpp"
+#include "sketch/bottomk.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/one_perm_minhash.hpp"
+#include "util/timer.hpp"
+
+namespace sas::sketch {
+
+namespace {
+
+using distmat::BlockRange;
+using distmat::DenseBlock;
+
+/// Stream one sample's attribute ids into `sk`, batch by batch, and
+/// return the comparison wire blob. add() is order-independent, so the
+/// result does not depend on the batch count.
+template <typename Sketch>
+std::vector<std::uint64_t> stream_into(Sketch sk, const core::SampleSource& source,
+                                       std::int64_t sample, int batches) {
+  const std::int64_t m = source.attribute_universe();
+  for (int l = 0; l < batches; ++l) {
+    const BlockRange rows = distmat::block_range(m, batches, l);
+    for (std::int64_t v : source.values_in_range(sample, rows)) {
+      sk.add(static_cast<std::uint64_t>(v));
+    }
+  }
+  return sk.wire();
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> build_sample_wire(const core::SampleSource& source,
+                                             std::int64_t sample,
+                                             const core::Config& config) {
+  const int batches = static_cast<int>(config.batch_count);
+  switch (config.estimator) {
+    case core::Estimator::kHll:
+      return stream_into(HyperLogLog(config.hll_precision, config.sketch_seed), source,
+                         sample, batches);
+    case core::Estimator::kMinhash:
+      return stream_into(
+          OnePermMinHash(config.sketch_size, config.minhash_bits, config.sketch_seed),
+          source, sample, batches);
+    case core::Estimator::kBottomK:
+      return stream_into(
+          BottomKSketch(static_cast<std::size_t>(config.sketch_size), config.sketch_seed),
+          source, sample, batches);
+    case core::Estimator::kExact:
+      break;
+  }
+  throw std::invalid_argument("build_sample_wire: kExact has no sketch form");
+}
+
+core::Result sketch_similarity_at_scale(bsp::Comm& world,
+                                        const core::SampleSource& source,
+                                        const core::Config& config) {
+  const std::int64_t n = source.sample_count();
+  const int p = world.size();
+  const int r = world.rank();
+  constexpr int kTagSketchRing = 310;
+
+  world.barrier();
+  Timer timer;
+
+  // (1) Sketch the owned samples (block distribution, matching the ring
+  // panel layout so arriving panels map onto contiguous output columns).
+  const BlockRange mine = distmat::block_range(n, p, r);
+  std::vector<std::vector<std::uint64_t>> blobs;
+  blobs.reserve(static_cast<std::size_t>(mine.size()));
+  for (std::int64_t i = mine.begin; i < mine.end; ++i) {
+    blobs.push_back(build_sample_wire(source, i, config));
+  }
+  const std::vector<std::uint64_t> panel_words = core::pack_word_panel(blobs);
+  const auto my_views = core::unpack_word_panel(panel_words);
+
+  // (2)+(3) Rotate panels; estimate into this rank's output row panel.
+  // Same double-buffered schedule as ring_ata_accumulate: the send is a
+  // buffered copy posted before the local estimation work, so the hop
+  // overlaps compute (Config::ring_overlap toggles the ablation).
+  DenseBlock<double> s_panel(mine, BlockRange{0, n});
+  std::vector<std::uint64_t> current = panel_words;
+  int current_owner = r;
+  for (int step = 0; step < p; ++step) {
+    const bool last_step = step + 1 == p;
+    if (!last_step && config.ring_overlap) {
+      world.send<std::uint64_t>((r + 1) % p, kTagSketchRing,
+                                std::span<const std::uint64_t>(current));
+    }
+
+    const BlockRange owner_cols = distmat::block_range(n, p, current_owner);
+    const auto views =
+        current_owner == r ? my_views : core::unpack_word_panel(current);
+    for (std::int64_t i = 0; i < mine.size(); ++i) {
+      for (std::int64_t j = 0; j < owner_cols.size(); ++j) {
+        s_panel.at_local(i, owner_cols.begin + j) =
+            estimate_jaccard_wire(my_views[static_cast<std::size_t>(i)],
+                                  views[static_cast<std::size_t>(j)]);
+      }
+    }
+
+    if (last_step) break;
+    if (!config.ring_overlap) {
+      world.send<std::uint64_t>((r + 1) % p, kTagSketchRing,
+                                std::span<const std::uint64_t>(current));
+    }
+    current = world.recv<std::uint64_t>((r + p - 1) % p, kTagSketchRing);
+    current_owner = (current_owner + p - 1) % p;
+  }
+
+  const std::int64_t total_words = world.allreduce_value<std::int64_t>(
+      static_cast<std::int64_t>(panel_words.size()), std::plus<std::int64_t>{});
+  world.barrier();
+  const double seconds = timer.seconds();
+
+  std::vector<double> full = distmat::gather_dense_to_root(world, &s_panel, n, n);
+
+  core::Result result;
+  result.n = n;
+  result.active_ranks = p;
+  if (world.rank() == 0) {
+    result.similarity = core::SimilarityMatrix(n, std::move(full));
+    core::BatchStats bs;
+    bs.seconds = seconds;
+    bs.filtered_rows = 0;  // no packing pass: sketches replace the panels
+    bs.word_rows = blobs.empty() ? 0 : static_cast<std::int64_t>(blobs.front().size());
+    bs.packed_nnz = total_words;  // wire words across all ranks
+    result.batches = {bs};
+  }
+  return result;
+}
+
+}  // namespace sas::sketch

@@ -1,0 +1,53 @@
+// exchange.hpp — the distributed sketch-exchange pipeline.
+//
+// The approximate counterpart of the SpGEMM driver path: instead of
+// redistributing bit-packed k-mer panels and multiplying under the
+// popcount semiring, each rank
+//
+//   1. builds one sketch per OWNED sample (block distribution over the
+//      n samples) by streaming the sample's attribute ids batch by batch
+//      through SampleSource::values_in_range — same batched reads, same
+//      bounded memory as the exact path, and order-independence of
+//      add() makes the result identical for any batch count;
+//   2. flattens the owned sketches' wire blobs into one panel
+//      (core::pack_word_panel) and rotates the panels around the PR-1
+//      overlapped ring (send posted before the local estimation work,
+//      honoring Config::ring_overlap);
+//   3. estimates all-pairs Jaccard between its sketches and each
+//      arriving panel (sketch::estimate_jaccard_wire) straight into its
+//      row panel of the SimilarityMatrix, which is assembled on rank 0
+//      exactly like the exact path's output.
+//
+// Communication per rotation step is O(samples_per_rank · sketch_bytes)
+// — independent of genome size — versus the exact ring's O(nnz) panel
+// bytes; bench/minhash_accuracy reports both through the bsp cost
+// counters. Estimates are symmetric and deterministic in (config, data),
+// so the result is bitwise independent of the rank count (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bsp/comm.hpp"
+#include "core/config.hpp"
+#include "core/driver.hpp"
+#include "core/sample_source.hpp"
+
+namespace sas::sketch {
+
+/// Wire blob of one sample's sketch under `config` (which selects the
+/// estimator and its parameters), built by streaming the sample's
+/// attribute ids in `config.batch_count` batches. Throws
+/// std::invalid_argument when config.estimator == kExact.
+[[nodiscard]] std::vector<std::uint64_t> build_sample_wire(
+    const core::SampleSource& source, std::int64_t sample, const core::Config& config);
+
+/// Run the sketch-exchange pipeline collectively over `world`. Every
+/// rank must call with identical `config` (estimator != kExact); the
+/// estimated similarity matrix and batch statistics land on rank 0,
+/// mirroring core::similarity_at_scale's contract.
+[[nodiscard]] core::Result sketch_similarity_at_scale(bsp::Comm& world,
+                                                      const core::SampleSource& source,
+                                                      const core::Config& config);
+
+}  // namespace sas::sketch

@@ -1,0 +1,108 @@
+// hyperloglog.hpp — HyperLogLog cardinality sketch with Jaccard via
+// inclusion–exclusion (Flajolet et al. 2007; the scheme behind bonsai's
+// HLL-based distcmp).
+//
+// A dense array of m = 2^p registers, each holding the maximum leading-
+// zero rank observed among hashed elements routed to it. Cardinality is
+// estimated with the classic bias-corrected harmonic mean plus the
+// linear-counting small-range correction; two sketches merge by
+// register-wise max (exactly the sketch of the union — associative,
+// commutative, idempotent), so
+//
+//   Ĵ = (|A|̂ + |B|̂ − |A ∪ B|̂) / |A ∪ B|̂        (inclusion–exclusion)
+//
+// needs no extra state beyond the two register arrays.
+//
+// == Accuracy / bytes =====================================================
+//
+// Cardinality relative standard error is ≈ 1.04/√m. The Jaccard estimate
+// combines three correlated cardinality estimates; a conservative 3σ
+// propagation through the inclusion–exclusion quotient gives the
+// documented mean-absolute-error bound
+//
+//   mean |Ĵ − J| ≤ hll_jaccard_error_bound(p) = 6·1.04/√(2^p)
+//
+// (p = 12 → m = 4096 registers = 4096 wire bytes, bound ≈ 0.0975; the
+// observed mean error on the bench workloads is ~3× smaller). Note the
+// bound is ABSOLUTE: for highly dissimilar pairs (J ≈ 0.002, the paper's
+// §I regime) the relative error is still large — that regime wants the
+// exact estimator or a large minhash sketch.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/sketch.hpp"
+#include "util/hashing.hpp"
+
+namespace sas::sketch {
+
+/// Documented mean-absolute-error bound of the HLL Jaccard estimate at
+/// precision p (see the accuracy note above).
+[[nodiscard]] inline double hll_jaccard_error_bound(int precision) noexcept {
+  return 6.0 * 1.04 / std::sqrt(static_cast<double>(std::int64_t{1} << precision));
+}
+
+class HyperLogLog {
+ public:
+  static constexpr int kMinPrecision = 4;
+  static constexpr int kMaxPrecision = 18;
+
+  /// Empty sketch with m = 2^precision registers. Both sides of a merge
+  /// or comparison must share (precision, seed).
+  HyperLogLog(int precision, std::uint64_t seed);
+
+  /// Convenience: sketch of a whole element set.
+  HyperLogLog(std::span<const std::uint64_t> elements, int precision,
+              std::uint64_t seed);
+
+  /// Observe one element. Order-independent and idempotent.
+  void add(std::uint64_t element) noexcept;
+
+  [[nodiscard]] int precision() const noexcept { return precision_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::int64_t register_count() const noexcept {
+    return static_cast<std::int64_t>(registers_.size());
+  }
+  [[nodiscard]] const std::vector<std::uint8_t>& registers() const noexcept {
+    return registers_;
+  }
+
+  /// Estimated cardinality (bias-corrected harmonic mean with the
+  /// linear-counting small-range correction).
+  [[nodiscard]] double estimate() const;
+
+  /// Sketch of A ∪ B: register-wise max. Associative, commutative,
+  /// idempotent; throws std::invalid_argument on parameter mismatch.
+  [[nodiscard]] static HyperLogLog merge(const HyperLogLog& a, const HyperLogLog& b);
+
+  /// Inclusion–exclusion Jaccard estimate, clamped to [0, 1];
+  /// J(∅, ∅) = 1 by the library convention.
+  [[nodiscard]] static double estimate_jaccard(const HyperLogLog& a,
+                                               const HyperLogLog& b);
+
+  /// Full-fidelity wire blob (header + 8 registers per word). For HLL
+  /// the comparison form IS the full state, so wire() == serialize().
+  [[nodiscard]] std::vector<std::uint64_t> serialize() const;
+  [[nodiscard]] std::vector<std::uint64_t> wire() const { return serialize(); }
+
+  /// Inverse of serialize(); throws std::invalid_argument on malformed
+  /// input.
+  [[nodiscard]] static HyperLogLog deserialize(std::span<const std::uint64_t> wire);
+
+ private:
+  int precision_;
+  std::uint64_t seed_;
+  HashFamily hash_;
+  std::vector<std::uint8_t> registers_;
+};
+
+/// Wire-level Jaccard estimate (used by estimate_jaccard_wire): same
+/// arithmetic as HyperLogLog::estimate_jaccard, computed directly from
+/// the packed register payloads.
+[[nodiscard]] double hll_wire_jaccard(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b);
+
+}  // namespace sas::sketch

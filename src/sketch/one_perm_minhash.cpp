@@ -1,0 +1,217 @@
+#include "sketch/one_perm_minhash.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sas::sketch {
+
+namespace {
+
+/// Range partition of the 64-bit hash space into `bins` equal intervals
+/// (multiply-high, as in Rng::uniform — no modulo bias).
+std::int64_t bin_of(std::uint64_t hash, std::int64_t bins) noexcept {
+  return static_cast<std::int64_t>(
+      (static_cast<unsigned __int128>(hash) * static_cast<std::uint64_t>(bins)) >> 64);
+}
+
+std::uint64_t register_mask(int bits) noexcept {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// b-bit collision-bias correction of the raw match fraction.
+double corrected_estimate(std::int64_t matches, std::int64_t bins, int bits) noexcept {
+  const double collision = std::ldexp(1.0, -bits);
+  const double frac = static_cast<double>(matches) / static_cast<double>(bins);
+  const double j = (frac - collision) / (1.0 - collision);
+  return std::clamp(j, 0.0, 1.0);
+}
+
+std::uint64_t params_word(std::int64_t bins, int bits) noexcept {
+  return static_cast<std::uint64_t>(bins) | (static_cast<std::uint64_t>(bits) << 32);
+}
+
+/// Densified register lane l of a packed wire payload.
+std::uint64_t packed_lane(std::span<const std::uint64_t> payload, std::int64_t lane,
+                          int bits) noexcept {
+  const std::int64_t bit = lane * bits;
+  return (payload[static_cast<std::size_t>(bit >> 6)] >> (bit & 63)) & register_mask(bits);
+}
+
+void check_params(std::int64_t bins, int bits) {
+  if (bins < 1) throw std::invalid_argument("OnePermMinHash: bins must be >= 1");
+  if (bits < 1 || bits > 64 || 64 % bits != 0) {
+    throw std::invalid_argument("OnePermMinHash: bits must divide 64");
+  }
+}
+
+}  // namespace
+
+OnePermMinHash::OnePermMinHash(std::int64_t bins, int bits, std::uint64_t seed)
+    : bits_(bits), seed_(seed), hash_(seed) {
+  check_params(bins, bits);
+  mins_.assign(static_cast<std::size_t>(bins), 0);
+  occupied_mask_.assign(static_cast<std::size_t>((bins + 63) / 64), 0);
+}
+
+OnePermMinHash::OnePermMinHash(std::span<const std::uint64_t> elements,
+                               std::int64_t bins, int bits, std::uint64_t seed)
+    : OnePermMinHash(bins, bits, seed) {
+  for (std::uint64_t e : elements) add(e);
+}
+
+void OnePermMinHash::add(std::uint64_t element) noexcept {
+  const std::uint64_t h = hash_(element);
+  const std::int64_t bin = bin_of(h, bins());
+  const auto slot = static_cast<std::size_t>(bin);
+  if (!bin_occupied(bin)) {
+    mins_[slot] = h;
+    occupied_mask_[static_cast<std::size_t>(bin >> 6)] |= std::uint64_t{1} << (bin & 63);
+    ++occupied_;
+  } else if (h < mins_[slot]) {
+    mins_[slot] = h;
+  }
+}
+
+std::vector<std::uint64_t> OnePermMinHash::densified_registers() const {
+  const std::int64_t k = bins();
+  std::vector<std::uint64_t> regs(static_cast<std::size_t>(k), 0);
+  if (occupied_ == 0) return regs;  // all-empty: flagged separately on the wire
+  const std::uint64_t mask = register_mask(bits_);
+  // The probe family is decorrelated from the element hash family so a
+  // bin's donor sequence is independent of its content.
+  const HashFamily probe(seed_ ^ 0x6f5091657a18e3ddULL);
+  for (std::int64_t i = 0; i < k; ++i) {
+    std::int64_t source = i;
+    if (!bin_occupied(i)) {
+      // Optimal densification: walk the seeded universal probe sequence
+      // of bin i until it lands on an occupied donor. Deterministic in
+      // (seed, i), so both sides of a comparison borrow identically.
+      for (std::uint64_t attempt = 1;; ++attempt) {
+        const std::uint64_t h =
+            probe(static_cast<std::uint64_t>(i) * 0x100000001b3ULL + attempt);
+        source = bin_of(h, k);
+        if (bin_occupied(source)) break;
+      }
+    }
+    regs[static_cast<std::size_t>(i)] = mins_[static_cast<std::size_t>(source)] & mask;
+  }
+  return regs;
+}
+
+OnePermMinHash OnePermMinHash::merge(const OnePermMinHash& a, const OnePermMinHash& b) {
+  if (a.bins() != b.bins() || a.bits_ != b.bits_ || a.seed_ != b.seed_) {
+    throw std::invalid_argument("OnePermMinHash::merge: incompatible sketches");
+  }
+  OnePermMinHash out(a.bins(), a.bits_, a.seed_);
+  for (std::int64_t i = 0; i < a.bins(); ++i) {
+    const auto slot = static_cast<std::size_t>(i);
+    const bool in_a = a.bin_occupied(i);
+    const bool in_b = b.bin_occupied(i);
+    if (!in_a && !in_b) continue;
+    std::uint64_t value;
+    if (in_a && in_b) {
+      value = std::min(a.mins_[slot], b.mins_[slot]);
+    } else {
+      value = in_a ? a.mins_[slot] : b.mins_[slot];
+    }
+    out.mins_[slot] = value;
+    out.occupied_mask_[static_cast<std::size_t>(i >> 6)] |= std::uint64_t{1} << (i & 63);
+    ++out.occupied_;
+  }
+  return out;
+}
+
+double OnePermMinHash::estimate_jaccard(const OnePermMinHash& a,
+                                        const OnePermMinHash& b) {
+  if (a.bins() != b.bins() || a.bits_ != b.bits_ || a.seed_ != b.seed_) {
+    throw std::invalid_argument("OnePermMinHash::estimate_jaccard: incompatible sketches");
+  }
+  if (a.empty() && b.empty()) return 1.0;  // J(∅, ∅) = 1
+  if (a.empty() || b.empty()) return 0.0;
+  const std::vector<std::uint64_t> ra = a.densified_registers();
+  const std::vector<std::uint64_t> rb = b.densified_registers();
+  std::int64_t matches = 0;
+  for (std::size_t i = 0; i < ra.size(); ++i) matches += ra[i] == rb[i];
+  return corrected_estimate(matches, a.bins(), a.bits_);
+}
+
+std::vector<std::uint64_t> OnePermMinHash::serialize() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(kWireHeaderWords + occupied_mask_.size() + mins_.size());
+  out.push_back(wire_header_word(WireType::kOnePermMinHashRaw));
+  out.push_back(params_word(bins(), bits_));
+  out.push_back(seed_);
+  out.insert(out.end(), occupied_mask_.begin(), occupied_mask_.end());
+  // Unoccupied slots are stored as zero so equal sketches serialize
+  // identically regardless of construction history.
+  for (std::int64_t i = 0; i < bins(); ++i) {
+    out.push_back(bin_occupied(i) ? mins_[static_cast<std::size_t>(i)] : 0);
+  }
+  return out;
+}
+
+OnePermMinHash OnePermMinHash::deserialize(std::span<const std::uint64_t> wire) {
+  if (wire_type(wire) != WireType::kOnePermMinHashRaw) {
+    throw std::invalid_argument("OnePermMinHash::deserialize: not a raw OPH blob");
+  }
+  const auto bins = static_cast<std::int64_t>(wire[1] & 0xffffffffu);
+  const int bits = static_cast<int>(wire[1] >> 32);
+  check_params(bins, bits);
+  const auto mask_words = static_cast<std::size_t>((bins + 63) / 64);
+  if (wire.size() != kWireHeaderWords + mask_words + static_cast<std::size_t>(bins)) {
+    throw std::invalid_argument("OnePermMinHash::deserialize: truncated payload");
+  }
+  OnePermMinHash out(bins, bits, wire[2]);
+  std::copy_n(wire.begin() + kWireHeaderWords, mask_words, out.occupied_mask_.begin());
+  std::copy_n(wire.begin() + kWireHeaderWords + mask_words,
+              static_cast<std::size_t>(bins), out.mins_.begin());
+  for (std::int64_t i = 0; i < bins; ++i) out.occupied_ += out.bin_occupied(i);
+  return out;
+}
+
+std::vector<std::uint64_t> OnePermMinHash::wire() const {
+  const std::int64_t k = bins();
+  const auto payload_words = static_cast<std::size_t>((k * bits_ + 63) / 64);
+  std::vector<std::uint64_t> out;
+  out.reserve(kWireHeaderWords + 1 + payload_words);
+  out.push_back(wire_header_word(WireType::kOnePermMinHash));
+  out.push_back(params_word(k, bits_));
+  out.push_back(seed_);
+  out.push_back(static_cast<std::uint64_t>(occupied_));
+  out.resize(out.size() + payload_words, 0);
+  const std::vector<std::uint64_t> regs = densified_registers();
+  std::uint64_t* const payload = out.data() + kWireHeaderWords + 1;
+  for (std::int64_t lane = 0; lane < k; ++lane) {
+    const std::int64_t bit = lane * bits_;
+    payload[bit >> 6] |= regs[static_cast<std::size_t>(lane)] << (bit & 63);
+  }
+  return out;
+}
+
+double oph_wire_jaccard(std::span<const std::uint64_t> a,
+                        std::span<const std::uint64_t> b) {
+  if (a.size() != b.size() || a.size() < kWireHeaderWords + 1 || a[1] != b[1] ||
+      a[2] != b[2]) {
+    throw std::invalid_argument("oph_wire_jaccard: incompatible blobs");
+  }
+  const auto bins = static_cast<std::int64_t>(a[1] & 0xffffffffu);
+  const int bits = static_cast<int>(a[1] >> 32);
+  check_params(bins, bits);  // malformed params word would read out of bounds
+  const auto payload_words = static_cast<std::size_t>((bins * bits + 63) / 64);
+  if (a.size() != kWireHeaderWords + 1 + payload_words) {
+    throw std::invalid_argument("oph_wire_jaccard: truncated payload");
+  }
+  const bool empty_a = a[kWireHeaderWords] == 0;
+  const bool empty_b = b[kWireHeaderWords] == 0;
+  if (empty_a && empty_b) return 1.0;
+  if (empty_a || empty_b) return 0.0;
+  const auto pa = a.subspan(kWireHeaderWords + 1);
+  const auto pb = b.subspan(kWireHeaderWords + 1);
+  std::int64_t matches = 0;
+  for (std::int64_t lane = 0; lane < bins; ++lane) {
+    matches += packed_lane(pa, lane, bits) == packed_lane(pb, lane, bits);
+  }
+  return corrected_estimate(matches, bins, bits);
+}
+
+}  // namespace sas::sketch

@@ -1,0 +1,119 @@
+// one_perm_minhash.hpp — b-bit one-permutation MinHash with optimal
+// densification (Li et al. 2012 "One Permutation Hashing"; Li & König
+// 2010 "b-bit Minwise Hashing"; Shrivastava 2017 "Optimal Densification").
+//
+// One 64-bit hash evaluation per element: the hash space is split into k
+// equal bins (fixed-point multiply-high range partition) and each bin
+// retains the minimum hash routed to it. Bins that saw no element are
+// filled at comparison/serialization time by borrowing, via a seeded
+// universal probe sequence, the value of a deterministic non-empty donor
+// bin ("optimal densification") — both sides of a comparison run the
+// identical probe sequence, so borrowed bins stay unbiased match
+// indicators. For the wire form each (densified) register is truncated
+// to its low b bits; the induced 2^−b collision bias is removed
+// analytically in the estimator:
+//
+//   Ĵ = (match_fraction − 2^−b) / (1 − 2^−b)
+//
+// == Accuracy / bytes =====================================================
+//
+// The match fraction of k register pairs has variance ≤ J(1−J)/k; with
+// the b-bit correction the documented mean-absolute-error bound is
+//
+//   mean |Ĵ − J| ≤ oph_jaccard_error_bound(k, b) = 1.5/√k + 2^(1−b)
+//
+// (defaults k = 1024, b = 16 → 2048 wire bytes per sample, bound ≈ 0.047;
+// observed mean error ≈ 0.01). This is the best accuracy per wire byte of
+// the subsystem's estimators — b-bit truncation shrinks the sketch 64/b×
+// at a bias cost that is negligible for b ≥ 8.
+//
+// The raw (serialize()) form keeps the full 64-bit bin minima plus the
+// empty-bin mask, so deserialized sketches remain mergeable; merging
+// truncated registers would be unsound (min does not commute with
+// truncation), which is why wire() is comparison-only.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sketch/sketch.hpp"
+#include "util/hashing.hpp"
+
+namespace sas::sketch {
+
+/// Documented mean-absolute-error bound of the b-bit one-permutation
+/// MinHash Jaccard estimate with k bins (see the accuracy note above).
+[[nodiscard]] inline double oph_jaccard_error_bound(std::int64_t bins, int bits) noexcept {
+  return 1.5 / std::sqrt(static_cast<double>(bins)) + std::ldexp(2.0, -bits);
+}
+
+class OnePermMinHash {
+ public:
+  /// Empty sketch with `bins` bins keeping `bits`-bit registers on the
+  /// wire. `bits` must divide 64 (register lanes never straddle words).
+  /// Both sides of a merge or comparison must share (bins, bits, seed).
+  OnePermMinHash(std::int64_t bins, int bits, std::uint64_t seed);
+
+  /// Convenience: sketch of a whole element set.
+  OnePermMinHash(std::span<const std::uint64_t> elements, std::int64_t bins, int bits,
+                 std::uint64_t seed);
+
+  /// Observe one element. Order-independent and idempotent.
+  void add(std::uint64_t element) noexcept;
+
+  [[nodiscard]] std::int64_t bins() const noexcept {
+    return static_cast<std::int64_t>(mins_.size());
+  }
+  [[nodiscard]] int bits() const noexcept { return bits_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] std::int64_t occupied_bins() const noexcept { return occupied_; }
+  [[nodiscard]] bool empty() const noexcept { return occupied_ == 0; }
+
+  /// Densified b-bit registers (the comparison form): every empty bin
+  /// borrows its donor's value via the seeded probe sequence, then all
+  /// registers are truncated to the low b bits. All-empty sketches
+  /// return all-zero registers (flagged separately on the wire).
+  [[nodiscard]] std::vector<std::uint64_t> densified_registers() const;
+
+  /// Sketch of A ∪ B: bin-wise min over the RAW (pre-densification)
+  /// state. Associative, commutative, idempotent; throws
+  /// std::invalid_argument on parameter mismatch.
+  [[nodiscard]] static OnePermMinHash merge(const OnePermMinHash& a,
+                                            const OnePermMinHash& b);
+
+  /// b-bit-corrected match-fraction estimate, clamped to [0, 1];
+  /// J(∅, ∅) = 1, J(∅, X) = 0.
+  [[nodiscard]] static double estimate_jaccard(const OnePermMinHash& a,
+                                               const OnePermMinHash& b);
+
+  /// Full-fidelity blob (raw minima + empty mask): round-trips through
+  /// deserialize() into a sketch that can keep absorbing elements and
+  /// merging.
+  [[nodiscard]] std::vector<std::uint64_t> serialize() const;
+  [[nodiscard]] static OnePermMinHash deserialize(std::span<const std::uint64_t> wire);
+
+  /// Compact comparison blob: densified registers packed b bits per
+  /// lane — k·b/8 payload bytes. This is what the exchange ring ships.
+  [[nodiscard]] std::vector<std::uint64_t> wire() const;
+
+ private:
+  int bits_;
+  std::uint64_t seed_;
+  HashFamily hash_;
+  std::int64_t occupied_ = 0;
+  std::vector<std::uint64_t> mins_;  ///< raw bin minima (valid where occupied)
+  std::vector<std::uint64_t> occupied_mask_;  ///< bit i: bin i saw an element
+
+  [[nodiscard]] bool bin_occupied(std::int64_t i) const noexcept {
+    return (occupied_mask_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1u;
+  }
+};
+
+/// Wire-level Jaccard estimate (used by estimate_jaccard_wire): compares
+/// two packed densified-register payloads lane by lane.
+[[nodiscard]] double oph_wire_jaccard(std::span<const std::uint64_t> a,
+                                      std::span<const std::uint64_t> b);
+
+}  // namespace sas::sketch

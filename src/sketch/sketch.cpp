@@ -1,0 +1,51 @@
+#include "sketch/sketch.hpp"
+
+#include <stdexcept>
+
+#include "sketch/bottomk.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/one_perm_minhash.hpp"
+
+namespace sas::sketch {
+
+WireType wire_type(std::span<const std::uint64_t> wire) {
+  if (wire.size() < kWireHeaderWords || (wire[0] >> 32) != kWireMagic) {
+    throw std::invalid_argument("sketch::wire_type: not a sketch wire blob");
+  }
+  switch (wire[0] & 0xff) {
+    case static_cast<std::uint64_t>(WireType::kHyperLogLog):
+      return WireType::kHyperLogLog;
+    case static_cast<std::uint64_t>(WireType::kOnePermMinHash):
+      return WireType::kOnePermMinHash;
+    case static_cast<std::uint64_t>(WireType::kBottomK):
+      return WireType::kBottomK;
+    case static_cast<std::uint64_t>(WireType::kOnePermMinHashRaw):
+      return WireType::kOnePermMinHashRaw;
+    default:
+      throw std::invalid_argument("sketch::wire_type: unknown sketch type tag");
+  }
+}
+
+double estimate_jaccard_wire(std::span<const std::uint64_t> a,
+                             std::span<const std::uint64_t> b) {
+  const WireType type = wire_type(a);
+  if (type != wire_type(b)) {
+    throw std::invalid_argument("estimate_jaccard_wire: mismatched sketch types");
+  }
+  switch (type) {
+    case WireType::kHyperLogLog:
+      return hll_wire_jaccard(a, b);
+    case WireType::kOnePermMinHash:
+      return oph_wire_jaccard(a, b);
+    case WireType::kBottomK:
+      return bottomk_wire_jaccard(a, b);
+    case WireType::kOnePermMinHashRaw:
+      // Full-fidelity form: materialize (rare path — the ring ships the
+      // compact comparison form).
+      return OnePermMinHash::estimate_jaccard(OnePermMinHash::deserialize(a),
+                                              OnePermMinHash::deserialize(b));
+  }
+  throw std::logic_error("estimate_jaccard_wire: unreachable");
+}
+
+}  // namespace sas::sketch

@@ -1,0 +1,109 @@
+// sketch.hpp — the probabilistic sketch subsystem: guide and wire format.
+//
+// == Why sketches =========================================================
+//
+// The paper's headline result is cutting the *communicated bytes* per
+// genome comparison (§III-B: bitmask compression, zero-row filtering).
+// Sketches are the next rung on that ladder: instead of exchanging the
+// full bit-packed k-mer panels — O(nnz) bytes per rotation step — each
+// sample is compressed once into a FIXED-SIZE summary, and the ring
+// rotates those summaries instead (exchange.hpp). Per rotation step a
+// rank then ships O(samples_per_rank · sketch_bytes) no matter how large
+// the genomes are, at the price of a bounded, documented estimation
+// error. The `Config::estimator` knob selects the operating point.
+//
+// == Choosing an estimator (error / bytes tradeoff) =======================
+//
+// All bounds below are mean-absolute-error bounds on the estimated
+// Jaccard similarity, documented next to each implementation and
+// enforced by tests/test_sketch.cpp and bench/minhash_accuracy.
+//
+//  estimator  class            bytes/sample          mean |Ĵ − J| bound
+//  ---------  ---------------  -------------------   -------------------------
+//  exact      (no sketch)      O(set size)           0
+//  hll        HyperLogLog      2^p registers         hll_jaccard_error_bound(p)
+//             (hyperloglog.hpp)  = 2^p bytes           ≈ 6.24/√(2^p)
+//  minhash    b-bit one-perm   k·b/8 bytes           oph_jaccard_error_bound(k, b)
+//             MinHash            (k bins, b bits)      ≈ 1.5/√k + 2^(1−b)
+//             (one_perm_minhash.hpp)
+//  bottomk    bottom-k MinHash k·8 bytes             bottomk_jaccard_error_bound(k)
+//             (bottomk.hpp)      (full 64-bit mins)    ≈ 1.5/√k
+//
+// Rules of thumb:
+//  * `minhash` (the default approximate estimator) gives the best
+//    accuracy per byte: one hash evaluation per element, k·b/8 bytes on
+//    the wire, and the b-bit collision bias is corrected analytically.
+//  * `hll` unions cheaply (register max) and its size is independent of
+//    k — prefer it when sketches must be merged across many partial
+//    streams or when cardinalities are also wanted. Its Jaccard estimate
+//    goes through inclusion–exclusion, which AMPLIFIES the cardinality
+//    error for dissimilar pairs; use p ≥ 12 for Jaccard work.
+//  * `bottomk` reproduces Mash (the paper's comparison point, §I): exact
+//    once the sketch holds the whole union, but 8 bytes per slot and the
+//    well-known failure on highly dissimilar pairs at small k.
+//  * `exact` remains the only option when downstream analyses (UPGMA/NJ
+//    on near-identical genomes) need error ≪ 1/√k — the paper's §I
+//    motivation for computing Jaccard exactly in the first place.
+//
+// == Sketch concept =======================================================
+//
+// Every sketch type S implements:
+//   S(params..., seed)                — empty sketch
+//   void add(std::uint64_t element)   — incremental, order-independent
+//   static S merge(const S&, const S&)— sketch of the union; associative
+//                                       and commutative (property-tested)
+//   static double estimate_jaccard(const S&, const S&)
+//   std::vector<std::uint64_t> serialize()  — full-fidelity round trip
+//   static S deserialize(span)              — inverse of serialize()
+//   std::vector<std::uint64_t> wire()       — compact comparison form
+//                                             (what the ring ships)
+// Both sides of a comparison/merge must share identical parameters and
+// seed; mismatches throw std::invalid_argument.
+//
+// == Wire format ==========================================================
+//
+// A wire blob is a self-describing vector of 64-bit words:
+//   word 0: (kWireMagic << 32) | type tag        (WireType)
+//   word 1: type-specific parameters
+//   word 2: hash-family seed
+//   word 3+: type-specific payload
+// estimate_jaccard_wire() compares two blobs without materializing
+// sketch objects — the distributed pipeline's inner loop — and throws
+// std::invalid_argument on malformed or incompatible blobs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sas::sketch {
+
+/// Type tag of a wire blob (word 0, low byte).
+enum class WireType : std::uint8_t {
+  kHyperLogLog = 1,     ///< packed 6-bit-in-8 register array
+  kOnePermMinHash = 2,  ///< densified b-bit registers (comparison-only)
+  kBottomK = 3,         ///< sorted bottom-k hash values
+  kOnePermMinHashRaw = 4,  ///< raw bins + empty mask (mergeable, serialize())
+};
+
+inline constexpr std::uint64_t kWireMagic = 0x534b4348;  // "SKCH"
+inline constexpr std::size_t kWireHeaderWords = 3;       // tag, params, seed
+
+/// Word 0 of a wire blob of the given type.
+[[nodiscard]] constexpr std::uint64_t wire_header_word(WireType type) noexcept {
+  return (kWireMagic << 32) | static_cast<std::uint64_t>(type);
+}
+
+/// Type tag of `wire`; throws std::invalid_argument if the blob is too
+/// short or the magic does not match.
+[[nodiscard]] WireType wire_type(std::span<const std::uint64_t> wire);
+
+/// Estimated Jaccard similarity of the two sets behind two wire blobs.
+/// Dispatches on the type tag; both blobs must share type, parameters,
+/// and seed (std::invalid_argument otherwise). This is the inner loop of
+/// the sketch-exchange pipeline; it allocates nothing for the minhash
+/// and bottomk types.
+[[nodiscard]] double estimate_jaccard_wire(std::span<const std::uint64_t> a,
+                                           std::span<const std::uint64_t> b);
+
+}  // namespace sas::sketch

@@ -13,6 +13,7 @@
 
 #include "bsp/runtime.hpp"
 #include "distmat/block.hpp"
+#include "distmat/crossover.hpp"
 #include "distmat/csr.hpp"
 #include "distmat/gather.hpp"
 #include "distmat/proc_grid.hpp"
@@ -215,6 +216,34 @@ TEST(CsrKernel, DisjointRowSpansProduceZero) {
   csr_popcount_ata_accumulate(CsrPanel::from_block(l), CsrPanel::from_block(n), 0, 0,
                               out, nullptr);
   for (auto v : out.values) EXPECT_EQ(v, 0);
+}
+
+// ------------------------------------------------ crossover calibration
+
+TEST(Crossover, CalibratedValueIsSaneAndMemoized) {
+  const double value = calibrated_dense_crossover();
+  EXPECT_GE(value, kMinDenseCrossover);
+  EXPECT_LE(value, kMaxDenseCrossover);
+  EXPECT_EQ(calibrated_dense_crossover(), value);  // one-shot, memoized
+  const double fallback = fallback_dense_crossover();
+  EXPECT_TRUE(fallback == 0.30 || fallback == 0.60);
+}
+
+TEST(Crossover, ForcedThresholdsSelectEitherPathIdentically) {
+  // Mid-density input sits between the extreme thresholds, so pinning
+  // the crossover at the clamp bounds drives the dense and the sparse
+  // path respectively — both must match the reference bit-for-bit.
+  const SparseBlock block = random_block(64, 48, 0.55, 64, 99);
+  const CsrPanel panel = CsrPanel::from_block(block);
+  DenseBlock<std::int64_t> expected(BlockRange{0, 48}, BlockRange{0, 48});
+  popcount_join_accumulate(block.entries, block.entries, 0, 0, expected, nullptr);
+  for (double crossover : {kMinDenseCrossover, kMaxDenseCrossover}) {
+    DenseBlock<std::int64_t> got(BlockRange{0, 48}, BlockRange{0, 48});
+    CsrAtaOptions options;
+    options.dense_crossover = crossover;
+    csr_popcount_ata_accumulate(panel, panel, 0, 0, got, nullptr, options);
+    EXPECT_EQ(got.values, expected.values) << "crossover=" << crossover;
+  }
 }
 
 // --------------------------------------- ring schedules and SUMMA parity

@@ -41,6 +41,7 @@
 #include "genome/kmer_spectrum.hpp"
 #include "genome/phylip.hpp"
 #include "genome/synthetic.hpp"
+#include "sketch/hyperloglog.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -58,6 +59,8 @@ int usage() {
                "           [--phylip out] [--similarity-out out.sasm] [--tsv out.tsv]\n"
                "           [--top N | --threshold J] [--algorithm summa|ring|serial]\n"
                "           [--replication 1] [--bits 64] [--no-filter]\n"
+               "           [--estimator exact|hll|minhash|bottomk] [--sketch-size 1024]\n"
+               "           [--hll-precision 12] [--minhash-bits 16] [--sketch-seed 1445]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
                "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n");
@@ -119,6 +122,46 @@ int cmd_dist(const ArgParser& args) {
     options.core.algorithm = core::Algorithm::kSumma;
   } else {
     std::fprintf(stderr, "gas dist: unknown --algorithm '%s'\n", algorithm.c_str());
+    return 2;
+  }
+
+  // Estimator selection (src/sketch/sketch.hpp documents the tradeoff):
+  // exact is the paper's pipeline; the sketch estimators exchange fixed-
+  // size summaries instead of k-mer panels, trading a documented error
+  // bound for genome-size-independent communication.
+  const std::string estimator = args.get_string("estimator", "exact");
+  if (estimator == "exact") {
+    options.core.estimator = core::Estimator::kExact;
+  } else if (estimator == "hll") {
+    options.core.estimator = core::Estimator::kHll;
+  } else if (estimator == "minhash") {
+    options.core.estimator = core::Estimator::kMinhash;
+  } else if (estimator == "bottomk") {
+    options.core.estimator = core::Estimator::kBottomK;
+  } else {
+    std::fprintf(stderr, "gas dist: unknown --estimator '%s'\n", estimator.c_str());
+    return 2;
+  }
+  options.core.sketch_size = args.get_int("sketch-size", 1024);
+  options.core.hll_precision = static_cast<int>(args.get_int("hll-precision", 12));
+  options.core.minhash_bits = static_cast<int>(args.get_int("minhash-bits", 16));
+  options.core.sketch_seed =
+      static_cast<std::uint64_t>(args.get_int("sketch-seed", 0x5a5));
+  // Reject bad sketch parameters here with a usage error; left to the
+  // sketch constructors they throw inside the rank threads and abort.
+  if (options.core.sketch_size < 1) {
+    std::fprintf(stderr, "gas dist: --sketch-size must be >= 1\n");
+    return 2;
+  }
+  if (options.core.hll_precision < sketch::HyperLogLog::kMinPrecision ||
+      options.core.hll_precision > sketch::HyperLogLog::kMaxPrecision) {
+    std::fprintf(stderr, "gas dist: --hll-precision must be in [%d, %d]\n",
+                 sketch::HyperLogLog::kMinPrecision, sketch::HyperLogLog::kMaxPrecision);
+    return 2;
+  }
+  if (options.core.minhash_bits < 1 || options.core.minhash_bits > 64 ||
+      64 % options.core.minhash_bits != 0) {
+    std::fprintf(stderr, "gas dist: --minhash-bits must divide 64\n");
     return 2;
   }
 
