@@ -44,6 +44,17 @@ inline BatchTiming summarize_batches(const std::vector<core::BatchStats>& batche
   return {acc.mean(), acc.ci95_halfwidth(), acc.count()};
 }
 
+/// Mean measured traffic per batch — bytes summed over ranks, from the
+/// per-batch byte counters BatchStats carries (fed by the bsp cost
+/// counters), so the fig2 tables report what the network actually moved
+/// next to the modelled BSP time.
+inline std::uint64_t mean_batch_bytes(const std::vector<core::BatchStats>& batches) {
+  if (batches.empty()) return 0;
+  std::uint64_t total = 0;
+  for (const auto& b : batches) total += static_cast<std::uint64_t>(b.bytes_sent);
+  return total / batches.size();
+}
+
 /// One measured configuration of the core driver.
 struct RunResult {
   core::Result result;

@@ -22,8 +22,8 @@ int main() {
 
   const bsp::BspMachine model = machine();
   TextTable table({"ranks(grid-active)", "batches", "time/batch", "ci95",
-                   "projected total", "actual total", "modelled BSP",
-                   "speedup(model)"});
+                   "projected total", "actual total", "bytes/batch",
+                   "modelled BSP", "speedup(model)"});
   double base_model = 0.0;
   for (int ranks : {1, 4, 9, 16, 25, 36}) {
     core::Config config;
@@ -38,7 +38,9 @@ int main() {
                        std::to_string(run.result.active_ranks) + ")",
                    std::to_string(config.batch_count), fmt_duration(timing.mean_seconds),
                    fmt_duration(timing.ci95), fmt_duration(projected),
-                   fmt_duration(run.wall_seconds), fmt_duration(modelled),
+                   fmt_duration(run.wall_seconds),
+                   std::to_string(mean_batch_bytes(run.result.batches)),
+                   fmt_duration(modelled),
                    fmt_fixed(base_model / modelled, 2) + "x"});
   }
   table.print();

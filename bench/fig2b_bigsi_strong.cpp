@@ -22,7 +22,7 @@ int main() {
 
   const bsp::BspMachine model = machine();
   TextTable table({"ranks", "batches", "time/batch", "ci95", "projected total",
-                   "actual total", "projection err", "modelled BSP"});
+                   "actual total", "projection err", "bytes/batch", "modelled BSP"});
   for (int ranks : {4, 9, 16, 25}) {  // perfect grids, stand-ins for 128..1024 nodes
     core::Config config;
     config.batch_count = 128 / ranks;  // batch size ∝ ranks, as in the paper
@@ -38,6 +38,7 @@ int main() {
                    fmt_duration(timing.mean_seconds), fmt_duration(timing.ci95),
                    fmt_duration(projected), fmt_duration(run.wall_seconds),
                    fmt_fixed(err, 1) + "%",
+                   std::to_string(mean_batch_bytes(run.result.batches)),
                    fmt_duration(model.modelled_seconds(run.cost))});
   }
   table.print();

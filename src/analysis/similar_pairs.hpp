@@ -5,13 +5,17 @@
 // surface the most related samples (to augment datasets with similar
 // samples, §II-B/[64]) or every pair above a similarity threshold (the
 // screen-style query). Both run over the dense matrix the pipeline
-// produces on the root rank.
+// produces on the root rank. Hybrid runs hand their candidate mask in
+// directly (candidate_pairs) — the pair set is already thresholded, so
+// re-scanning the dense matrix would be wasted work and would surface
+// sketch-estimated (pruned) values as if they were exact.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/similarity_matrix.hpp"
+#include "distmat/pair_mask.hpp"
 
 namespace sas::analysis {
 
@@ -29,6 +33,14 @@ struct ScoredPair {
 /// Every distinct pair with similarity >= threshold, descending.
 [[nodiscard]] std::vector<ScoredPair> pairs_above(const core::SimilarityMatrix& matrix,
                                                   double threshold);
+
+/// Every distinct candidate pair of a hybrid run (off-diagonal mask
+/// entries, which carry exactly rescored similarities), optionally
+/// re-thresholded on the exact value, descending. Only the mask's pairs
+/// are visited — O(candidates) instead of O(n²).
+[[nodiscard]] std::vector<ScoredPair> candidate_pairs(
+    const core::SimilarityMatrix& matrix, const distmat::PairMask& candidates,
+    double threshold = 0.0);
 
 /// For one query sample, its `k` nearest neighbours (most similar other
 /// samples), descending.

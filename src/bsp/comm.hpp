@@ -123,13 +123,15 @@ class Comm {
     send<T>(dest, tag, std::span<const T>(&value, 1));
   }
 
-  /// Blocking receive of a message from (source, tag).
+  /// Blocking receive of a message from (source, tag). Mirrors send():
+  /// self-receives are local memcpys and are not counted as traffic.
   template <typename T>
   [[nodiscard]] std::vector<T> recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(source);
     Mailbox::Message payload =
         state_->mailboxes[static_cast<std::size_t>(rank_)].retrieve(source, tag);
+    if (source != rank_) counters_->bytes_received += payload.size();
     if (payload.size() % sizeof(T) != 0) {
       throw std::logic_error("bsp::Comm::recv: payload size not a multiple of element size");
     }

@@ -20,6 +20,7 @@ namespace sas::bsp {
 struct alignas(64) CostCounters {
   std::uint64_t messages_sent = 0;  ///< point-to-point sends issued
   std::uint64_t bytes_sent = 0;     ///< payload bytes across all sends
+  std::uint64_t bytes_received = 0; ///< payload bytes across all receives
   std::uint64_t supersteps = 0;     ///< barrier synchronizations entered
   std::uint64_t flops = 0;          ///< arithmetic ops recorded by kernels
 
@@ -31,7 +32,8 @@ struct alignas(64) CostCounters {
 /// path is the busiest rank).
 struct CostSummary {
   std::uint64_t total_messages = 0;
-  std::uint64_t total_bytes = 0;
+  std::uint64_t total_bytes = 0;          ///< sum of per-rank bytes_sent
+  std::uint64_t total_bytes_received = 0; ///< sum of per-rank bytes_received
   std::uint64_t max_messages = 0;   ///< max over ranks
   std::uint64_t max_bytes = 0;      ///< max over ranks
   std::uint64_t max_supersteps = 0; ///< max over ranks (≈ common value)
@@ -43,6 +45,7 @@ struct CostSummary {
     for (const CostCounters& c : per_rank) {
       s.total_messages += c.messages_sent;
       s.total_bytes += c.bytes_sent;
+      s.total_bytes_received += c.bytes_received;
       s.total_flops += c.flops;
       s.max_messages = std::max(s.max_messages, c.messages_sent);
       s.max_bytes = std::max(s.max_bytes, c.bytes_sent);

@@ -21,12 +21,16 @@ enum class Algorithm {
 /// estimators swap it for the sketch-exchange ring, which rotates
 /// fixed-size per-sample summaries — O(samples_per_rank · sketch_bytes)
 /// per step instead of O(nnz) panel bytes — at a bounded, documented
-/// estimation error.
+/// estimation error. kHybrid composes the two: a sketch pass prunes the
+/// pair space (Ĵ < prune_threshold − slack), then the exact pipeline
+/// rescores only the surviving pairs — sketch-level traffic on the
+/// pruned mass, bitwise-exact answers on every reported candidate.
 enum class Estimator {
   kExact,    ///< exact popcount-semiring AᵀA (zero error)
   kHll,      ///< HyperLogLog + inclusion–exclusion (sketch/hyperloglog.hpp)
   kMinhash,  ///< b-bit one-permutation MinHash (sketch/one_perm_minhash.hpp)
   kBottomK,  ///< Mash-style bottom-k MinHash (sketch/bottomk.hpp)
+  kHybrid,   ///< sketch-prune → exact-rescore (core/driver.hpp stage diagram)
 };
 
 struct Config {
@@ -86,6 +90,22 @@ struct Config {
   /// Hash-family seed shared by all ranks' sketches. Any value works;
   /// runs are reproducible given (seed, estimator parameters).
   std::uint64_t sketch_seed = 0x5a5;
+
+  /// Sketch used by the hybrid's prune pass (estimator == kHybrid). Must
+  /// be one of the sketch estimators; the sketch parameter knobs above
+  /// apply to it unchanged.
+  Estimator hybrid_sketch = Estimator::kMinhash;
+
+  /// Candidate threshold of the hybrid: pairs with estimated Jaccard
+  /// Ĵ ≥ prune_threshold − slack survive into the exact rescore pass;
+  /// the rest are reported at their sketch estimate.
+  double prune_threshold = 0.1;
+
+  /// Slack subtracted from prune_threshold when masking, guarding recall
+  /// against sketch estimation error. Negative (the default) derives it
+  /// from the chosen sketch's documented mean-error bound
+  /// (sketch::hybrid_prune_slack); an explicit value ≥ 0 pins it.
+  double prune_slack = -1.0;
 };
 
 }  // namespace sas::core

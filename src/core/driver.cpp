@@ -1,9 +1,11 @@
 #include "core/driver.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <utility>
 
 #include "bsp/runtime.hpp"
 #include "core/packing.hpp"
@@ -16,6 +18,43 @@
 #include "util/timer.hpp"
 
 namespace sas::core {
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kIngest:
+      return "ingest";
+    case Stage::kPackSketch:
+      return "pack/sketch";
+    case Stage::kExchange:
+      return "exchange";
+    case Stage::kMultiply:
+      return "multiply";
+    case Stage::kAssemble:
+      return "assemble";
+  }
+  return "?";
+}
+
+PipelineStats StageRecorder::reduce_to_root(bsp::Comm& comm) {
+  std::vector<double> seconds(kStageCount);
+  std::vector<std::uint64_t> traffic(kStageCount * 3);
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    seconds[s] = local_.stages[s].seconds;
+    traffic[s * 3 + 0] = local_.stages[s].bytes_sent;
+    traffic[s * 3 + 1] = local_.stages[s].bytes_received;
+    traffic[s * 3 + 2] = local_.stages[s].messages;
+  }
+  comm.reduce(seconds, [](double a, double b) { return a > b ? a : b; }, 0);
+  comm.reduce(traffic, std::plus<std::uint64_t>{}, 0);
+  PipelineStats out;
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    out.stages[s].seconds = seconds[s];
+    out.stages[s].bytes_sent = traffic[s * 3 + 0];
+    out.stages[s].bytes_received = traffic[s * 3 + 1];
+    out.stages[s].messages = traffic[s * 3 + 2];
+  }
+  return out;
+}
 
 namespace {
 
@@ -43,56 +82,236 @@ DenseBlock<double> finalize_block(const DenseBlock<std::int64_t>& b,
   return s;
 }
 
-}  // namespace
-
-Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
-                           const Config& config) {
-  const std::int64_t n = source.sample_count();
-  const std::int64_t m = source.attribute_universe();
-  const int p = world.size();
-  if (config.batch_count < 1) {
-    throw std::invalid_argument("similarity_at_scale: batch_count must be >= 1");
-  }
-  if (config.batch_count > m && m > 0) {
-    throw std::invalid_argument("similarity_at_scale: more batches than matrix rows");
-  }
-
-  // Approximate estimators swap the SpGEMM pipeline for the sketch-
-  // exchange ring (fixed-size panels, documented error bounds — see
-  // sketch/sketch.hpp for the tradeoff guide).
-  if (config.estimator != Estimator::kExact) {
-    return sketch::sketch_similarity_at_scale(world, source, config);
-  }
-
-  // Parallel layout. The SUMMA path builds the √(p/c)×√(p/c)×c grid; the
-  // others use the flat communicator directly.
+/// Parallel layout shared by the exact and hybrid pipelines. The SUMMA
+/// path builds the √(p/c)×√(p/c)×c grid; the others use the flat
+/// communicator directly.
+struct Layout {
   std::optional<distmat::ProcGrid> grid;
   std::optional<DenseBlock<std::int64_t>> b_block;
-  int active_ranks = p;
-  BlockRange my_cols{0, 0};  // columns whose â this rank accumulates
+  int active_ranks = 0;
+  BlockRange my_cols{0, 0};  ///< columns whose â this rank accumulates
+};
 
+Layout make_layout(bsp::Comm& world, const Config& config, std::int64_t n) {
+  Layout layout;
+  const int p = world.size();
+  layout.active_ranks = p;
   switch (config.algorithm) {
     case Algorithm::kSerial:
-      active_ranks = 1;
+      layout.active_ranks = 1;
       if (world.rank() == 0) {
-        b_block.emplace(BlockRange{0, n}, BlockRange{0, n});
-        my_cols = {0, n};
+        layout.b_block.emplace(BlockRange{0, n}, BlockRange{0, n});
+        layout.my_cols = {0, n};
       }
       break;
     case Algorithm::kRing1D:
-      b_block.emplace(distmat::block_range(n, p, world.rank()), BlockRange{0, n});
-      my_cols = b_block->row_range;
+      layout.b_block.emplace(distmat::block_range(n, p, world.rank()), BlockRange{0, n});
+      layout.my_cols = layout.b_block->row_range;
       break;
     case Algorithm::kSumma:
-      grid.emplace(world, config.replication);
-      active_ranks = grid->active_ranks();
-      if (grid->active()) {
-        b_block.emplace(distmat::block_range(n, grid->side(), grid->grid_row()),
-                        distmat::block_range(n, grid->side(), grid->grid_col()));
-        my_cols = distmat::block_range(n, grid->side(), grid->grid_col());
+      layout.grid.emplace(world, config.replication);
+      layout.active_ranks = layout.grid->active_ranks();
+      if (layout.grid->active()) {
+        layout.b_block.emplace(
+            distmat::block_range(n, layout.grid->side(), layout.grid->grid_row()),
+            distmat::block_range(n, layout.grid->side(), layout.grid->grid_col()));
+        layout.my_cols =
+            distmat::block_range(n, layout.grid->side(), layout.grid->grid_col());
       }
       break;
   }
+  return layout;
+}
+
+/// Exchange + multiply stages for one packed batch. With a candidate
+/// mask (`prune`, hybrid rescore): the ring schedule is replaced by the
+/// mask-targeted alltoall exchange, and the kernels skip fully pruned
+/// blocks/tiles everywhere.
+void exchange_and_multiply(bsp::Comm& world, Layout& layout, const Config& config,
+                           std::int64_t n, PackedBatch packed,
+                           std::vector<std::int64_t>& ahat, StageRecorder& recorder,
+                           const distmat::PairMask* prune) {
+  const int p = world.size();
+  const std::int64_t h = packed.word_rows;
+
+  // Kernel tuning shared by all schedules: CSR panels are built once
+  // per redistributed batch (not re-derived per ring step / SUMMA
+  // stage), and large output blocks may thread the tile accumulation.
+  distmat::CsrAtaOptions kernel_options;
+  kernel_options.threads = config.kernel_threads;
+  kernel_options.dense_crossover = config.dense_crossover;
+  kernel_options.prune = prune;
+
+  switch (config.algorithm) {
+    case Algorithm::kSerial: {
+      std::vector<Triplet<std::uint64_t>> merged;
+      {
+        auto stage = recorder.scope(Stage::kExchange);
+        merged = distmat::redistribute_triplets(
+            world, std::move(packed.triplets),
+            [](std::int64_t, std::int64_t) { return 0; },
+            [](std::uint64_t a, std::uint64_t b) { return a | b; });
+      }
+      if (world.rank() == 0) {
+        auto stage = recorder.scope(Stage::kMultiply);
+        SparseBlock block{h, n, std::move(merged)};
+        const distmat::CsrPanel panel = distmat::CsrPanel::from_block(block);
+        distmat::csr_popcount_ata_accumulate(panel, panel, 0, 0, *layout.b_block,
+                                             &world.counters(), kernel_options);
+        distmat::accumulate_column_popcounts(block, 0, ahat);
+      }
+      break;
+    }
+    case Algorithm::kRing1D: {
+      std::vector<Triplet<std::uint64_t>> merged;
+      {
+        auto stage = recorder.scope(Stage::kExchange);
+        merged = distmat::redistribute_triplets(
+            world, std::move(packed.triplets),
+            [n, p](std::int64_t, std::int64_t col) {
+              return distmat::block_owner(n, p, col);
+            },
+            [](std::uint64_t a, std::uint64_t b) { return a | b; });
+        // Localize columns to this rank's panel; rows stay global.
+        for (auto& t : merged) t.col -= layout.my_cols.begin;
+      }
+      SparseBlock panel{h, layout.my_cols.size(), std::move(merged)};
+      {
+        // Multiply time; the only bytes inside are panel movement hops.
+        auto stage = recorder.scope(Stage::kMultiply, Stage::kExchange);
+        if (prune != nullptr) {
+          distmat::targeted_ata_accumulate(world, n, panel, *prune, *layout.b_block,
+                                           kernel_options);
+        } else {
+          distmat::ring_ata_accumulate(world, n, panel, *layout.b_block,
+                                       config.ring_overlap
+                                           ? distmat::RingSchedule::kOverlapped
+                                           : distmat::RingSchedule::kSynchronous,
+                                       kernel_options);
+        }
+        distmat::accumulate_column_popcounts(panel, layout.my_cols.begin, ahat);
+      }
+      break;
+    }
+    case Algorithm::kSumma: {
+      const int s = layout.grid->side();
+      const int c = layout.grid->layers();
+      std::vector<Triplet<std::uint64_t>> merged;
+      {
+        auto stage = recorder.scope(Stage::kExchange);
+        merged = distmat::redistribute_triplets(
+            world, std::move(packed.triplets),
+            [&](std::int64_t w, std::int64_t col) {
+              const int q = distmat::block_owner(h, s * c, w);
+              const int j = distmat::block_owner(n, s, col);
+              return layout.grid->world_rank_of(q / s, q % s, j);
+            },
+            [](std::uint64_t a, std::uint64_t b) { return a | b; });
+      }
+      if (layout.grid->active()) {
+        const int q = layout.grid->layer() * s + layout.grid->grid_row();
+        const BlockRange chunk = distmat::block_range(h, s * c, q);
+        for (auto& t : merged) {
+          t.row -= chunk.begin;
+          t.col -= layout.my_cols.begin;
+        }
+        SparseBlock block{chunk.size(), layout.my_cols.size(), std::move(merged)};
+        auto stage = recorder.scope(Stage::kMultiply, Stage::kExchange);
+        distmat::summa_ata_accumulate(*layout.grid, block, *layout.b_block,
+                                      kernel_options);
+        distmat::accumulate_column_popcounts(block, layout.my_cols.begin, ahat);
+      }
+      break;
+    }
+  }
+}
+
+/// Assemble stage: â allreduce, S = B ⊘ C on the owning ranks, gather on
+/// rank 0, and — for the hybrid — fill pruned entries with their sketch
+/// estimates and attach the candidate mask.
+Result assemble(bsp::Comm& world, Layout& layout, const Config& config, std::int64_t n,
+                std::vector<std::int64_t>& ahat, std::vector<BatchStats> stats,
+                StageRecorder& recorder, distmat::PairMask* mask,
+                const std::vector<double>* estimates) {
+  std::vector<double> full;
+  {
+    auto stage = recorder.scope(Stage::kAssemble);
+    // Union cardinalities need â = Σ column popcounts over all batches;
+    // the local accumulators cover disjoint blocks, so a sum-allreduce is
+    // exact.
+    world.allreduce(ahat, std::plus<std::int64_t>{});
+
+    // S = B ⊘ C on the owning ranks, then assembled on rank 0. With SUMMA
+    // replication only layer 0 holds the reduced B.
+    std::optional<DenseBlock<double>> s_block;
+    const bool owns_output =
+        layout.b_block.has_value() &&
+        (config.algorithm != Algorithm::kSumma || layout.grid->layer() == 0);
+    if (owns_output) s_block = finalize_block(*layout.b_block, ahat);
+
+    full = distmat::gather_dense_to_root(
+        world, s_block.has_value() ? &*s_block : nullptr, n, n);
+
+    // Hybrid fill: surviving pairs keep their exact rescored value;
+    // pruned pairs report the sketch estimate of the candidate pass.
+    if (world.rank() == 0 && mask != nullptr && estimates != nullptr) {
+      for (std::int64_t i = 0; i < n; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+          if (i != j && !mask->test(i, j)) {
+            full[static_cast<std::size_t>(i * n + j)] =
+                (*estimates)[static_cast<std::size_t>(i * n + j)];
+          }
+        }
+      }
+    }
+  }
+
+  Result result;
+  result.n = n;
+  result.active_ranks = layout.active_ranks;
+  result.stages = recorder.reduce_to_root(world);
+  if (world.rank() == 0) {
+    result.similarity = SimilarityMatrix(n, std::move(full));
+    result.batches = std::move(stats);
+    if (mask != nullptr) result.candidates = std::move(*mask);
+  }
+  return result;
+}
+
+/// Per-batch instrumentation shared by the exact and hybrid loops: the
+/// paper times barrier-to-barrier batches; traffic is the allreduced
+/// delta of the bsp byte counters across the batch.
+void record_batch(bsp::Comm& world, const Timer& timer, std::int64_t filtered_rows,
+                  std::int64_t word_rows, std::int64_t local_nnz,
+                  const bsp::CostCounters& at_batch_start,
+                  std::vector<BatchStats>& stats) {
+  std::vector<std::int64_t> totals = {
+      local_nnz,
+      static_cast<std::int64_t>(world.counters().bytes_sent - at_batch_start.bytes_sent),
+      static_cast<std::int64_t>(world.counters().bytes_received -
+                                at_batch_start.bytes_received)};
+  world.allreduce(totals, std::plus<std::int64_t>{});
+  world.barrier();
+  if (world.rank() == 0) {
+    BatchStats bs;
+    bs.seconds = timer.seconds();
+    bs.filtered_rows = filtered_rows;
+    bs.word_rows = word_rows;
+    bs.packed_nnz = totals[0];
+    bs.bytes_sent = totals[1];
+    bs.bytes_received = totals[2];
+    stats.push_back(bs);
+  }
+}
+
+/// The exact pipeline: per batch ingest → pack → exchange → multiply,
+/// then assemble.
+Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
+                          const Config& config) {
+  const std::int64_t n = source.sample_count();
+  const std::int64_t m = source.attribute_universe();
+  Layout layout = make_layout(world, config, n);
+  StageRecorder recorder(world.counters());
 
   std::vector<std::int64_t> ahat(static_cast<std::size_t>(n), 0);
   std::vector<BatchStats> stats;
@@ -101,116 +320,157 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
   for (int l = 0; l < batches; ++l) {
     const BlockRange rows = distmat::block_range(m, batches, l);
     world.barrier();
+    const bsp::CostCounters batch_start = world.counters();
     Timer timer;
 
-    PackedBatch packed =
-        pack_batch(world, source, rows, config.bit_width, config.use_zero_row_filter);
-    const std::int64_t h = packed.word_rows;
+    BatchReads reads;
+    {
+      auto stage = recorder.scope(Stage::kIngest);
+      reads = read_batch(world.rank(), world.size(), source, rows);
+    }
+    PackedBatch packed;
+    {
+      auto stage = recorder.scope(Stage::kPackSketch);
+      packed = pack_batch(world, reads, rows, config.bit_width,
+                          config.use_zero_row_filter);
+    }
     const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
+    const std::int64_t filtered_rows = packed.filtered_rows;
+    const std::int64_t word_rows = packed.word_rows;
 
-    // Kernel tuning shared by all schedules: CSR panels are built once
-    // per redistributed batch (not re-derived per ring step / SUMMA
-    // stage), and large output blocks may thread the tile accumulation.
-    distmat::CsrAtaOptions kernel_options;
-    kernel_options.threads = config.kernel_threads;
-    kernel_options.dense_crossover = config.dense_crossover;
+    exchange_and_multiply(world, layout, config, n, std::move(packed), ahat, recorder,
+                          nullptr);
+    record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start, stats);
+  }
 
-    switch (config.algorithm) {
-      case Algorithm::kSerial: {
-        auto merged = distmat::redistribute_triplets(
-            world, std::move(packed.triplets),
-            [](std::int64_t, std::int64_t) { return 0; },
-            [](std::uint64_t a, std::uint64_t b) { return a | b; });
-        if (world.rank() == 0) {
-          SparseBlock block{h, n, std::move(merged)};
-          const distmat::CsrPanel panel = distmat::CsrPanel::from_block(block);
-          distmat::csr_popcount_ata_accumulate(panel, panel, 0, 0, *b_block,
-                                               &world.counters(), kernel_options);
-          distmat::accumulate_column_popcounts(block, 0, ahat);
-        }
-        break;
-      }
-      case Algorithm::kRing1D: {
-        auto merged = distmat::redistribute_triplets(
-            world, std::move(packed.triplets),
-            [n, p](std::int64_t, std::int64_t col) {
-              return distmat::block_owner(n, p, col);
-            },
-            [](std::uint64_t a, std::uint64_t b) { return a | b; });
-        // Localize columns to this rank's panel; rows stay global.
-        for (auto& t : merged) t.col -= my_cols.begin;
-        SparseBlock panel{h, my_cols.size(), std::move(merged)};
-        distmat::ring_ata_accumulate(world, n, panel, *b_block,
-                                     config.ring_overlap
-                                         ? distmat::RingSchedule::kOverlapped
-                                         : distmat::RingSchedule::kSynchronous,
-                                     kernel_options);
-        distmat::accumulate_column_popcounts(panel, my_cols.begin, ahat);
-        break;
-      }
-      case Algorithm::kSumma: {
-        const int s = grid->side();
-        const int c = grid->layers();
-        auto merged = distmat::redistribute_triplets(
-            world, std::move(packed.triplets),
-            [&](std::int64_t w, std::int64_t col) {
-              const int q = distmat::block_owner(h, s * c, w);
-              const int j = distmat::block_owner(n, s, col);
-              return grid->world_rank_of(q / s, q % s, j);
-            },
-            [](std::uint64_t a, std::uint64_t b) { return a | b; });
-        if (grid->active()) {
-          const int q = grid->layer() * s + grid->grid_row();
-          const BlockRange chunk = distmat::block_range(h, s * c, q);
-          for (auto& t : merged) {
-            t.row -= chunk.begin;
-            t.col -= my_cols.begin;
-          }
-          SparseBlock block{chunk.size(), my_cols.size(), std::move(merged)};
-          distmat::summa_ata_accumulate(*grid, block, *b_block, kernel_options);
-          distmat::accumulate_column_popcounts(block, my_cols.begin, ahat);
-        }
-        break;
-      }
+  return assemble(world, layout, config, n, ahat, std::move(stats), recorder, nullptr,
+                  nullptr);
+}
+
+/// The hybrid pipeline (sketch-prune → exact-rescore):
+///
+///   1. ONE pass over the inputs: each batch's reads feed both the
+///      bitmask packer and the streaming sketch builders; the packed
+///      batches are cached for the rescore loop (O(nnz/p) per rank — the
+///      same order as the rank's share of the input).
+///   2. The sketch exchange scores all pairs and thresholds them into
+///      the replicated candidate mask (Ĵ ≥ prune_threshold − slack).
+///   3. Rescore: columns with no surviving pair are dropped before
+///      redistribution, the ring schedule becomes the mask-targeted
+///      alltoall, and the kernels tile-skip pruned pairs. Surviving
+///      pairs come out bitwise-identical to kExact (their columns keep
+///      every entry and â is exact on active columns).
+Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
+                           const Config& config) {
+  switch (config.hybrid_sketch) {
+    case Estimator::kHll:
+    case Estimator::kMinhash:
+    case Estimator::kBottomK:
+      break;
+    default:
+      throw std::invalid_argument(
+          "similarity_at_scale: hybrid_sketch must be a sketch estimator");
+  }
+  const std::int64_t n = source.sample_count();
+  const std::int64_t m = source.attribute_universe();
+  const int p = world.size();
+  const int r = world.rank();
+  Layout layout = make_layout(world, config, n);
+  StageRecorder recorder(world.counters());
+
+  // (1) Ingest + pack + sketch, one read per (sample, batch). Persisted,
+  // parameter-compatible blobs skip the streaming (their samples are
+  // still read — the packer needs them).
+  sketch::StreamingSketcher sketcher(config);
+  for (std::int64_t i = r; i < n; i += p) {
+    const std::size_t idx = sketcher.add_sample(i);
+    std::vector<std::uint64_t> persisted = source.persisted_sketch(i, config);
+    if (!persisted.empty() && sketch::wire_matches_config(persisted, config)) {
+      sketcher.preload(idx, std::move(persisted));
     }
+  }
 
-    // Batch instrumentation: the paper times barrier-to-barrier batches.
-    const std::int64_t nnz =
-        world.allreduce_value<std::int64_t>(local_nnz, std::plus<std::int64_t>{});
+  const int batches = static_cast<int>(config.batch_count);
+  std::vector<PackedBatch> cache;
+  cache.reserve(static_cast<std::size_t>(batches));
+  for (int l = 0; l < batches; ++l) {
+    const BlockRange rows = distmat::block_range(m, batches, l);
+    BatchReads reads;
+    {
+      auto stage = recorder.scope(Stage::kIngest);
+      reads = read_batch(r, p, source, rows);
+    }
+    auto stage = recorder.scope(Stage::kPackSketch);
+    for (std::size_t s = 0; s < reads.samples.size(); ++s) {
+      sketcher.absorb(s, std::span<const std::int64_t>(reads.values[s]));
+    }
+    cache.push_back(pack_batch(world, reads, rows, config.bit_width,
+                               config.use_zero_row_filter));
+  }
+
+  // (2) Candidate mask from the sketch exchange. Scoring time is sketch
+  // work; the blob allgather and mask union are exchange traffic.
+  sketch::CandidatePass candidates;
+  {
+    auto stage = recorder.scope(Stage::kPackSketch, Stage::kExchange);
+    candidates = sketch::sketch_candidate_pass(
+        world, std::span<const std::int64_t>(sketcher.samples()), sketcher.finish(), n,
+        config);
+  }
+  const std::vector<std::uint8_t> active = candidates.mask.active_columns();
+
+  // (3) Exact rescore over the cached batches.
+  std::vector<std::int64_t> ahat(static_cast<std::size_t>(n), 0);
+  std::vector<BatchStats> stats;
+  for (int l = 0; l < batches; ++l) {
     world.barrier();
-    if (world.rank() == 0) {
-      BatchStats bs;
-      bs.seconds = timer.seconds();
-      bs.filtered_rows = packed.filtered_rows;
-      bs.word_rows = packed.word_rows;
-      bs.packed_nnz = nnz;
-      stats.push_back(bs);
-    }
+    const bsp::CostCounters batch_start = world.counters();
+    Timer timer;
+
+    PackedBatch packed = std::move(cache[static_cast<std::size_t>(l)]);
+    // Column dropping: a sample with no surviving pair never enters the
+    // network (redistribution, exchange, broadcasts all shrink). Its â
+    // stays 0 and its diagonal falls back to the J(∅, ∅) = 1 convention;
+    // off-diagonal entries are filled from the sketch estimates.
+    std::erase_if(packed.triplets, [&](const Triplet<std::uint64_t>& t) {
+      return active[static_cast<std::size_t>(t.col)] == 0;
+    });
+    const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
+    const std::int64_t filtered_rows = packed.filtered_rows;
+    const std::int64_t word_rows = packed.word_rows;
+
+    exchange_and_multiply(world, layout, config, n, std::move(packed), ahat, recorder,
+                          &candidates.mask);
+    record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start, stats);
   }
 
-  // Union cardinalities need â = Σ column popcounts over all batches; the
-  // local accumulators cover disjoint blocks, so a sum-allreduce is exact.
-  world.allreduce(ahat, std::plus<std::int64_t>{});
+  return assemble(world, layout, config, n, ahat, std::move(stats), recorder,
+                  &candidates.mask, &candidates.estimates);
+}
 
-  // S = B ⊘ C on the owning ranks, then assembled on rank 0. With SUMMA
-  // replication only layer 0 holds the reduced B.
-  std::optional<DenseBlock<double>> s_block;
-  const bool owns_output =
-      b_block.has_value() &&
-      (config.algorithm != Algorithm::kSumma || grid->layer() == 0);
-  if (owns_output) s_block = finalize_block(*b_block, ahat);
+}  // namespace
 
-  std::vector<double> full = distmat::gather_dense_to_root(
-      world, s_block.has_value() ? &*s_block : nullptr, n, n);
-
-  Result result;
-  result.n = n;
-  result.active_ranks = active_ranks;
-  if (world.rank() == 0) {
-    result.similarity = SimilarityMatrix(n, std::move(full));
-    result.batches = std::move(stats);
+Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
+                           const Config& config) {
+  const std::int64_t m = source.attribute_universe();
+  if (config.batch_count < 1) {
+    throw std::invalid_argument("similarity_at_scale: batch_count must be >= 1");
   }
-  return result;
+  if (config.batch_count > m && m > 0) {
+    throw std::invalid_argument("similarity_at_scale: more batches than matrix rows");
+  }
+
+  switch (config.estimator) {
+    case Estimator::kExact:
+      return run_exact_pipeline(world, source, config);
+    case Estimator::kHybrid:
+      return run_hybrid_pipeline(world, source, config);
+    default:
+      // Pure sketch estimators swap the SpGEMM pipeline for the sketch-
+      // exchange ring (fixed-size panels, documented error bounds — see
+      // sketch/sketch.hpp for the tradeoff guide).
+      return sketch::sketch_similarity_at_scale(world, source, config);
+  }
 }
 
 Result similarity_at_scale_threaded(int nranks, const SampleSource& source,

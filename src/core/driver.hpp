@@ -1,25 +1,151 @@
-// driver.hpp — the SimilarityAtScale algorithm (paper Listings 1–2).
+// driver.hpp — the SimilarityAtScale algorithm (paper Listings 1–2) as a
+// staged, composable pipeline.
 //
-// Orchestrates the full batched pipeline over a bsp communicator:
+// Every estimator is a composition of five stages over a bsp communicator:
 //
-//   for each batch A⁽ˡ⁾:                               (Eq. 3)
-//     read + filter zero rows + bitmask-compress        (packing.hpp)
-//     redistribute packed entries onto the grid         (redistribute.hpp)
-//     B  += Â⁽ˡ⁾ᵀ Â⁽ˡ⁾  under the popcount semiring      (spgemm.hpp, Eq. 7)
-//     â  += column popcounts                            (Eq. 4)
-//   C = â1ᵀ + 1âᵀ − B;  S = B ⊘ C;  D = 1 − S           (Eq. 2)
+//   ingest    — read each rank's cyclic share of one row batch A⁽ˡ⁾
+//               (packing.hpp read_batch; purely local)
+//   pack /    — zero-row filter + bitmask compression of the reads
+//   sketch      (pack_batch, Eq. 5–7) and/or streaming sketch
+//               construction from the SAME reads (sketch/exchange.hpp
+//               StreamingSketcher — the hybrid reads inputs once)
+//   exchange  — move data where it multiplies: triplet redistribution
+//               onto the grid, ring/SUMMA panel movement, sketch-panel
+//               rotation, or the hybrid's mask-targeted alltoall
+//   multiply  — B += Â⁽ˡ⁾ᵀ Â⁽ˡ⁾ under the popcount semiring (spgemm.hpp,
+//               Eq. 7) and â += column popcounts (Eq. 4), or wire-level
+//               Jaccard estimation for sketch estimators
+//   assemble  — C = â1ᵀ + 1âᵀ − B;  S = B ⊘ C;  D = 1 − S (Eq. 2),
+//               gathered on world rank 0
 //
-// The returned similarity matrix is assembled on world rank 0.
+// The estimators compose the stages differently:
+//
+//   kExact             for each batch: ingest → pack → exchange →
+//                      multiply; then assemble.
+//   kHll/kMinhash/     ingest+sketch fused per owned sample → exchange
+//   kBottomK           (panel rotation) → multiply (estimation) →
+//                      assemble.
+//   kHybrid            for each batch: ingest → pack+sketch (one read);
+//                      sketch exchange → candidate PairMask (Ĵ ≥
+//                      prune_threshold − slack, replicated); then per
+//                      cached batch: drop columns with no surviving
+//                      pair → targeted exchange → multiply with tile-
+//                      level mask skipping; assemble rescores surviving
+//                      pairs BITWISE-IDENTICALLY to kExact and fills
+//                      pruned entries with their sketch estimates.
+//
+// Per-stage time and traffic land in PipelineStats (fed by the bsp cost
+// counters); per-batch traffic lands in BatchStats. Both are rank-0
+// views consumed by the benches.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "bsp/comm.hpp"
 #include "core/config.hpp"
 #include "core/sample_source.hpp"
 #include "core/similarity_matrix.hpp"
+#include "distmat/pair_mask.hpp"
+#include "util/timer.hpp"
 
 namespace sas::core {
+
+/// Pipeline stages (see the diagram above).
+enum class Stage : int {
+  kIngest = 0,  ///< batch reads (values_in_range loops)
+  kPackSketch,  ///< zero-row filter + bitmask packing + sketch building
+  kExchange,    ///< redistribution, panel movement, mask union
+  kMultiply,    ///< popcount SpGEMM / wire-level estimation
+  kAssemble,    ///< finalize S = B ⊘ C, gather to root, hybrid fill
+};
+inline constexpr std::size_t kStageCount = 5;
+
+[[nodiscard]] const char* stage_name(Stage stage);
+
+/// One stage's measured cost. Seconds are the maximum over ranks (the BSP
+/// critical path); traffic is summed over ranks (what the network moved).
+struct StageStats {
+  double seconds = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages = 0;
+};
+
+/// Per-stage instrumentation of one driver run (rank-0 view).
+struct PipelineStats {
+  std::array<StageStats, kStageCount> stages{};
+
+  [[nodiscard]] StageStats& operator[](Stage s) {
+    return stages[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] const StageStats& operator[](Stage s) const {
+    return stages[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] std::uint64_t total_bytes_sent() const {
+    std::uint64_t total = 0;
+    for (const StageStats& s : stages) total += s.bytes_sent;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t total_bytes_received() const {
+    std::uint64_t total = 0;
+    for (const StageStats& s : stages) total += s.bytes_received;
+    return total;
+  }
+};
+
+/// Per-rank stage recorder. Wrap each stage in a scope(); the destructor
+/// books wall time and the delta of this rank's bsp cost counters. Time
+/// and traffic may be attributed to different stages — the ring multiply,
+/// for instance, is compute time (kMultiply) whose only bytes are
+/// rotation hops (kExchange). reduce_to_root is collective and returns
+/// the cross-rank aggregate on rank 0.
+class StageRecorder {
+ public:
+  explicit StageRecorder(bsp::CostCounters& counters) : counters_(&counters) {}
+
+  class Scope {
+   public:
+    Scope(StageRecorder& recorder, Stage time_stage, Stage byte_stage)
+        : recorder_(recorder),
+          time_stage_(time_stage),
+          byte_stage_(byte_stage),
+          bytes_sent_(recorder.counters_->bytes_sent),
+          bytes_received_(recorder.counters_->bytes_received),
+          messages_(recorder.counters_->messages_sent) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      recorder_.local_[time_stage_].seconds += timer_.seconds();
+      StageStats& bytes = recorder_.local_[byte_stage_];
+      bytes.bytes_sent += recorder_.counters_->bytes_sent - bytes_sent_;
+      bytes.bytes_received += recorder_.counters_->bytes_received - bytes_received_;
+      bytes.messages += recorder_.counters_->messages_sent - messages_;
+    }
+
+   private:
+    StageRecorder& recorder_;
+    Stage time_stage_;
+    Stage byte_stage_;
+    Timer timer_;
+    std::uint64_t bytes_sent_;
+    std::uint64_t bytes_received_;
+    std::uint64_t messages_;
+  };
+
+  [[nodiscard]] Scope scope(Stage stage) { return Scope(*this, stage, stage); }
+  [[nodiscard]] Scope scope(Stage time_stage, Stage byte_stage) {
+    return Scope(*this, time_stage, byte_stage);
+  }
+
+  /// Collective: max seconds / summed traffic across ranks, on rank 0.
+  [[nodiscard]] PipelineStats reduce_to_root(bsp::Comm& comm);
+
+ private:
+  PipelineStats local_;
+  bsp::CostCounters* counters_;
+};
 
 /// Per-batch instrumentation (rank-0 view; the benches consume this).
 struct BatchStats {
@@ -27,6 +153,8 @@ struct BatchStats {
   std::int64_t filtered_rows = 0;///< rows surviving the zero-row filter
   std::int64_t word_rows = 0;    ///< h after bitmask compression
   std::int64_t packed_nnz = 0;   ///< nonzero words across all ranks
+  std::int64_t bytes_sent = 0;   ///< measured payload bytes, summed over ranks
+  std::int64_t bytes_received = 0;  ///< measured receive bytes, summed over ranks
 };
 
 struct Result {
@@ -34,6 +162,11 @@ struct Result {
   SimilarityMatrix similarity;      ///< valid on world rank 0
   std::vector<BatchStats> batches;  ///< valid on world rank 0
   int active_ranks = 0;             ///< ranks that took part in the product
+  PipelineStats stages;             ///< per-stage cost breakdown (rank 0)
+  /// kHybrid only (rank 0): the candidate-pair mask of the sketch-prune
+  /// pass. Masked pairs carry exact similarities; unmasked pairs carry
+  /// their sketch estimate. Empty for every other estimator.
+  distmat::PairMask candidates;
 };
 
 /// Run SimilarityAtScale collectively over `world`. Every rank of `world`

@@ -7,36 +7,35 @@
 
 namespace sas::core {
 
-PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
+BatchReads read_batch(int rank, int nranks, const SampleSource& source,
+                      distmat::BlockRange rows) {
+  const std::int64_t n = source.sample_count();
+  BatchReads reads;
+  const auto my_sample_count =
+      static_cast<std::size_t>(rank < n ? (n - rank + nranks - 1) / nranks : 0);
+  reads.samples.reserve(my_sample_count);
+  reads.values.reserve(my_sample_count);
+  for (std::int64_t i = rank; i < n; i += nranks) {
+    reads.samples.push_back(i);
+    reads.values.push_back(source.values_in_range(i, rows));
+  }
+  return reads;
+}
+
+PackedBatch pack_batch(bsp::Comm& comm, const BatchReads& reads,
                        distmat::BlockRange rows, int bit_width, bool use_filter) {
   if (bit_width < 1 || bit_width > 64) {
     throw std::invalid_argument("pack_batch: bit_width must be in [1, 64]");
   }
-  const int p = comm.size();
-  const int rank = comm.rank();
-  const std::int64_t n = source.sample_count();
   const std::int64_t batch_height = rows.size();
 
-  // (1) Read this rank's samples restricted to the batch; store row
-  // offsets relative to the batch start.
-  const auto my_sample_count = static_cast<std::size_t>(rank < n ? (n - rank + p - 1) / p : 0);
-  std::vector<std::int64_t> my_samples;
-  std::vector<std::vector<std::int64_t>> my_offsets;
-  my_samples.reserve(my_sample_count);
-  my_offsets.reserve(my_sample_count);
-  for (std::int64_t i = rank; i < n; i += p) {
-    std::vector<std::int64_t> values = source.values_in_range(i, rows);
-    for (std::int64_t& v : values) v -= rows.begin;
-    my_samples.push_back(i);
-    my_offsets.push_back(std::move(values));
-  }
-
-  // (2) Distributed zero-row filter f⁽ˡ⁾, replicated on all ranks.
+  // (1) Distributed zero-row filter f⁽ˡ⁾, replicated on all ranks.
+  // Offsets are relative to the batch start (reads carry global ids).
   std::vector<std::int64_t> filter;
   if (use_filter) {
     std::vector<std::int64_t> observed;
-    for (const auto& offsets : my_offsets) {
-      observed.insert(observed.end(), offsets.begin(), offsets.end());
+    for (const auto& values : reads.values) {
+      for (std::int64_t v : values) observed.push_back(v - rows.begin);
     }
     filter = distmat::distributed_index_union(
         comm, std::span<const std::int64_t>(observed), batch_height);
@@ -46,7 +45,7 @@ PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
   out.filtered_rows = use_filter ? static_cast<std::int64_t>(filter.size()) : batch_height;
   out.word_rows = (out.filtered_rows + bit_width - 1) / bit_width;
 
-  // (3) Compact and pack: consecutive compacted rows of one sample that
+  // (2) Compact and pack: consecutive compacted rows of one sample that
   // share a word are OR-merged as they stream by (offsets are sorted, and
   // the compaction map is monotone, so same-word runs are contiguous).
   // One packed triplet is emitted per (sample, word) run — up to b× fewer
@@ -54,11 +53,12 @@ PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
   // offset-count bound (which would pin up to 64× the needed capacity for
   // the batch's lifetime).
   const std::span<const std::int64_t> filter_span(filter);
-  for (std::size_t s = 0; s < my_samples.size(); ++s) {
-    const std::int64_t col = my_samples[s];
+  for (std::size_t s = 0; s < reads.samples.size(); ++s) {
+    const std::int64_t col = reads.samples[s];
     std::int64_t current_word = -1;
     std::uint64_t mask = 0;
-    for (std::int64_t offset : my_offsets[s]) {
+    for (std::int64_t value : reads.values[s]) {
+      const std::int64_t offset = value - rows.begin;
       const std::int64_t compacted =
           use_filter ? distmat::compact_row_id(filter_span, offset) : offset;
       const std::int64_t word = compacted / bit_width;
@@ -73,6 +73,12 @@ PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
     if (current_word >= 0) out.triplets.push_back({current_word, col, mask});
   }
   return out;
+}
+
+PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
+                       distmat::BlockRange rows, int bit_width, bool use_filter) {
+  return pack_batch(comm, read_batch(comm.rank(), comm.size(), source, rows), rows,
+                    bit_width, use_filter);
 }
 
 std::vector<std::uint64_t> pack_word_panel(

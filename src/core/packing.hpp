@@ -1,17 +1,21 @@
 // packing.hpp — per-batch preprocessing (paper §III-B, Listing 2's
-// preprocessInput): zero-row filtering and bitmask compression.
+// preprocessInput), split into the driver's first two pipeline stages:
 //
-// Given one row batch A⁽ˡ⁾ of the indicator matrix, each rank
-//   1. reads the attribute values of its samples restricted to the batch
-//      (cyclic sample ownership: sample i is read by rank i mod p),
-//   2. contributes observed row offsets to the distributed filter f⁽ˡ⁾
-//      and obtains the replicated sorted filter (Eq. 5),
-//   3. remaps each value to its compacted row id — the prefix sum p⁽ˡ⁾ of
-//      the filter (Eq. 6) — and packs segments of `bit_width` compacted
-//      rows into word masks (Eq. 7).
+//   ingest (read_batch)  — read the attribute values of this rank's
+//      samples restricted to the batch (cyclic sample ownership: sample i
+//      is read by rank i mod p). Purely local; the returned values are
+//      GLOBAL attribute ids so the same reads can feed streaming sketch
+//      construction (sketch hashing is defined over global ids).
+//   pack (pack_batch)    — contribute observed row offsets to the
+//      distributed filter f⁽ˡ⁾, obtain the replicated sorted filter
+//      (Eq. 5), remap each value to its compacted row id — the prefix
+//      sum p⁽ˡ⁾ of the filter (Eq. 6) — and pack segments of `bit_width`
+//      compacted rows into word masks (Eq. 7).
 //
-// The output triplets are globally indexed (word_row, sample) pairs ready
-// for redistribution onto the processor grid.
+// The split is what lets the hybrid estimator read inputs ONCE: the
+// driver hands each batch's reads to both the sketch builders and the
+// packer. The output triplets are globally indexed (word_row, sample)
+// pairs ready for redistribution onto the processor grid.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,19 @@
 
 namespace sas::core {
 
+/// One rank's raw reads of one row batch (the ingest stage): the global
+/// attribute ids of each cyclically owned sample, restricted to the
+/// batch's row range.
+struct BatchReads {
+  std::vector<std::int64_t> samples;  ///< global sample ids (rank, rank+p, ...)
+  std::vector<std::vector<std::int64_t>> values;  ///< sorted global attribute ids
+};
+
+/// Ingest stage: read this rank's share of batch `rows` (sample i is read
+/// by rank i mod nranks). Local — no communication.
+[[nodiscard]] BatchReads read_batch(int rank, int nranks, const SampleSource& source,
+                                    distmat::BlockRange rows);
+
 struct PackedBatch {
   /// h: word-rows of the packed batch matrix Â⁽ˡ⁾ (absent words are zero).
   std::int64_t word_rows = 0;
@@ -36,9 +53,15 @@ struct PackedBatch {
   std::vector<distmat::Triplet<std::uint64_t>> triplets;
 };
 
-/// Collective over `comm`: build this rank's packed share of batch
-/// `rows`. `bit_width` ∈ [1, 64] is the paper's b; `use_filter` toggles
-/// the zero-row compaction (Eq. 5–6).
+/// Pack stage, collective over `comm`: filter + compact + bitmask-pack
+/// one batch of reads. `bit_width` ∈ [1, 64] is the paper's b;
+/// `use_filter` toggles the zero-row compaction (Eq. 5–6).
+[[nodiscard]] PackedBatch pack_batch(bsp::Comm& comm, const BatchReads& reads,
+                                     distmat::BlockRange rows, int bit_width,
+                                     bool use_filter);
+
+/// Convenience fusion of the two stages (tests, callers that do not need
+/// the reads for anything else).
 [[nodiscard]] PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
                                      distmat::BlockRange rows, int bit_width,
                                      bool use_filter);

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/config.hpp"
 #include "distmat/block.hpp"
 
 namespace sas::core {
@@ -34,6 +35,16 @@ class SampleSource {
   /// readFiles(): "scanning through one batch at a time").
   [[nodiscard]] virtual std::vector<std::int64_t> values_in_range(
       std::int64_t sample, distmat::BlockRange range) const = 0;
+
+  /// Persisted sketch wire blob for `sample` matching `config`'s sketch
+  /// estimator and parameters (written by `gas sketch --estimator`), or
+  /// empty when the source has none. Sketch pipelines consult this before
+  /// re-streaming a sample; callers validate compatibility against the
+  /// config (sketch::wire_matches_config) before trusting the blob.
+  [[nodiscard]] virtual std::vector<std::uint64_t> persisted_sketch(
+      std::int64_t /*sample*/, const Config& /*config*/) const {
+    return {};
+  }
 };
 
 /// In-memory sample sets. Construction sorts and deduplicates.

@@ -30,6 +30,12 @@ std::vector<std::int64_t> distributed_index_union(bsp::Comm& comm,
   return comm.allgather<std::int64_t>(owned);
 }
 
+void allreduce_pair_mask(bsp::Comm& comm, PairMask& mask) {
+  comm.allreduce(mask.words(),
+                 [](std::uint64_t a, std::uint64_t b) { return a | b; });
+  mask.symmetrize();
+}
+
 std::int64_t compact_row_id(std::span<const std::int64_t> sorted_filter,
                             std::int64_t global_row) {
   const auto it = std::lower_bound(sorted_filter.begin(), sorted_filter.end(), global_row);

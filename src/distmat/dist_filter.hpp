@@ -1,13 +1,19 @@
-// dist_filter.hpp — the distributed zero-row filter f⁽ˡ⁾ (paper Eq. 5).
+// dist_filter.hpp — distributed work filters: the zero-row filter f⁽ˡ⁾
+// (paper Eq. 5) and the hybrid's candidate-pair mask union.
 //
-// Every rank contributes the row indices it observed nonzeros in; the
-// union is formed with one all-to-all (block owners deduplicate — the
-// (max,×) semiring write of §IV-A) and then replicated on all ranks,
-// matching the paper's implementation choice: "our implementation then
-// proceeds by collecting the sparse vector f on all processors, and
-// performing a local prefix sum". The prefix sum is implicit in the
-// sorted order: the compacted row id of global row g is its position in
-// the returned sorted vector (Eq. 6).
+// Zero-row filter: every rank contributes the row indices it observed
+// nonzeros in; the union is formed with one all-to-all (block owners
+// deduplicate — the (max,×) semiring write of §IV-A) and then replicated
+// on all ranks, matching the paper's implementation choice: "our
+// implementation then proceeds by collecting the sparse vector f on all
+// processors, and performing a local prefix sum". The prefix sum is
+// implicit in the sorted order: the compacted row id of global row g is
+// its position in the returned sorted vector (Eq. 6).
+//
+// Pair-mask union: the pair-space analogue for the hybrid estimator —
+// each rank fills the mask rows of the samples whose sketches it scored;
+// a bitwise-OR allreduce replicates the union so every rank can prune
+// columns, exchanges, and kernel tiles against the same candidate set.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 #include <vector>
 
 #include "bsp/comm.hpp"
+#include "distmat/pair_mask.hpp"
 
 namespace sas::distmat {
 
@@ -27,5 +34,10 @@ namespace sas::distmat {
 /// prefix-sum p⁽ˡ⁾ evaluated at a nonzero row. Precondition: present.
 [[nodiscard]] std::int64_t compact_row_id(std::span<const std::int64_t> sorted_filter,
                                           std::int64_t global_row);
+
+/// Collective: replace every rank's `mask` with the bitwise-OR union of
+/// all ranks' masks, then symmetrize. All ranks must pass masks of the
+/// same size.
+void allreduce_pair_mask(bsp::Comm& comm, PairMask& mask);
 
 }  // namespace sas::distmat

@@ -1,0 +1,137 @@
+// pair_mask.hpp — dense bit mask over sample pairs (the hybrid's
+// candidate set).
+//
+// The sketch-prune pass of the hybrid estimator (core/driver.hpp stage
+// diagram) marks every pair whose estimated Jaccard clears the prune
+// threshold; the exact rescore pass then consults the mask at three
+// granularities:
+//
+//   * column level  — a sample with no surviving off-diagonal pair is
+//                     dropped before redistribution (its panel entries
+//                     never enter the network);
+//   * panel level   — the targeted 1D exchange ships a panel column to a
+//                     peer only when the mask pairs it with one of that
+//                     peer's output rows (spgemm.hpp);
+//   * tile level    — the CSR kernel skips output-column tiles whose
+//                     pair set is fully pruned (CsrAtaOptions::prune).
+//
+// The mask is a plain row-major n×n bitset (n²/8 bytes — a few hundred
+// KiB even for thousands of samples), replicated on every rank by
+// allreduce_pair_mask (dist_filter.hpp) after each rank fills the rows
+// of its owned samples. The diagonal is always set: self-similarity is
+// exact by convention and never pruned.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "distmat/block.hpp"
+#include "util/popcount.hpp"
+
+namespace sas::distmat {
+
+class PairMask {
+ public:
+  PairMask() = default;
+
+  /// All-clear n×n mask (no candidates, diagonal included).
+  explicit PairMask(std::int64_t n)
+      : n_(n),
+        words_per_row_((n + 63) / 64),
+        words_(static_cast<std::size_t>(n * words_per_row_), 0) {}
+
+  [[nodiscard]] std::int64_t size() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  void set(std::int64_t i, std::int64_t j) noexcept {
+    words_[word_index(i, j)] |= std::uint64_t{1} << (j & 63);
+  }
+
+  [[nodiscard]] bool test(std::int64_t i, std::int64_t j) const noexcept {
+    return (words_[word_index(i, j)] >> (j & 63)) & 1u;
+  }
+
+  /// Number of set pairs (diagonal included).
+  [[nodiscard]] std::int64_t count() const noexcept {
+    std::int64_t total = 0;
+    for (std::uint64_t w : words_) total += popcount64(w);
+    return total;
+  }
+
+  /// Any candidate in the [rows × cols] tile? This is the kernel's skip
+  /// probe: O(rows · cols/64) word scans with edge masks, negligible next
+  /// to the multiply work a non-skipped tile implies.
+  [[nodiscard]] bool any_pair(BlockRange rows, BlockRange cols) const noexcept {
+    if (rows.size() <= 0 || cols.size() <= 0) return false;
+    const std::int64_t wb = cols.begin >> 6;
+    const std::int64_t we = (cols.end - 1) >> 6;  // inclusive
+    const std::uint64_t first_mask = ~std::uint64_t{0} << (cols.begin & 63);
+    const std::uint64_t last_mask =
+        ~std::uint64_t{0} >> (63 - ((cols.end - 1) & 63));
+    for (std::int64_t i = rows.begin; i < rows.end; ++i) {
+      const std::uint64_t* const row = words_.data() + i * words_per_row_;
+      for (std::int64_t w = wb; w <= we; ++w) {
+        std::uint64_t bits = row[w];
+        if (w == wb) bits &= first_mask;
+        if (w == we) bits &= last_mask;
+        if (bits != 0) return true;
+      }
+    }
+    return false;
+  }
+
+  /// Does sample i have any surviving partner other than itself?
+  [[nodiscard]] bool row_active(std::int64_t i) const noexcept {
+    const std::uint64_t* const row = words_.data() + i * words_per_row_;
+    const std::uint64_t diag_bit = std::uint64_t{1} << (i & 63);
+    for (std::int64_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t bits = row[w];
+      if (w == (i >> 6)) bits &= ~diag_bit;
+      if (bits != 0) return true;
+    }
+    return false;
+  }
+
+  /// Per-sample activity flags (row_active for every sample) — the
+  /// column-dropping predicate of the rescore pass.
+  [[nodiscard]] std::vector<std::uint8_t> active_columns() const {
+    std::vector<std::uint8_t> active(static_cast<std::size_t>(n_), 0);
+    for (std::int64_t i = 0; i < n_; ++i) {
+      active[static_cast<std::size_t>(i)] = row_active(i) ? 1 : 0;
+    }
+    return active;
+  }
+
+  /// Make the mask symmetric: mask ∨ maskᵀ. Estimates are symmetric, so
+  /// this is a safety net for fp-identical but differently-owned entries.
+  void symmetrize() noexcept {
+    for (std::int64_t i = 0; i < n_; ++i) {
+      for (std::int64_t j = i + 1; j < n_; ++j) {
+        if (test(i, j) || test(j, i)) {
+          set(i, j);
+          set(j, i);
+        }
+      }
+    }
+  }
+
+  /// Raw word storage (row-major, words_per_row() words per row) — the
+  /// allreduce payload of allreduce_pair_mask.
+  [[nodiscard]] std::vector<std::uint64_t>& words() noexcept { return words_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+  [[nodiscard]] std::int64_t words_per_row() const noexcept { return words_per_row_; }
+
+ private:
+  [[nodiscard]] std::size_t word_index(std::int64_t i, std::int64_t j) const noexcept {
+    return static_cast<std::size_t>(i * words_per_row_ + (j >> 6));
+  }
+
+  std::int64_t n_ = 0;
+  std::int64_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sas::distmat

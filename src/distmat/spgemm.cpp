@@ -97,15 +97,27 @@ CommonRows find_common_rows(const CsrPanel& L, const CsrPanel& N) {
 /// visited exactly once regardless of the tile width. Thread-safe for
 /// disjoint column ranges: all writes land in out columns
 /// [n_col_base + col_begin, n_col_base + col_end).
-void accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
-                             std::span<const CommonRow> common_rows,
-                             std::int64_t l_col_base, std::int64_t n_col_base,
-                             std::int64_t col_begin, std::int64_t col_end,
-                             std::int64_t tile_cols, DenseBlock<std::int64_t>& out) {
+///
+/// With a candidate-pair mask (`prune`), tiles whose [out rows × tile
+/// cols] pair set is fully pruned are skipped (cursors still advance so
+/// later tiles stay aligned). Returns the multiply flops actually
+/// performed — equal to the tile's share of CommonRows::flops when
+/// nothing is skipped.
+std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
+                                      std::span<const CommonRow> common_rows,
+                                      std::int64_t l_col_base, std::int64_t n_col_base,
+                                      std::int64_t col_begin, std::int64_t col_end,
+                                      std::int64_t tile_cols,
+                                      DenseBlock<std::int64_t>& out,
+                                      const PairMask* prune) {
   const std::int64_t* const ncols = N.col_idx.data();
   const std::uint64_t* const nvals = N.values.data();
   const std::int64_t* const lcols = L.col_idx.data();
   const std::uint64_t* const lvals = L.values.data();
+  const BlockRange out_rows{out.row_range.begin + l_col_base,
+                            out.row_range.begin + l_col_base + L.cols};
+  const std::int64_t gcol_base = out.col_range.begin + n_col_base;
+  std::uint64_t flops = 0;
 
   std::vector<std::int64_t> cursor(common_rows.size());
   for (std::size_t idx = 0; idx < common_rows.size(); ++idx) {
@@ -117,6 +129,9 @@ void accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
 
   for (std::int64_t tile = col_begin; tile < col_end; tile += tile_cols) {
     const std::int64_t tile_end = std::min(col_end, tile + tile_cols);
+    const bool skip_tile =
+        prune != nullptr &&
+        !prune->any_pair(out_rows, {gcol_base + tile, gcol_base + tile_end});
     for (std::size_t idx = 0; idx < common_rows.size(); ++idx) {
       const std::int64_t b = cursor[idx];
       const std::int64_t row_end = N.row_end(common_rows[idx].n_index);
@@ -124,9 +139,10 @@ void accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
       while (e < row_end && ncols[e] < tile_end) ++e;
       cursor[idx] = e;
       const auto count = static_cast<std::size_t>(e - b);
-      if (count == 0) continue;
+      if (count == 0 || skip_tile) continue;
       const std::int64_t la = L.row_begin(common_rows[idx].l_index);
       const std::int64_t le = L.row_end(common_rows[idx].l_index);
+      flops += static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(le - la);
       // Register-block four L entries per pass: each (col, mask) of the
       // N segment is loaded once and scattered into four output rows.
       std::int64_t a = la;
@@ -144,25 +160,37 @@ void accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
       }
     }
   }
+  return flops;
 }
 
 /// Dense path worker: every output cell (i, j) for j in [j_begin, j_end)
 /// is one streaming popcount dot product — no scatter stores, so the
 /// kernel runs at vector popcount throughput instead of the one
-/// store-per-madd ceiling of the scatter loop.
-void dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_cols,
-                            const DenseColumnPanel& nd, std::int64_t j_begin,
-                            std::int64_t j_end, std::int64_t l_col_base,
-                            std::int64_t n_col_base, DenseBlock<std::int64_t>& out) {
+/// store-per-madd ceiling of the scatter loop. With a candidate mask,
+/// pruned cells are skipped per cell (the mask test is one load against
+/// a words-long popcount stream). Returns the streaming word-madds
+/// actually performed (the dense path's flop unit under pruning).
+std::uint64_t dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_cols,
+                                     const DenseColumnPanel& nd, std::int64_t j_begin,
+                                     std::int64_t j_end, std::int64_t l_col_base,
+                                     std::int64_t n_col_base,
+                                     DenseBlock<std::int64_t>& out,
+                                     const PairMask* prune) {
   const std::int64_t words = ld.words;
+  const std::int64_t grow_base = out.row_range.begin + l_col_base;
+  const std::int64_t gcol_base = out.col_range.begin + n_col_base;
+  std::uint64_t cells = 0;
   for (std::int64_t i = 0; i < l_cols; ++i) {
     const std::uint64_t* const lcol = ld.column(i);
     std::int64_t* const row = out.row_data(l_col_base + i) + n_col_base;
     for (std::int64_t j = j_begin; j < j_end; ++j) {
+      if (prune != nullptr && !prune->test(grow_base + i, gcol_base + j)) continue;
+      ++cells;
       row[j] += static_cast<std::int64_t>(
           popcount_and_sum_stream(lcol, nd.column(j), static_cast<std::size_t>(words)));
     }
   }
+  return cells * static_cast<std::uint64_t>(words);
 }
 
 /// Sparse/dense crossover on the product of panel fill ratios. The dense
@@ -193,9 +221,23 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
                                  bsp::CostCounters* counters,
                                  const CsrAtaOptions& options) {
   if (L.empty() || N.empty()) return;
+  // Whole-block prune probe: with a candidate mask, a block whose entire
+  // [out rows × out cols] pair set is pruned never touches the CSR data.
+  const PairMask* const prune = options.prune;
+  if (prune != nullptr &&
+      !prune->any_pair({out.row_range.begin + l_col_base,
+                        out.row_range.begin + l_col_base + L.cols},
+                       {out.col_range.begin + n_col_base,
+                        out.col_range.begin + n_col_base + N.cols})) {
+    return;
+  }
   const CommonRows common = find_common_rows(L, N);
-  if (counters != nullptr) counters->flops += common.flops;
   if (common.rows.empty()) return;
+  // γ accounting: without pruning every (a, b) pair of the common rows is
+  // processed, so CommonRows::flops is exact and cheap. Under pruning the
+  // workers report the work actually performed (the dense path counts
+  // streaming word-madds — its natural unit — instead of scatter madds).
+  std::uint64_t flops_done = 0;
 
   const std::int64_t words = std::min(L.rows, N.rows);
   const bool use_dense = options.allow_dense &&
@@ -216,45 +258,57 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
     const DenseColumnPanel& ld = L.dense_columns(words);
     const DenseColumnPanel& nd = N.dense_columns(words);
     if (threads <= 1) {
-      dense_accumulate_range(ld, L.cols, nd, 0, N.cols, l_col_base, n_col_base, out);
+      flops_done = dense_accumulate_range(ld, L.cols, nd, 0, N.cols, l_col_base,
+                                          n_col_base, out, prune);
     } else {
       std::vector<std::thread> workers;
+      std::vector<std::uint64_t> worker_flops(static_cast<std::size_t>(threads), 0);
       workers.reserve(static_cast<std::size_t>(threads));
       for (int t = 0; t < threads; ++t) {
         const BlockRange js = block_range(N.cols, threads, t);
         if (js.size() <= 0) continue;
-        workers.emplace_back([&, js] {
-          dense_accumulate_range(ld, L.cols, nd, js.begin, js.end, l_col_base,
-                                 n_col_base, out);
+        workers.emplace_back([&, js, t] {
+          worker_flops[static_cast<std::size_t>(t)] =
+              dense_accumulate_range(ld, L.cols, nd, js.begin, js.end, l_col_base,
+                                     n_col_base, out, prune);
         });
       }
       for (std::thread& w : workers) w.join();
+      for (std::uint64_t f : worker_flops) flops_done += f;
+    }
+    if (counters != nullptr) {
+      counters->flops += prune != nullptr ? flops_done : common.flops;
     }
     return;
   }
 
   const std::span<const CommonRow> rows(common.rows);
   if (threads <= 1) {
-    accumulate_column_range(L, N, rows, l_col_base, n_col_base, 0, N.cols, tile_cols,
-                            out);
-    return;
+    flops_done = accumulate_column_range(L, N, rows, l_col_base, n_col_base, 0, N.cols,
+                                         tile_cols, out, prune);
+  } else {
+    // Tiles are disjoint output-column ranges; hand each worker a
+    // contiguous run of whole tiles so no accumulator slot is shared.
+    std::vector<std::thread> workers;
+    std::vector<std::uint64_t> worker_flops(static_cast<std::size_t>(threads), 0);
+    workers.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      const BlockRange tiles = block_range(ntiles, threads, t);
+      const std::int64_t col_begin = tiles.begin * tile_cols;
+      const std::int64_t col_end = std::min(N.cols, tiles.end * tile_cols);
+      if (col_begin >= col_end) continue;
+      workers.emplace_back([&, col_begin, col_end, t] {
+        worker_flops[static_cast<std::size_t>(t)] =
+            accumulate_column_range(L, N, rows, l_col_base, n_col_base, col_begin,
+                                    col_end, tile_cols, out, prune);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (std::uint64_t f : worker_flops) flops_done += f;
   }
-
-  // Tiles are disjoint output-column ranges; hand each worker a
-  // contiguous run of whole tiles so no accumulator slot is shared.
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) {
-    const BlockRange tiles = block_range(ntiles, threads, t);
-    const std::int64_t col_begin = tiles.begin * tile_cols;
-    const std::int64_t col_end = std::min(N.cols, tiles.end * tile_cols);
-    if (col_begin >= col_end) continue;
-    workers.emplace_back([&, col_begin, col_end] {
-      accumulate_column_range(L, N, rows, l_col_base, n_col_base, col_begin, col_end,
-                              tile_cols, out);
-    });
+  if (counters != nullptr) {
+    counters->flops += prune != nullptr ? flops_done : common.flops;
   }
-  for (std::thread& w : workers) w.join();
 }
 
 DenseBlock<std::int64_t> serial_ata(const SparseBlock& block) {
@@ -291,15 +345,22 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
     }
 
     const BlockRange owner_cols = block_range(n, p, current_owner);
-    CsrPanel received;
-    const CsrPanel* npanel = &lpanel;
-    if (current_owner != r) {
-      received = CsrPanel::from_triplets(my_panel.rows, owner_cols.size(),
-                                         std::span<const Triplet<std::uint64_t>>(current));
-      npanel = &received;
+    // With a candidate mask, a panel whose owner shares no surviving pair
+    // with this rank's output rows is forwarded without even a CSR build.
+    const bool panel_pruned =
+        options.prune != nullptr &&
+        !options.prune->any_pair(b_panel.row_range, owner_cols);
+    if (!panel_pruned) {
+      CsrPanel received;
+      const CsrPanel* npanel = &lpanel;
+      if (current_owner != r) {
+        received = CsrPanel::from_triplets(my_panel.rows, owner_cols.size(),
+                                           std::span<const Triplet<std::uint64_t>>(current));
+        npanel = &received;
+      }
+      csr_popcount_ata_accumulate(lpanel, *npanel, 0, owner_cols.begin, b_panel,
+                                  &comm.counters(), options);
     }
-    csr_popcount_ata_accumulate(lpanel, *npanel, 0, owner_cols.begin, b_panel,
-                                &comm.counters(), options);
 
     if (last_step) break;
     if (schedule == RingSchedule::kSynchronous) {
@@ -308,6 +369,61 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
     }
     current = comm.recv<Triplet<std::uint64_t>>((r + p - 1) % p, kTagRing);
     current_owner = (current_owner + p - 1) % p;
+  }
+}
+
+void targeted_ata_accumulate(bsp::Comm& comm, std::int64_t n,
+                             const SparseBlock& my_panel, const PairMask& mask,
+                             DenseBlock<std::int64_t>& b_panel,
+                             const CsrAtaOptions& options) {
+  const int p = comm.size();
+  const int r = comm.rank();
+  if (b_panel.col_range.begin != 0 || b_panel.col_range.end != n) {
+    throw std::invalid_argument(
+        "targeted_ata_accumulate: b_panel must span all n columns");
+  }
+  const BlockRange my_cols = b_panel.row_range;
+  const CsrPanel lpanel = CsrPanel::from_block(my_panel);
+
+  // Diagonal block: local data, mask diagonal is always set.
+  csr_popcount_ata_accumulate(lpanel, lpanel, 0, my_cols.begin, b_panel,
+                              &comm.counters(), options);
+
+  // Column-targeted exchange: peer q needs this rank's column j (global
+  // id my_cols.begin + j) iff the mask pairs it with one of q's output
+  // rows. Each needed column is shipped to each needing peer exactly
+  // once, so total bytes track the surviving pair structure instead of
+  // the ring's everything-to-everyone Θ(z·(p−1)).
+  std::vector<std::vector<Triplet<std::uint64_t>>> outgoing(static_cast<std::size_t>(p));
+  std::vector<std::uint8_t> needed(static_cast<std::size_t>(my_panel.cols));
+  for (int q = 0; q < p; ++q) {
+    if (q == r) continue;
+    const BlockRange q_rows = block_range(n, p, q);
+    bool any = false;
+    for (std::int64_t j = 0; j < my_panel.cols; ++j) {
+      const std::int64_t gj = my_cols.begin + j;
+      needed[static_cast<std::size_t>(j)] =
+          mask.any_pair(q_rows, {gj, gj + 1}) ? 1 : 0;
+      any = any || needed[static_cast<std::size_t>(j)] != 0;
+    }
+    if (!any) continue;
+    auto& block = outgoing[static_cast<std::size_t>(q)];
+    for (const Triplet<std::uint64_t>& t : my_panel.entries) {
+      if (needed[static_cast<std::size_t>(t.col)] != 0) block.push_back(t);
+    }
+  }
+  const auto incoming = comm.alltoall_v(outgoing);
+
+  for (int q = 0; q < p; ++q) {
+    if (q == r || incoming[static_cast<std::size_t>(q)].empty()) continue;
+    const BlockRange q_cols = block_range(n, p, q);
+    // Filtering preserved the sender's (row, col) order, so the received
+    // subset is already canonical for the CSR build.
+    const CsrPanel npanel = CsrPanel::from_triplets(
+        my_panel.rows, q_cols.size(),
+        std::span<const Triplet<std::uint64_t>>(incoming[static_cast<std::size_t>(q)]));
+    csr_popcount_ata_accumulate(lpanel, npanel, 0, q_cols.begin, b_panel,
+                                &comm.counters(), options);
   }
 }
 

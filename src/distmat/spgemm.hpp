@@ -77,6 +77,7 @@
 #include "bsp/comm.hpp"
 #include "distmat/csr.hpp"
 #include "distmat/dense_block.hpp"
+#include "distmat/pair_mask.hpp"
 #include "distmat/proc_grid.hpp"
 #include "distmat/sparse_block.hpp"
 
@@ -110,6 +111,12 @@ struct CsrAtaOptions {
   /// micro-calibration (distmat/crossover.hpp); a positive value pins
   /// the threshold (ablations, recorded-run reproduction).
   double dense_crossover = 0.0;
+  /// Candidate-pair mask of the hybrid estimator (global sample
+  /// coordinates; see pair_mask.hpp). When set, whole blocks and output-
+  /// column tiles whose pair set is fully pruned are skipped, and the
+  /// flop counter records only the work actually performed. Null (the
+  /// default) keeps the exact all-pairs behavior bit for bit.
+  const PairMask* prune = nullptr;
 };
 
 /// Default output-column tile width: 512 × 8-byte accumulators = 4 KiB
@@ -149,6 +156,20 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
                          DenseBlock<std::int64_t>& b_panel,
                          RingSchedule schedule = RingSchedule::kOverlapped,
                          const CsrAtaOptions& options = {});
+
+/// Mask-targeted 1D exchange — the hybrid estimator's rescore schedule.
+/// Same data layout and output contract as ring_ata_accumulate, but
+/// instead of rotating every panel through every rank, each rank ships to
+/// each peer only the panel columns that participate in at least one
+/// surviving pair with that peer's output rows (one alltoall_v). Per-rank
+/// bytes are therefore proportional to the surviving pair structure —
+/// never more than the ring's Θ(z), and a small fraction of it on the
+/// pair-sparse corpora the sketch-prune pass targets. The diagonal block
+/// is computed locally from the rank's own panel.
+void targeted_ata_accumulate(bsp::Comm& comm, std::int64_t n,
+                             const SparseBlock& my_panel, const PairMask& mask,
+                             DenseBlock<std::int64_t>& b_panel,
+                             const CsrAtaOptions& options = {});
 
 /// 2D/2.5D SUMMA variant over `grid`. Rank (ℓ, i, j) holds the R block of
 /// word-row chunk q = ℓ·s + i (chunk-local row ids) × column chunk j.

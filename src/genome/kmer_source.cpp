@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "sketch/exchange.hpp"
+#include "sketch/sketch.hpp"
 
 namespace sas::genome {
 
@@ -51,12 +55,35 @@ std::vector<std::string> KmerSampleSource::sample_names() const {
 }
 
 KmerFileSource::KmerFileSource(int k, const std::vector<std::string>& sample_paths)
-    : universe_(universe_for_k(k)) {
+    : universe_(universe_for_k(k)), paths_(sample_paths) {
   samples_.reserve(sample_paths.size());
   for (const std::string& path : sample_paths) {
     samples_.push_back(read_sample_file(path));
     validate_sample(samples_.back(), universe_);
   }
+}
+
+std::string KmerFileSource::sketch_path(std::int64_t sample,
+                                        const core::Config& config) const {
+  const core::Estimator est = sketch::resolved_sketch_estimator(config);
+  return paths_[static_cast<std::size_t>(sample)] + "." +
+         sketch::estimator_wire_name(est) + ".sketch";
+}
+
+std::vector<std::uint64_t> KmerFileSource::persisted_sketch(
+    std::int64_t sample, const core::Config& config) const {
+  const core::Estimator est = sketch::resolved_sketch_estimator(config);
+  switch (est) {
+    case core::Estimator::kHll:
+    case core::Estimator::kMinhash:
+    case core::Estimator::kBottomK:
+      break;
+    default:
+      return {};
+  }
+  // read_wire_file returns empty on missing/malformed files; parameter
+  // compatibility is the caller's wire_matches_config check.
+  return sketch::read_wire_file(sketch_path(sample, config));
 }
 
 std::vector<std::int64_t> KmerFileSource::values_in_range(

@@ -39,6 +39,12 @@ class KmerSampleSource final : public core::SampleSource {
 /// representation, §IV). Files are parsed once at construction; range
 /// queries binary-search the sorted codes, matching the streaming batch
 /// reads of the paper's readFiles().
+///
+/// Sketch persistence: `gas sketch --estimator <est>` drops a
+/// `<sample path>.<est>.sketch` wire blob next to each sample file; this
+/// source surfaces those blobs through persisted_sketch so the sketch
+/// and hybrid pipelines skip re-sketching when the blob's (type, params,
+/// seed) header matches the run.
 class KmerFileSource final : public core::SampleSource {
  public:
   KmerFileSource(int k, const std::vector<std::string>& sample_paths);
@@ -50,10 +56,18 @@ class KmerFileSource final : public core::SampleSource {
   [[nodiscard]] std::vector<std::int64_t> values_in_range(
       std::int64_t sample, distmat::BlockRange range) const override;
 
+  [[nodiscard]] std::vector<std::uint64_t> persisted_sketch(
+      std::int64_t sample, const core::Config& config) const override;
+
+  /// The on-disk location of a sample's persisted sketch under `config`.
+  [[nodiscard]] std::string sketch_path(std::int64_t sample,
+                                        const core::Config& config) const;
+
   [[nodiscard]] std::vector<std::string> sample_names() const;
 
  private:
   std::int64_t universe_;
+  std::vector<std::string> paths_;
   std::vector<KmerSample> samples_;
 };
 

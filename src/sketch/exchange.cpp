@@ -1,5 +1,6 @@
 #include "sketch/exchange.hpp"
 
+#include <algorithm>
 #include <functional>
 #include <stdexcept>
 #include <utility>
@@ -7,18 +8,39 @@
 #include "core/packing.hpp"
 #include "distmat/block.hpp"
 #include "distmat/dense_block.hpp"
+#include "distmat/dist_filter.hpp"
 #include "distmat/gather.hpp"
-#include "sketch/bottomk.hpp"
-#include "sketch/hyperloglog.hpp"
-#include "sketch/one_perm_minhash.hpp"
 #include "util/timer.hpp"
 
 namespace sas::sketch {
+
+core::Estimator resolved_sketch_estimator(const core::Config& config) {
+  return config.estimator == core::Estimator::kHybrid ? config.hybrid_sketch
+                                                      : config.estimator;
+}
 
 namespace {
 
 using distmat::BlockRange;
 using distmat::DenseBlock;
+
+/// Empty sketch of the configured type — the parameter/seed reference for
+/// compatibility checks and the starting state of streaming construction.
+std::variant<HyperLogLog, OnePermMinHash, BottomKSketch> make_empty_sketch(
+    const core::Config& config) {
+  switch (resolved_sketch_estimator(config)) {
+    case core::Estimator::kHll:
+      return HyperLogLog(config.hll_precision, config.sketch_seed);
+    case core::Estimator::kMinhash:
+      return OnePermMinHash(config.sketch_size, config.minhash_bits, config.sketch_seed);
+    case core::Estimator::kBottomK:
+      return BottomKSketch(static_cast<std::size_t>(config.sketch_size),
+                           config.sketch_seed);
+    default:
+      break;
+  }
+  throw std::invalid_argument("sketch: config does not name a sketch estimator");
+}
 
 /// Stream one sample's attribute ids into `sk`, batch by batch, and
 /// return the comparison wire blob. add() is order-independent, so the
@@ -38,11 +60,98 @@ std::vector<std::uint64_t> stream_into(Sketch sk, const core::SampleSource& sour
 
 }  // namespace
 
+const char* estimator_wire_name(core::Estimator estimator) {
+  switch (estimator) {
+    case core::Estimator::kHll:
+      return "hll";
+    case core::Estimator::kMinhash:
+      return "minhash";
+    case core::Estimator::kBottomK:
+      return "bottomk";
+    default:
+      break;
+  }
+  throw std::invalid_argument("estimator_wire_name: not a sketch estimator");
+}
+
+bool wire_matches_config(std::span<const std::uint64_t> wire,
+                         const core::Config& config) {
+  if (wire.size() < kWireHeaderWords) return false;
+  // The (magic|type, params, seed) header of an empty sketch under this
+  // config is exactly what every compatible blob must carry.
+  const auto expected =
+      std::visit([](const auto& sk) { return sk.wire(); }, make_empty_sketch(config));
+  for (std::size_t w = 0; w < kWireHeaderWords; ++w) {
+    if (wire[w] != expected[w]) return false;
+  }
+  return true;
+}
+
+double hybrid_prune_slack(const core::Config& config) {
+  if (config.prune_slack >= 0.0) return config.prune_slack;
+  switch (resolved_sketch_estimator(config)) {
+    case core::Estimator::kHll:
+      return hll_jaccard_error_bound(config.hll_precision);
+    case core::Estimator::kMinhash:
+      return oph_jaccard_error_bound(config.sketch_size, config.minhash_bits);
+    case core::Estimator::kBottomK:
+      return bottomk_jaccard_error_bound(config.sketch_size);
+    default:
+      break;
+  }
+  throw std::invalid_argument("hybrid_prune_slack: config names no sketch estimator");
+}
+
+StreamingSketcher::StreamingSketcher(const core::Config& config) : config_(config) {
+  (void)make_empty_sketch(config_);  // validate the estimator up front
+}
+
+std::size_t StreamingSketcher::add_sample(std::int64_t sample) {
+  samples_.push_back(sample);
+  sketches_.push_back(make_empty_sketch(config_));
+  preloaded_.emplace_back();
+  return samples_.size() - 1;
+}
+
+void StreamingSketcher::preload(std::size_t index, std::vector<std::uint64_t> wire) {
+  preloaded_[index] = std::move(wire);
+}
+
+bool StreamingSketcher::needs_stream(std::size_t index) const {
+  return preloaded_[index].empty();
+}
+
+void StreamingSketcher::absorb(std::size_t index, std::span<const std::int64_t> values) {
+  if (!needs_stream(index)) return;
+  std::visit(
+      [&](auto& sk) {
+        for (std::int64_t v : values) sk.add(static_cast<std::uint64_t>(v));
+      },
+      sketches_[index]);
+}
+
+std::vector<std::vector<std::uint64_t>> StreamingSketcher::finish() {
+  std::vector<std::vector<std::uint64_t>> blobs;
+  blobs.reserve(sketches_.size());
+  for (std::size_t i = 0; i < sketches_.size(); ++i) {
+    if (!preloaded_[i].empty()) {
+      blobs.push_back(std::move(preloaded_[i]));
+    } else {
+      blobs.push_back(std::visit([](const auto& sk) { return sk.wire(); }, sketches_[i]));
+    }
+  }
+  return blobs;
+}
+
 std::vector<std::uint64_t> build_sample_wire(const core::SampleSource& source,
                                              std::int64_t sample,
                                              const core::Config& config) {
   const int batches = static_cast<int>(config.batch_count);
-  switch (config.estimator) {
+  // Persisted blob first: written by `gas sketch --estimator`, trusted
+  // only when its header matches this run's (type, params, seed).
+  std::vector<std::uint64_t> persisted = source.persisted_sketch(sample, config);
+  if (!persisted.empty() && wire_matches_config(persisted, config)) return persisted;
+  switch (resolved_sketch_estimator(config)) {
     case core::Estimator::kHll:
       return stream_into(HyperLogLog(config.hll_precision, config.sketch_seed), source,
                          sample, batches);
@@ -54,10 +163,74 @@ std::vector<std::uint64_t> build_sample_wire(const core::SampleSource& source,
       return stream_into(
           BottomKSketch(static_cast<std::size_t>(config.sketch_size), config.sketch_seed),
           source, sample, batches);
-    case core::Estimator::kExact:
+    default:
       break;
   }
-  throw std::invalid_argument("build_sample_wire: kExact has no sketch form");
+  throw std::invalid_argument("build_sample_wire: estimator has no sketch form");
+}
+
+CandidatePass sketch_candidate_pass(bsp::Comm& world,
+                                    std::span<const std::int64_t> samples,
+                                    const std::vector<std::vector<std::uint64_t>>& blobs,
+                                    std::int64_t n, const core::Config& config) {
+  const int p = world.size();
+  const int r = world.rank();
+  if (samples.size() != blobs.size()) {
+    throw std::invalid_argument("sketch_candidate_pass: ids/blobs length mismatch");
+  }
+
+  // Every rank needs every blob (the mask prunes rank-local columns and
+  // tiles), so the exchange is a ring allgather of the wire panels —
+  // O(n · sketch_bytes) per rank, the same as a full rotation would move.
+  const std::vector<std::uint64_t> panel = core::pack_word_panel(blobs);
+  const auto id_blocks = world.allgather_v<std::int64_t>(samples);
+  const auto panel_blocks =
+      world.allgather_v<std::uint64_t>(std::span<const std::uint64_t>(panel));
+
+  std::vector<std::span<const std::uint64_t>> views(static_cast<std::size_t>(n));
+  std::int64_t seen = 0;
+  for (int q = 0; q < p; ++q) {
+    const auto q_views = core::unpack_word_panel(panel_blocks[static_cast<std::size_t>(q)]);
+    const auto& q_ids = id_blocks[static_cast<std::size_t>(q)];
+    if (q_views.size() != q_ids.size()) {
+      throw std::invalid_argument("sketch_candidate_pass: panel/id mismatch");
+    }
+    for (std::size_t i = 0; i < q_ids.size(); ++i) {
+      views[static_cast<std::size_t>(q_ids[i])] = q_views[i];
+      ++seen;
+    }
+  }
+  if (seen != n) {
+    throw std::invalid_argument("sketch_candidate_pass: samples do not cover [0, n)");
+  }
+
+  CandidatePass pass;
+  pass.effective_threshold =
+      std::max(0.0, config.prune_threshold - hybrid_prune_slack(config));
+  pass.mask = distmat::PairMask(n);
+
+  // Score a block partition of the rows (any disjoint cover works — all
+  // blobs are local now); the diagonal is always a candidate.
+  const BlockRange mine = distmat::block_range(n, p, r);
+  DenseBlock<double> est_panel(mine, BlockRange{0, n});
+  for (std::int64_t i = mine.begin; i < mine.end; ++i) {
+    pass.mask.set(i, i);
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (j == i) {
+        est_panel.at_global(i, i) = 1.0;
+        continue;
+      }
+      const double est = estimate_jaccard_wire(views[static_cast<std::size_t>(i)],
+                                               views[static_cast<std::size_t>(j)]);
+      est_panel.at_global(i, j) = est;
+      if (est >= pass.effective_threshold) pass.mask.set(i, j);
+    }
+  }
+
+  distmat::allreduce_pair_mask(world, pass.mask);
+  pass.estimates = distmat::gather_dense_to_root(world, &est_panel, n, n);
+  if (r != 0) pass.estimates.clear();
+  return pass;
 }
 
 core::Result sketch_similarity_at_scale(bsp::Comm& world,
@@ -70,14 +243,20 @@ core::Result sketch_similarity_at_scale(bsp::Comm& world,
 
   world.barrier();
   Timer timer;
+  core::StageRecorder recorder(world.counters());
 
   // (1) Sketch the owned samples (block distribution, matching the ring
   // panel layout so arriving panels map onto contiguous output columns).
+  // Reading and hashing are one fused loop, so the whole build lands in
+  // the pack/sketch stage.
   const BlockRange mine = distmat::block_range(n, p, r);
   std::vector<std::vector<std::uint64_t>> blobs;
-  blobs.reserve(static_cast<std::size_t>(mine.size()));
-  for (std::int64_t i = mine.begin; i < mine.end; ++i) {
-    blobs.push_back(build_sample_wire(source, i, config));
+  {
+    auto stage = recorder.scope(core::Stage::kPackSketch);
+    blobs.reserve(static_cast<std::size_t>(mine.size()));
+    for (std::int64_t i = mine.begin; i < mine.end; ++i) {
+      blobs.push_back(build_sample_wire(source, i, config));
+    }
   }
   const std::vector<std::uint64_t> panel_words = core::pack_word_panel(blobs);
   const auto my_views = core::unpack_word_panel(panel_words);
@@ -85,35 +264,40 @@ core::Result sketch_similarity_at_scale(bsp::Comm& world,
   // (2)+(3) Rotate panels; estimate into this rank's output row panel.
   // Same double-buffered schedule as ring_ata_accumulate: the send is a
   // buffered copy posted before the local estimation work, so the hop
-  // overlaps compute (Config::ring_overlap toggles the ablation).
+  // overlaps compute (Config::ring_overlap toggles the ablation). Stage
+  // attribution mirrors the exact pipeline: estimation time is the
+  // "multiply", rotation bytes are the "exchange".
   DenseBlock<double> s_panel(mine, BlockRange{0, n});
-  std::vector<std::uint64_t> current = panel_words;
-  int current_owner = r;
-  for (int step = 0; step < p; ++step) {
-    const bool last_step = step + 1 == p;
-    if (!last_step && config.ring_overlap) {
-      world.send<std::uint64_t>((r + 1) % p, kTagSketchRing,
-                                std::span<const std::uint64_t>(current));
-    }
-
-    const BlockRange owner_cols = distmat::block_range(n, p, current_owner);
-    const auto views =
-        current_owner == r ? my_views : core::unpack_word_panel(current);
-    for (std::int64_t i = 0; i < mine.size(); ++i) {
-      for (std::int64_t j = 0; j < owner_cols.size(); ++j) {
-        s_panel.at_local(i, owner_cols.begin + j) =
-            estimate_jaccard_wire(my_views[static_cast<std::size_t>(i)],
-                                  views[static_cast<std::size_t>(j)]);
+  {
+    auto stage = recorder.scope(core::Stage::kMultiply, core::Stage::kExchange);
+    std::vector<std::uint64_t> current = panel_words;
+    int current_owner = r;
+    for (int step = 0; step < p; ++step) {
+      const bool last_step = step + 1 == p;
+      if (!last_step && config.ring_overlap) {
+        world.send<std::uint64_t>((r + 1) % p, kTagSketchRing,
+                                  std::span<const std::uint64_t>(current));
       }
-    }
 
-    if (last_step) break;
-    if (!config.ring_overlap) {
-      world.send<std::uint64_t>((r + 1) % p, kTagSketchRing,
-                                std::span<const std::uint64_t>(current));
+      const BlockRange owner_cols = distmat::block_range(n, p, current_owner);
+      const auto views =
+          current_owner == r ? my_views : core::unpack_word_panel(current);
+      for (std::int64_t i = 0; i < mine.size(); ++i) {
+        for (std::int64_t j = 0; j < owner_cols.size(); ++j) {
+          s_panel.at_local(i, owner_cols.begin + j) =
+              estimate_jaccard_wire(my_views[static_cast<std::size_t>(i)],
+                                    views[static_cast<std::size_t>(j)]);
+        }
+      }
+
+      if (last_step) break;
+      if (!config.ring_overlap) {
+        world.send<std::uint64_t>((r + 1) % p, kTagSketchRing,
+                                  std::span<const std::uint64_t>(current));
+      }
+      current = world.recv<std::uint64_t>((r + p - 1) % p, kTagSketchRing);
+      current_owner = (current_owner + p - 1) % p;
     }
-    current = world.recv<std::uint64_t>((r + p - 1) % p, kTagSketchRing);
-    current_owner = (current_owner + p - 1) % p;
   }
 
   const std::int64_t total_words = world.allreduce_value<std::int64_t>(
@@ -121,11 +305,16 @@ core::Result sketch_similarity_at_scale(bsp::Comm& world,
   world.barrier();
   const double seconds = timer.seconds();
 
-  std::vector<double> full = distmat::gather_dense_to_root(world, &s_panel, n, n);
+  std::vector<double> full;
+  {
+    auto stage = recorder.scope(core::Stage::kAssemble);
+    full = distmat::gather_dense_to_root(world, &s_panel, n, n);
+  }
 
   core::Result result;
   result.n = n;
   result.active_ranks = p;
+  result.stages = recorder.reduce_to_root(world);
   if (world.rank() == 0) {
     result.similarity = core::SimilarityMatrix(n, std::move(full));
     core::BatchStats bs;
@@ -133,6 +322,8 @@ core::Result sketch_similarity_at_scale(bsp::Comm& world,
     bs.filtered_rows = 0;  // no packing pass: sketches replace the panels
     bs.word_rows = blobs.empty() ? 0 : static_cast<std::int64_t>(blobs.front().size());
     bs.packed_nnz = total_words;  // wire words across all ranks
+    bs.bytes_sent = static_cast<std::int64_t>(result.stages.total_bytes_sent());
+    bs.bytes_received = static_cast<std::int64_t>(result.stages.total_bytes_received());
     result.batches = {bs};
   }
   return result;

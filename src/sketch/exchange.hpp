@@ -1,4 +1,5 @@
-// exchange.hpp — the distributed sketch-exchange pipeline.
+// exchange.hpp — the distributed sketch-exchange pipeline and the
+// hybrid's candidate pass.
 //
 // The approximate counterpart of the SpGEMM driver path: instead of
 // redistributing bit-packed k-mer panels and multiplying under the
@@ -8,7 +9,9 @@
 //      n samples) by streaming the sample's attribute ids batch by batch
 //      through SampleSource::values_in_range — same batched reads, same
 //      bounded memory as the exact path, and order-independence of
-//      add() makes the result identical for any batch count;
+//      add() makes the result identical for any batch count. A sample
+//      with a persisted, parameter-compatible wire blob
+//      (SampleSource::persisted_sketch) is loaded instead of re-streamed;
 //   2. flattens the owned sketches' wire blobs into one panel
 //      (core::pack_word_panel) and rotates the panels around the PR-1
 //      overlapped ring (send posted before the local estimation work,
@@ -23,29 +26,132 @@
 // bytes; bench/minhash_accuracy reports both through the bsp cost
 // counters. Estimates are symmetric and deterministic in (config, data),
 // so the result is bitwise independent of the rank count (tested).
+//
+// == The hybrid candidate pass ===========================================
+//
+// Estimator::kHybrid uses the same wire blobs differently: instead of a
+// similarity matrix alone, the pass returns a replicated candidate
+// PairMask — every pair whose estimated Jaccard clears
+// prune_threshold − slack — plus the estimates themselves (rank 0), which
+// the driver uses to fill the pruned entries of the final matrix. The
+// blobs arrive from the driver's one-pass ingest stage (StreamingSketcher
+// fed by the same reads that are bitmask-packed), so the hybrid reads
+// each input exactly once. Blobs are allgathered (ring allgather — the
+// same O(n · sketch_bytes) per-rank bytes as a full rotation) because
+// every rank needs the mask to prune its own columns and tiles.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <variant>
 #include <vector>
 
 #include "bsp/comm.hpp"
 #include "core/config.hpp"
 #include "core/driver.hpp"
 #include "core/sample_source.hpp"
+#include "distmat/pair_mask.hpp"
+#include "sketch/bottomk.hpp"
+#include "sketch/hyperloglog.hpp"
+#include "sketch/one_perm_minhash.hpp"
 
 namespace sas::sketch {
 
+/// Short name of a sketch estimator ("hll" | "minhash" | "bottomk") —
+/// the persisted-blob file suffix and the CLI spelling. Throws
+/// std::invalid_argument for non-sketch estimators.
+[[nodiscard]] const char* estimator_wire_name(core::Estimator estimator);
+
+/// The sketch estimator `config` resolves to: the estimator itself, or
+/// Config::hybrid_sketch for a hybrid config (kExact resolves to kExact;
+/// most callers reject it downstream).
+[[nodiscard]] core::Estimator resolved_sketch_estimator(const core::Config& config);
+
+/// Does `wire` carry a sketch comparable against sketches built under
+/// `config` (same type, parameters, and seed)? False for malformed blobs.
+[[nodiscard]] bool wire_matches_config(std::span<const std::uint64_t> wire,
+                                       const core::Config& config);
+
+/// Effective prune slack of the hybrid: Config::prune_slack when pinned
+/// (≥ 0), else the documented mean-error bound of the configured
+/// hybrid_sketch at its configured size.
+[[nodiscard]] double hybrid_prune_slack(const core::Config& config);
+
+/// Incremental per-sample sketch builders for one rank — the pack/sketch
+/// stage's half of the hybrid's one-pass ingest. The driver registers the
+/// samples it reads, optionally preloads persisted blobs (those samples
+/// need no streaming), absorbs each batch's values as they are read for
+/// packing, and collects the wire blobs at the end. add() is order- and
+/// batch-independent, so the blobs are identical to whole-sample sketches.
+class StreamingSketcher {
+ public:
+  /// `config.estimator` must be a sketch estimator (the driver passes its
+  /// sketch view of a hybrid config).
+  explicit StreamingSketcher(const core::Config& config);
+
+  /// Register a sample; returns its local index (registration order).
+  std::size_t add_sample(std::int64_t sample);
+
+  /// Use a persisted wire blob; the sample's values need not be absorbed.
+  void preload(std::size_t index, std::vector<std::uint64_t> wire);
+
+  /// False once `index` is preloaded — its absorb calls may be skipped.
+  [[nodiscard]] bool needs_stream(std::size_t index) const;
+
+  /// Feed one batch of the sample's global attribute ids.
+  void absorb(std::size_t index, std::span<const std::int64_t> values);
+
+  [[nodiscard]] const std::vector<std::int64_t>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Wire blobs in registration order. The sketcher is spent afterwards.
+  [[nodiscard]] std::vector<std::vector<std::uint64_t>> finish();
+
+ private:
+  using AnySketch = std::variant<HyperLogLog, OnePermMinHash, BottomKSketch>;
+
+  core::Config config_;
+  std::vector<std::int64_t> samples_;
+  std::vector<AnySketch> sketches_;
+  std::vector<std::vector<std::uint64_t>> preloaded_;  ///< empty = stream
+};
+
 /// Wire blob of one sample's sketch under `config` (which selects the
-/// estimator and its parameters), built by streaming the sample's
-/// attribute ids in `config.batch_count` batches. Throws
-/// std::invalid_argument when config.estimator == kExact.
+/// estimator and its parameters): the persisted blob when present and
+/// compatible, else built by streaming the sample's attribute ids in
+/// `config.batch_count` batches. Throws std::invalid_argument when
+/// config.estimator == kExact.
 [[nodiscard]] std::vector<std::uint64_t> build_sample_wire(
     const core::SampleSource& source, std::int64_t sample, const core::Config& config);
 
+/// Output of the hybrid's sketch-prune pass.
+struct CandidatePass {
+  /// Replicated candidate mask: pair (i, j) set iff Ĵ(i, j) ≥
+  /// prune_threshold − slack, plus the full diagonal. Symmetric.
+  distmat::PairMask mask;
+  /// Rank 0: row-major n×n estimated similarities (every pair), used to
+  /// fill the pruned entries of the assembled matrix. Empty elsewhere.
+  std::vector<double> estimates;
+  /// The threshold actually applied (prune_threshold − slack, floored at 0).
+  double effective_threshold = 0.0;
+};
+
+/// Collective over `world`: score all pairs from per-sample wire blobs
+/// and threshold them into a replicated candidate mask. `samples`/`blobs`
+/// are this rank's registered samples (any disjoint cover of [0, n)
+/// across ranks works; the driver passes its cyclic read ownership).
+/// `config` is the sketch view of the hybrid config (estimator already
+/// resolved to the prune sketch).
+[[nodiscard]] CandidatePass sketch_candidate_pass(
+    bsp::Comm& world, std::span<const std::int64_t> samples,
+    const std::vector<std::vector<std::uint64_t>>& blobs, std::int64_t n,
+    const core::Config& config);
+
 /// Run the sketch-exchange pipeline collectively over `world`. Every
-/// rank must call with identical `config` (estimator != kExact); the
-/// estimated similarity matrix and batch statistics land on rank 0,
-/// mirroring core::similarity_at_scale's contract.
+/// rank must call with identical `config` (estimator must be a sketch
+/// estimator); the estimated similarity matrix and batch statistics land
+/// on rank 0, mirroring core::similarity_at_scale's contract.
 [[nodiscard]] core::Result sketch_similarity_at_scale(bsp::Comm& world,
                                                       const core::SampleSource& source,
                                                       const core::Config& config);

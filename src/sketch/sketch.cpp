@@ -1,5 +1,7 @@
 #include "sketch/sketch.hpp"
 
+#include <cstdint>
+#include <fstream>
 #include <stdexcept>
 
 #include "sketch/bottomk.hpp"
@@ -46,6 +48,29 @@ double estimate_jaccard_wire(std::span<const std::uint64_t> a,
                                               OnePermMinHash::deserialize(b));
   }
   throw std::logic_error("estimate_jaccard_wire: unreachable");
+}
+
+void write_wire_file(const std::string& path, std::span<const std::uint64_t> wire) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_wire_file: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(wire.data()),
+            static_cast<std::streamsize>(wire.size_bytes()));
+  if (!out) throw std::runtime_error("write_wire_file: short write to " + path);
+}
+
+std::vector<std::uint64_t> read_wire_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return {};
+  const std::streamsize bytes = in.tellg();
+  if (bytes <= 0 || bytes % static_cast<std::streamsize>(sizeof(std::uint64_t)) != 0) {
+    return {};
+  }
+  std::vector<std::uint64_t> wire(static_cast<std::size_t>(bytes) / sizeof(std::uint64_t));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(wire.data()), bytes);
+  if (!in) return {};
+  if (wire.size() < kWireHeaderWords || (wire[0] >> 32) != kWireMagic) return {};
+  return wire;
 }
 
 }  // namespace sas::sketch

@@ -74,6 +74,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace sas::sketch {
@@ -105,5 +106,23 @@ inline constexpr std::size_t kWireHeaderWords = 3;       // tag, params, seed
 /// and bottomk types.
 [[nodiscard]] double estimate_jaccard_wire(std::span<const std::uint64_t> a,
                                            std::span<const std::uint64_t> b);
+
+// ---- sketch persistence --------------------------------------------------
+//
+// Wire blobs are persisted as raw little-endian 64-bit words — the blob's
+// own (kWireMagic, type, params, seed) header is the file header, so a
+// file is self-describing and directly comparable/mergeable after a read.
+// `gas sketch --estimator` writes one file per sample next to the .kmers
+// inputs; the sketch pipelines load them instead of re-sketching when the
+// header matches the run's configuration.
+
+/// Write `wire` to `path` (truncating). Throws std::runtime_error on I/O
+/// failure.
+void write_wire_file(const std::string& path, std::span<const std::uint64_t> wire);
+
+/// Read a persisted wire blob. Returns an empty vector when the file is
+/// missing, unreadable, not a whole number of words, or fails the wire
+/// magic check — callers treat that as "no persisted sketch".
+[[nodiscard]] std::vector<std::uint64_t> read_wire_file(const std::string& path);
 
 }  // namespace sas::sketch

@@ -7,15 +7,22 @@
 // files, PHYLIP matrices, and Newick trees.
 //
 //   gas sketch   <in.fa|in.fq> ... --k 31 --min-count 1 --out-dir DIR
+//                [--estimator hll|minhash|bottomk]
 //       Extract canonical k-mer sets ("sorted numerical representation",
-//       §IV) from sequence files, one .kmers sample file per input.
+//       §IV) from sequence files, one .kmers sample file per input. With
+//       --estimator, additionally persist each sample's sketch wire blob
+//       (<sample>.kmers.<est>.sketch) next to it; later `gas dist`
+//       sketch/hybrid runs with matching parameters load the blobs
+//       instead of re-sketching.
 //
 //   gas dist     <a.kmers> <b.kmers> ... --ranks 8 --batches 16
 //                [--phylip out.phylip] [--algorithm summa|ring|serial]
 //                [--replication c] [--bits b] [--no-filter]
-//       All-pairs exact Jaccard via the distributed SimilarityAtScale
+//                [--estimator exact|hll|minhash|bottomk|hybrid]
+//       All-pairs Jaccard via the distributed SimilarityAtScale
 //       pipeline; prints the distance matrix and optionally writes
-//       PHYLIP for downstream tools.
+//       PHYLIP for downstream tools. `hybrid` sketch-prunes the pair
+//       space at --prune-threshold and rescores survivors exactly.
 //
 //   gas tree     <dist.phylip> [--out tree.nwk]
 //       Neighbor-joining tree from a PHYLIP distance matrix (Fig. 1
@@ -28,6 +35,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -41,7 +49,11 @@
 #include "genome/kmer_spectrum.hpp"
 #include "genome/phylip.hpp"
 #include "genome/synthetic.hpp"
+#include "sketch/bottomk.hpp"
+#include "sketch/exchange.hpp"
 #include "sketch/hyperloglog.hpp"
+#include "sketch/one_perm_minhash.hpp"
+#include "sketch/sketch.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -55,12 +67,17 @@ int usage() {
                "usage: gas <sketch|dist|tree|simulate> [args...]\n"
                "  gas sketch <seq files...> --k 31 [--min-count 1 | --auto-threshold]\n"
                "           [--fastq] [--out-dir .]\n"
+               "           [--estimator hll|minhash|bottomk] [--sketch-size 1024]\n"
+               "           [--hll-precision 12] [--minhash-bits 16] [--sketch-seed 1445]\n"
                "  gas dist <sample files...> --k 31 [--ranks 8] [--batches 16]\n"
                "           [--phylip out] [--similarity-out out.sasm] [--tsv out.tsv]\n"
                "           [--top N | --threshold J] [--algorithm summa|ring|serial]\n"
                "           [--replication 1] [--bits 64] [--no-filter]\n"
-               "           [--estimator exact|hll|minhash|bottomk] [--sketch-size 1024]\n"
-               "           [--hll-precision 12] [--minhash-bits 16] [--sketch-seed 1445]\n"
+               "           [--estimator exact|hll|minhash|bottomk|hybrid]\n"
+               "           [--sketch-size 1024] [--hll-precision 12]\n"
+               "           [--minhash-bits 16] [--sketch-seed 1445]\n"
+               "           [--hybrid-sketch hll|minhash|bottomk]\n"
+               "           [--prune-threshold 0.1] [--prune-slack auto]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
                "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n");
@@ -71,6 +88,67 @@ std::string stem_of(const std::string& path) {
   return fs::path(path).stem().string();
 }
 
+/// Parse a sketch-estimator name; returns false on unknown names.
+bool parse_sketch_estimator(const std::string& name, core::Estimator& out) {
+  if (name == "hll") {
+    out = core::Estimator::kHll;
+  } else if (name == "minhash") {
+    out = core::Estimator::kMinhash;
+  } else if (name == "bottomk") {
+    out = core::Estimator::kBottomK;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Shared sketch-parameter flags of `gas sketch` and `gas dist`; returns
+/// false (after printing a usage error) on invalid values.
+bool parse_sketch_params(const ArgParser& args, core::Config& core) {
+  core.sketch_size = args.get_int("sketch-size", 1024);
+  core.hll_precision = static_cast<int>(args.get_int("hll-precision", 12));
+  core.minhash_bits = static_cast<int>(args.get_int("minhash-bits", 16));
+  core.sketch_seed = static_cast<std::uint64_t>(args.get_int("sketch-seed", 0x5a5));
+  // Reject bad sketch parameters here with a usage error; left to the
+  // sketch constructors they throw inside the rank threads and abort.
+  if (core.sketch_size < 1) {
+    std::fprintf(stderr, "gas: --sketch-size must be >= 1\n");
+    return false;
+  }
+  if (core.hll_precision < sketch::HyperLogLog::kMinPrecision ||
+      core.hll_precision > sketch::HyperLogLog::kMaxPrecision) {
+    std::fprintf(stderr, "gas: --hll-precision must be in [%d, %d]\n",
+                 sketch::HyperLogLog::kMinPrecision, sketch::HyperLogLog::kMaxPrecision);
+    return false;
+  }
+  if (core.minhash_bits < 1 || core.minhash_bits > 64 ||
+      64 % core.minhash_bits != 0) {
+    std::fprintf(stderr, "gas: --minhash-bits must divide 64\n");
+    return false;
+  }
+  return true;
+}
+
+/// Wire blob of one whole k-mer set under the config's sketch estimator.
+std::vector<std::uint64_t> sketch_sample_wire(const genome::KmerSample& sample,
+                                              const core::Config& config) {
+  const std::span<const std::uint64_t> kmers(sample.kmers);
+  switch (sketch::resolved_sketch_estimator(config)) {
+    case core::Estimator::kHll:
+      return sketch::HyperLogLog(kmers, config.hll_precision, config.sketch_seed).wire();
+    case core::Estimator::kMinhash:
+      return sketch::OnePermMinHash(kmers, config.sketch_size, config.minhash_bits,
+                                    config.sketch_seed)
+          .wire();
+    case core::Estimator::kBottomK:
+      return sketch::BottomKSketch(kmers, static_cast<std::size_t>(config.sketch_size),
+                                   config.sketch_seed)
+          .wire();
+    default:
+      throw std::invalid_argument("sketch_sample_wire: not a sketch estimator");
+  }
+}
+
 int cmd_sketch(const ArgParser& args) {
   if (args.positional().size() < 2) return usage();
   const int k = static_cast<int>(args.get_int("k", 31));
@@ -78,6 +156,20 @@ int cmd_sketch(const ArgParser& args) {
   const bool auto_threshold = args.get_bool("auto-threshold", false);
   const fs::path out_dir = args.get_string("out-dir", ".");
   fs::create_directories(out_dir);
+
+  // Optional sketch persistence: write each sample's wire blob next to
+  // its .kmers file so matching `gas dist` runs skip re-sketching.
+  core::Config sketch_cfg;
+  bool persist_sketch = false;
+  if (args.has("estimator")) {
+    const std::string estimator = args.get_string("estimator", "minhash");
+    if (!parse_sketch_estimator(estimator, sketch_cfg.estimator)) {
+      std::fprintf(stderr, "gas sketch: unknown --estimator '%s'\n", estimator.c_str());
+      return 2;
+    }
+    if (!parse_sketch_params(args, sketch_cfg)) return 2;
+    persist_sketch = true;
+  }
 
   const genome::KmerCodec codec(k);
   for (std::size_t i = 1; i < args.positional().size(); ++i) {
@@ -96,6 +188,14 @@ int cmd_sketch(const ArgParser& args) {
     std::printf("%s: %lld canonical %d-mers (min count %d%s) -> %s\n", path.c_str(),
                 static_cast<long long>(sample.size()), k, min_count,
                 auto_threshold ? ", auto" : "", out.string().c_str());
+    if (persist_sketch) {
+      const std::vector<std::uint64_t> blob = sketch_sample_wire(sample, sketch_cfg);
+      const std::string blob_path =
+          out.string() + "." +
+          sketch::estimator_wire_name(sketch_cfg.estimator) + ".sketch";
+      sketch::write_wire_file(blob_path, blob);
+      std::printf("  sketch blob (%zu words) -> %s\n", blob.size(), blob_path.c_str());
+    }
   }
   return 0;
 }
@@ -128,40 +228,30 @@ int cmd_dist(const ArgParser& args) {
   // Estimator selection (src/sketch/sketch.hpp documents the tradeoff):
   // exact is the paper's pipeline; the sketch estimators exchange fixed-
   // size summaries instead of k-mer panels, trading a documented error
-  // bound for genome-size-independent communication.
+  // bound for genome-size-independent communication; hybrid sketch-prunes
+  // the pair space and rescores the survivors exactly.
   const std::string estimator = args.get_string("estimator", "exact");
   if (estimator == "exact") {
     options.core.estimator = core::Estimator::kExact;
-  } else if (estimator == "hll") {
-    options.core.estimator = core::Estimator::kHll;
-  } else if (estimator == "minhash") {
-    options.core.estimator = core::Estimator::kMinhash;
-  } else if (estimator == "bottomk") {
-    options.core.estimator = core::Estimator::kBottomK;
-  } else {
+  } else if (estimator == "hybrid") {
+    options.core.estimator = core::Estimator::kHybrid;
+  } else if (!parse_sketch_estimator(estimator, options.core.estimator)) {
     std::fprintf(stderr, "gas dist: unknown --estimator '%s'\n", estimator.c_str());
     return 2;
   }
-  options.core.sketch_size = args.get_int("sketch-size", 1024);
-  options.core.hll_precision = static_cast<int>(args.get_int("hll-precision", 12));
-  options.core.minhash_bits = static_cast<int>(args.get_int("minhash-bits", 16));
-  options.core.sketch_seed =
-      static_cast<std::uint64_t>(args.get_int("sketch-seed", 0x5a5));
-  // Reject bad sketch parameters here with a usage error; left to the
-  // sketch constructors they throw inside the rank threads and abort.
-  if (options.core.sketch_size < 1) {
-    std::fprintf(stderr, "gas dist: --sketch-size must be >= 1\n");
+  if (!parse_sketch_params(args, options.core)) return 2;
+  const std::string hybrid_sketch = args.get_string("hybrid-sketch", "minhash");
+  if (!parse_sketch_estimator(hybrid_sketch, options.core.hybrid_sketch)) {
+    std::fprintf(stderr, "gas dist: unknown --hybrid-sketch '%s'\n",
+                 hybrid_sketch.c_str());
     return 2;
   }
-  if (options.core.hll_precision < sketch::HyperLogLog::kMinPrecision ||
-      options.core.hll_precision > sketch::HyperLogLog::kMaxPrecision) {
-    std::fprintf(stderr, "gas dist: --hll-precision must be in [%d, %d]\n",
-                 sketch::HyperLogLog::kMinPrecision, sketch::HyperLogLog::kMaxPrecision);
-    return 2;
+  options.core.prune_threshold = args.get_double("prune-threshold", 0.1);
+  if (args.has("prune-slack")) {
+    options.core.prune_slack = args.get_double("prune-slack", -1.0);
   }
-  if (options.core.minhash_bits < 1 || options.core.minhash_bits > 64 ||
-      64 % options.core.minhash_bits != 0) {
-    std::fprintf(stderr, "gas dist: --minhash-bits must divide 64\n");
+  if (options.core.prune_threshold < 0.0 || options.core.prune_threshold > 1.0) {
+    std::fprintf(stderr, "gas dist: --prune-threshold must be in [0, 1]\n");
     return 2;
   }
 
@@ -172,12 +262,38 @@ int cmd_dist(const ArgParser& args) {
   const auto names = source.sample_names();
   const auto n = result.n;
 
+  if (options.core.estimator == core::Estimator::kHybrid) {
+    const std::int64_t candidates = (result.candidates.count() - n) / 2;
+    std::printf("hybrid: %lld of %lld pairs survived the sketch prune "
+                "(threshold %.3f); survivors rescored exactly\n\n",
+                static_cast<long long>(candidates),
+                static_cast<long long>(n * (n - 1) / 2),
+                options.core.prune_threshold);
+  }
+
   if (args.has("top") || args.has("threshold")) {
     // Similar-sample discovery (paper Fig. 1 step 8): only the most
     // related pairs instead of the full quadratic listing.
     std::vector<analysis::ScoredPair> pairs;
     if (args.has("top")) {
       pairs = analysis::top_k_pairs(result.similarity, args.get_int("top", 10));
+    } else if (options.core.estimator == core::Estimator::kHybrid) {
+      // The hybrid's candidate mask IS the thresholded pair set — walk it
+      // directly instead of re-thresholding the dense assembled matrix
+      // (which would also surface sketch-estimated pruned values).
+      const double threshold = args.get_double("threshold", 0.9);
+      const double effective =
+          options.core.prune_threshold - sketch::hybrid_prune_slack(options.core);
+      if (threshold < effective) {
+        std::fprintf(stderr,
+                     "gas dist: warning: --threshold %.3f is below the effective "
+                     "prune threshold %.3f — pairs in between were pruned by the "
+                     "sketch pass and will not be listed (lower --prune-threshold "
+                     "to keep them)\n",
+                     threshold, effective);
+      }
+      pairs = analysis::candidate_pairs(result.similarity, result.candidates,
+                                        threshold);
     } else {
       pairs = analysis::pairs_above(result.similarity,
                                     args.get_double("threshold", 0.9));
