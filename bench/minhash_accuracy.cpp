@@ -28,6 +28,10 @@
 // bottomk_jaccard_error_bound), when a sketch pipeline fails to
 // communicate fewer bytes than the exact pipeline on this workload, or
 // when the hybrid violates recall / parity / bytes on the family corpus.
+// Fourth part (gated): the LSH-banded candidate pass vs the all-pairs
+// sketch allgather on a genome-family corpus — the banded pass must keep
+// every pair the all-pairs pass keeps above threshold + slack (equal
+// prune recall) while exchanging fewer bytes.
 #include <cmath>
 #include <cstdio>
 #include <span>
@@ -36,6 +40,7 @@
 
 #include "baselines/exact_pairwise.hpp"
 #include "bench_common.hpp"
+#include "bsp/runtime.hpp"
 #include "genome/kmer_source.hpp"
 #include "genome/sample.hpp"
 #include "genome/synthetic.hpp"
@@ -322,6 +327,109 @@ int main(int argc, char** argv) {
                          std::to_string(st.messages)});
   }
   stage_table.print();
+
+  // ---- LSH-banded candidate pass vs all-pairs allgather ------------------
+  // Larger family corpus (24 families x 2 members, 8 ranks): the regime
+  // past the all-pairs pass's comfort zone. The banded pass must match
+  // the all-pairs recall above threshold + slack while moving fewer
+  // candidate-pass bytes than the blob allgather.
+  std::printf("\nLSH-banded candidate pass vs all-pairs sketch allgather "
+              "(24 genome families x 2 members, 8 ranks, threshold 0.1)\n\n");
+  std::vector<genome::KmerSample> lsh_corpus;
+  Rng lsh_rng(91);
+  for (int f = 0; f < 24; ++f) {
+    const std::string ancestor = genome::random_genome(4000, lsh_rng);
+    for (int m = 0; m < 2; ++m) {
+      const std::string individual =
+          m == 0 ? ancestor : genome::mutate_point(ancestor, 0.02, lsh_rng);
+      lsh_corpus.push_back(genome::build_sample(
+          "lf" + std::to_string(f) + "m" + std::to_string(m), {{"g", "", individual}},
+          codec));
+    }
+  }
+  const auto ln = static_cast<std::int64_t>(lsh_corpus.size());
+
+  core::Config pass_cfg;
+  pass_cfg.estimator = core::Estimator::kMinhash;
+  pass_cfg.prune_threshold = 0.1;
+  const double pass_slack = sketch::hybrid_prune_slack(pass_cfg);
+
+  struct PassRun {
+    sketch::CandidatePass pass;
+    bsp::CostSummary cost;
+  };
+  const auto run_candidate_pass = [&](core::CandidateMode mode) {
+    core::Config cfg = pass_cfg;
+    cfg.candidate_mode = mode;
+    PassRun out;
+    auto counters = bsp::Runtime::run(8, [&](bsp::Comm& comm) {
+      std::vector<std::int64_t> ids;
+      std::vector<std::vector<std::uint64_t>> blobs;
+      for (std::int64_t i = comm.rank(); i < ln; i += comm.size()) {
+        ids.push_back(i);
+        blobs.push_back(
+            sketch::OnePermMinHash(
+                std::span<const std::uint64_t>(
+                    lsh_corpus[static_cast<std::size_t>(i)].kmers),
+                cfg.sketch_size, cfg.minhash_bits, cfg.sketch_seed)
+                .wire());
+      }
+      auto pass = sketch::sketch_candidate_pass(
+          comm, std::span<const std::int64_t>(ids), blobs, ln, cfg);
+      // Single writer (rank 0), read only after run() joins the ranks.
+      if (comm.rank() == 0) out.pass = std::move(pass);
+    });
+    out.cost = bsp::CostSummary::aggregate(counters);
+    return out;
+  };
+  const PassRun all_pairs_run = run_candidate_pass(core::CandidateMode::kAllPairs);
+  const PassRun lsh_run = run_candidate_pass(core::CandidateMode::kLsh);
+
+  std::int64_t lsh_must_survive = 0;
+  std::int64_t lsh_recall_misses = 0;
+  std::int64_t allpairs_recall_misses = 0;
+  for (std::int64_t i = 0; i < ln; ++i) {
+    for (std::int64_t j = i + 1; j < ln; ++j) {
+      const double truth = baselines::exact_jaccard(
+          lsh_corpus[static_cast<std::size_t>(i)].kmers,
+          lsh_corpus[static_cast<std::size_t>(j)].kmers);
+      if (truth < pass_cfg.prune_threshold + pass_slack) continue;
+      ++lsh_must_survive;
+      if (!all_pairs_run.pass.mask.test(i, j)) ++allpairs_recall_misses;
+      if (!lsh_run.pass.mask.test(i, j)) ++lsh_recall_misses;
+    }
+  }
+  const bool lsh_bytes_ok = lsh_run.cost.total_bytes < all_pairs_run.cost.total_bytes;
+  const bool lsh_ok = lsh_recall_misses <= allpairs_recall_misses && lsh_bytes_ok;
+  ok = ok && lsh_ok;
+
+  const auto fmt_recall = [&](std::int64_t misses) {
+    return std::to_string(lsh_must_survive - misses) + "/" +
+           std::to_string(lsh_must_survive);
+  };
+  TextTable lsh_table({"candidate pass", "plan", "pairs kept", "recall@J>=thr+slack",
+                       "mask", "pass bytes", "vs all-pairs", "gate"});
+  lsh_table.add_row(
+      {"all-pairs allgather", "-",
+       std::to_string((all_pairs_run.pass.mask.count() - ln) / 2),
+       fmt_recall(allpairs_recall_misses), "dense",
+       std::to_string(all_pairs_run.cost.total_bytes), "1.00x", "-"});
+  lsh_table.add_row(
+      {"lsh-banded",
+       "B=" + std::to_string(lsh_run.pass.plan.bands) +
+           " R=" + std::to_string(lsh_run.pass.plan.rows_per_band),
+       std::to_string((lsh_run.pass.mask.count() - ln) / 2),
+       fmt_recall(lsh_recall_misses),
+       lsh_run.pass.mask.is_sparse() ? "sparse" : "dense",
+       std::to_string(lsh_run.cost.total_bytes),
+       fmt_fixed(static_cast<double>(lsh_run.cost.total_bytes) /
+                     static_cast<double>(all_pairs_run.cost.total_bytes),
+                 3) + "x",
+       lsh_ok ? "PASS" : "FAIL"});
+  lsh_table.print();
+  std::printf("\nbanded pass gate: recall no worse than all-pairs at equal sketch\n"
+              "budget, and candidate-pass bytes strictly below the all-pairs blob\n"
+              "allgather (keys + colliding-pair blob fetches vs every blob).\n");
 
   // ---- the CI gate --------------------------------------------------------
   std::printf("\nAccuracy gate (mean |err| at default sizes vs documented bounds):\n");

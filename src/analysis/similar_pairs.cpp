@@ -1,7 +1,6 @@
 #include "analysis/similar_pairs.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <stdexcept>
 #include <tuple>
 
@@ -48,29 +47,18 @@ std::vector<ScoredPair> pairs_above(const core::SimilarityMatrix& matrix,
 }
 
 std::vector<ScoredPair> candidate_pairs(const core::SimilarityMatrix& matrix,
-                                        const distmat::PairMask& candidates,
+                                        const distmat::CandidateMask& candidates,
                                         double threshold) {
   if (candidates.size() != matrix.size()) {
     throw std::invalid_argument("candidate_pairs: mask/matrix size mismatch");
   }
-  const std::int64_t n = matrix.size();
-  const std::int64_t wpr = candidates.words_per_row();
   std::vector<ScoredPair> pairs;
-  // Walk set bits word by word (strict upper triangle), so the scan is
-  // O(n²/64 + candidates), not a dense O(n²) re-threshold.
-  for (std::int64_t i = 0; i < n; ++i) {
-    const std::uint64_t* const row = candidates.words().data() + i * wpr;
-    for (std::int64_t w = (i + 1) >> 6; w < wpr; ++w) {
-      std::uint64_t bits = row[w];
-      if (w == ((i + 1) >> 6)) bits &= ~std::uint64_t{0} << ((i + 1) & 63);
-      while (bits != 0) {
-        const std::int64_t j = (w << 6) + std::countr_zero(bits);
-        bits &= bits - 1;
-        const double s = matrix.similarity(i, j);
-        if (s >= threshold) pairs.push_back({i, j, s});
-      }
-    }
-  }
+  // Visit only the mask's strict upper triangle (dense: word-by-word bit
+  // walk; sparse: the CSR rows), not a dense O(n²) re-threshold.
+  candidates.for_each_upper_pair([&](std::int64_t i, std::int64_t j) {
+    const double s = matrix.similarity(i, j);
+    if (s >= threshold) pairs.push_back({i, j, s});
+  });
   std::sort(pairs.begin(), pairs.end(), by_descending_similarity);
   return pairs;
 }

@@ -37,9 +37,10 @@ struct ScoredPair {
 /// Every distinct candidate pair of a hybrid run (off-diagonal mask
 /// entries, which carry exactly rescored similarities), optionally
 /// re-thresholded on the exact value, descending. Only the mask's pairs
-/// are visited — O(candidates) instead of O(n²).
+/// are visited — O(candidates) instead of O(n²) — whichever mask
+/// representation (dense bitset or sparse CSR) the run produced.
 [[nodiscard]] std::vector<ScoredPair> candidate_pairs(
-    const core::SimilarityMatrix& matrix, const distmat::PairMask& candidates,
+    const core::SimilarityMatrix& matrix, const distmat::CandidateMask& candidates,
     double threshold = 0.0);
 
 /// For one query sample, its `k` nearest neighbours (most similar other

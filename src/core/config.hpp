@@ -33,6 +33,24 @@ enum class Estimator {
   kHybrid,   ///< sketch-prune → exact-rescore (core/driver.hpp stage diagram)
 };
 
+/// How the hybrid's candidate pass generates the pair set
+/// (sketch/exchange.hpp documents both paths).
+enum class CandidateMode {
+  /// kLsh when the prune sketch is minhash, the effective threshold is
+  /// positive, and sample_count >= lsh_min_samples; kAllPairs otherwise.
+  kAuto,
+  /// Allgather every sketch blob and score all n²/p pairs per rank — the
+  /// exact candidate set at O(n · sketch_bytes) exchange bytes and O(n²)
+  /// score work. The right call at small n.
+  kAllPairs,
+  /// LSH banding over the one-permutation MinHash registers: exchange
+  /// only (band, bucket, sample) keys and score just the pairs that
+  /// collide in ≥ 1 band — O(collisions) score work and candidate bytes.
+  /// Requires the minhash prune sketch; recall follows the banding
+  /// S-curve (sketch::lsh_candidate_plan), not the all-pairs guarantee.
+  kLsh,
+};
+
 struct Config {
   /// Number of row batches r (paper Eq. 3). Larger values shrink the
   /// working set per batch at the cost of per-batch latency (Fig. 2c/2d).
@@ -106,6 +124,26 @@ struct Config {
   /// from the chosen sketch's documented mean-error bound
   /// (sketch::hybrid_prune_slack); an explicit value ≥ 0 pins it.
   double prune_slack = -1.0;
+
+  /// Candidate-pass strategy of the hybrid (estimator == kHybrid). kAuto
+  /// switches from all-pairs scoring to LSH banding once the corpus
+  /// clears lsh_min_samples; kLsh with a non-minhash hybrid_sketch
+  /// throws (banding is defined over the OPH registers), and a
+  /// non-positive effective threshold always falls back to all-pairs
+  /// (every pair survives — banding could only lose candidates).
+  CandidateMode candidate_mode = CandidateMode::kAuto;
+
+  /// LSH band count B (candidate_mode kLsh/kAuto). 0 (the default)
+  /// derives (bands, rows_per_band) from the effective prune threshold —
+  /// the largest band width R whose required band count C/m^R still fits
+  /// the register budget (sketch::lsh_candidate_plan). A positive value
+  /// pins B with rows_per_band = max(1, sketch_size / B).
+  std::int64_t lsh_bands = 0;
+
+  /// Sample count below which kAuto keeps the all-pairs candidate pass:
+  /// under ~10² samples the n² score work is trivial and the dense mask
+  /// is bytes-cheaper than band keys.
+  std::int64_t lsh_min_samples = 128;
 };
 
 }  // namespace sas::core

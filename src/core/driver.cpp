@@ -130,7 +130,7 @@ Layout make_layout(bsp::Comm& world, const Config& config, std::int64_t n) {
 void exchange_and_multiply(bsp::Comm& world, Layout& layout, const Config& config,
                            std::int64_t n, PackedBatch packed,
                            std::vector<std::int64_t>& ahat, StageRecorder& recorder,
-                           const distmat::PairMask* prune) {
+                           const distmat::CandidateMask* prune) {
   const int p = world.size();
   const std::int64_t h = packed.word_rows;
 
@@ -231,7 +231,7 @@ void exchange_and_multiply(bsp::Comm& world, Layout& layout, const Config& confi
 /// estimates and attach the candidate mask.
 Result assemble(bsp::Comm& world, Layout& layout, const Config& config, std::int64_t n,
                 std::vector<std::int64_t>& ahat, std::vector<BatchStats> stats,
-                StageRecorder& recorder, distmat::PairMask* mask,
+                StageRecorder& recorder, distmat::CandidateMask* mask,
                 const std::vector<double>* estimates) {
   std::vector<double> full;
   {

@@ -26,8 +26,10 @@
 //   kBottomK           (panel rotation) → multiply (estimation) →
 //                      assemble.
 //   kHybrid            for each batch: ingest → pack+sketch (one read);
-//                      sketch exchange → candidate PairMask (Ĵ ≥
-//                      prune_threshold − slack, replicated); then per
+//                      candidate pass → replicated candidate mask (Ĵ ≥
+//                      prune_threshold − slack; all-pairs scoring or LSH
+//                      banding per Config::candidate_mode, dense or
+//                      sparse per the pair_mask.hpp crossover); then per
 //                      cached batch: drop columns with no surviving
 //                      pair → targeted exchange → multiply with tile-
 //                      level mask skipping; assemble rescores surviving
@@ -164,9 +166,11 @@ struct Result {
   int active_ranks = 0;             ///< ranks that took part in the product
   PipelineStats stages;             ///< per-stage cost breakdown (rank 0)
   /// kHybrid only (rank 0): the candidate-pair mask of the sketch-prune
-  /// pass. Masked pairs carry exact similarities; unmasked pairs carry
-  /// their sketch estimate. Empty for every other estimator.
-  distmat::PairMask candidates;
+  /// pass (dense bitset or sparse CSR-of-pairs, per the storage-parity
+  /// crossover in pair_mask.hpp). Masked pairs carry exact similarities;
+  /// unmasked pairs carry their sketch estimate (0.0 under LSH banding
+  /// when the pair never collided). Empty for every other estimator.
+  distmat::CandidateMask candidates;
 };
 
 /// Run SimilarityAtScale collectively over `world`. Every rank of `world`

@@ -36,6 +36,25 @@ void allreduce_pair_mask(bsp::Comm& comm, PairMask& mask) {
   mask.symmetrize();
 }
 
+std::vector<std::uint64_t> allreduce_pair_union(bsp::Comm& comm,
+                                                std::vector<std::uint64_t> mine) {
+  std::sort(mine.begin(), mine.end());
+  mine.erase(std::unique(mine.begin(), mine.end()), mine.end());
+  const auto blocks = comm.allgather_v<std::uint64_t>(
+      std::span<const std::uint64_t>(mine));
+  // Rank lists are each sorted; a concatenate + sort is O(total log p)-ish
+  // and deterministic — candidate unions stay far below the n² regime
+  // where a k-way merge would matter.
+  std::vector<std::uint64_t> all;
+  std::size_t total = 0;
+  for (const auto& block : blocks) total += block.size();
+  all.reserve(total);
+  for (const auto& block : blocks) all.insert(all.end(), block.begin(), block.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
 std::int64_t compact_row_id(std::span<const std::int64_t> sorted_filter,
                             std::int64_t global_row) {
   const auto it = std::lower_bound(sorted_filter.begin(), sorted_filter.end(), global_row);

@@ -14,6 +14,10 @@
 // each rank fills the mask rows of the samples whose sketches it scored;
 // a bitwise-OR allreduce replicates the union so every rank can prune
 // columns, exchanges, and kernel tiles against the same candidate set.
+// The sparse counterpart (allreduce_pair_union) replicates the union of
+// packed candidate-pair lists instead: O(total pairs) bytes per hop
+// instead of the dense mask's O(n²/8), which is what the LSH candidate
+// pass ships when the surviving pair set is far below n².
 #pragma once
 
 #include <cstdint>
@@ -39,5 +43,13 @@ namespace sas::distmat {
 /// all ranks' masks, then symmetrize. All ranks must pass masks of the
 /// same size.
 void allreduce_pair_mask(bsp::Comm& comm, PairMask& mask);
+
+/// Collective union-merge of packed candidate pairs
+/// (SparsePairMask::pack_pair format): returns the sorted, deduplicated
+/// union of all ranks' lists, replicated on every rank. `mine` need not
+/// be sorted. This is the sparse mask's replacement for the dense
+/// word-OR allreduce — bytes scale with the pair count, not with n².
+[[nodiscard]] std::vector<std::uint64_t> allreduce_pair_union(
+    bsp::Comm& comm, std::vector<std::uint64_t> mine);
 
 }  // namespace sas::distmat

@@ -109,7 +109,7 @@ std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
                                       std::int64_t col_begin, std::int64_t col_end,
                                       std::int64_t tile_cols,
                                       DenseBlock<std::int64_t>& out,
-                                      const PairMask* prune) {
+                                      const CandidateMask* prune) {
   const std::int64_t* const ncols = N.col_idx.data();
   const std::uint64_t* const nvals = N.values.data();
   const std::int64_t* const lcols = L.col_idx.data();
@@ -175,7 +175,7 @@ std::uint64_t dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_
                                      std::int64_t j_end, std::int64_t l_col_base,
                                      std::int64_t n_col_base,
                                      DenseBlock<std::int64_t>& out,
-                                     const PairMask* prune) {
+                                     const CandidateMask* prune) {
   const std::int64_t words = ld.words;
   const std::int64_t grow_base = out.row_range.begin + l_col_base;
   const std::int64_t gcol_base = out.col_range.begin + n_col_base;
@@ -223,7 +223,7 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
   if (L.empty() || N.empty()) return;
   // Whole-block prune probe: with a candidate mask, a block whose entire
   // [out rows × out cols] pair set is pruned never touches the CSR data.
-  const PairMask* const prune = options.prune;
+  const CandidateMask* const prune = options.prune;
   if (prune != nullptr &&
       !prune->any_pair({out.row_range.begin + l_col_base,
                         out.row_range.begin + l_col_base + L.cols},
@@ -373,7 +373,7 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
 }
 
 void targeted_ata_accumulate(bsp::Comm& comm, std::int64_t n,
-                             const SparseBlock& my_panel, const PairMask& mask,
+                             const SparseBlock& my_panel, const CandidateMask& mask,
                              DenseBlock<std::int64_t>& b_panel,
                              const CsrAtaOptions& options) {
   const int p = comm.size();

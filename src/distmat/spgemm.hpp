@@ -116,7 +116,7 @@ struct CsrAtaOptions {
   /// column tiles whose pair set is fully pruned are skipped, and the
   /// flop counter records only the work actually performed. Null (the
   /// default) keeps the exact all-pairs behavior bit for bit.
-  const PairMask* prune = nullptr;
+  const CandidateMask* prune = nullptr;
 };
 
 /// Default output-column tile width: 512 × 8-byte accumulators = 4 KiB
@@ -167,7 +167,7 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
 /// pair-sparse corpora the sketch-prune pass targets. The diagonal block
 /// is computed locally from the rank's own panel.
 void targeted_ata_accumulate(bsp::Comm& comm, std::int64_t n,
-                             const SparseBlock& my_panel, const PairMask& mask,
+                             const SparseBlock& my_panel, const CandidateMask& mask,
                              DenseBlock<std::int64_t>& b_panel,
                              const CsrAtaOptions& options = {});
 

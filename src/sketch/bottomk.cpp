@@ -139,6 +139,12 @@ std::vector<double> minhash_all_pairs(
 
 double bottomk_wire_jaccard(std::span<const std::uint64_t> a,
                             std::span<const std::uint64_t> b) {
+  // Type first (same gap as oph_wire_jaccard): an OPH/HLL blob with
+  // coincidentally matching params/seed words must throw, not have its
+  // payload walked as sorted bottom-k minima.
+  if (wire_type(a) != WireType::kBottomK || wire_type(b) != WireType::kBottomK) {
+    throw std::invalid_argument("bottomk_wire_jaccard: not bottom-k blobs");
+  }
   if (a.size() < kWireHeaderWords || b.size() < kWireHeaderWords || a[1] != b[1] ||
       a[2] != b[2]) {
     throw std::invalid_argument("bottomk_wire_jaccard: incompatible blobs");

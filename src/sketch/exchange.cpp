@@ -1,6 +1,7 @@
 #include "sketch/exchange.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <functional>
 #include <stdexcept>
 #include <utility>
@@ -83,6 +84,16 @@ bool wire_matches_config(std::span<const std::uint64_t> wire,
       std::visit([](const auto& sk) { return sk.wire(); }, make_empty_sketch(config));
   for (std::size_t w = 0; w < kWireHeaderWords; ++w) {
     if (wire[w] != expected[w]) return false;
+  }
+  // A matching header is not enough: a truncated persisted blob (e.g. an
+  // interrupted `gas sketch` write) must be treated as "no persisted
+  // sketch" here, not throw later inside the rank threads. Running the
+  // pipeline's own comparator against the blob validates the payload
+  // exactly as deeply as the pipeline will need it.
+  try {
+    (void)estimate_jaccard_wire(wire, wire);
+  } catch (const std::invalid_argument&) {
+    return false;
   }
   return true;
 }
@@ -169,15 +180,102 @@ std::vector<std::uint64_t> build_sample_wire(const core::SampleSource& source,
   throw std::invalid_argument("build_sample_wire: estimator has no sketch form");
 }
 
-CandidatePass sketch_candidate_pass(bsp::Comm& world,
-                                    std::span<const std::int64_t> samples,
-                                    const std::vector<std::vector<std::uint64_t>>& blobs,
-                                    std::int64_t n, const core::Config& config) {
+LshPlan lsh_candidate_plan(const core::Config& config, double effective_threshold) {
+  if (resolved_sketch_estimator(config) != core::Estimator::kMinhash) {
+    throw std::invalid_argument(
+        "lsh_candidate_plan: banding is defined over the minhash registers");
+  }
+  const std::int64_t k = config.sketch_size;
+  if (config.lsh_bands > 0) {
+    LshPlan plan;
+    plan.bands = std::min<std::int64_t>(config.lsh_bands, k);
+    plan.rows_per_band = std::max<std::int64_t>(1, k / plan.bands);
+    return plan;
+  }
+  // Auto rule (see exchange.hpp): register match fraction at the
+  // threshold, then the largest feasible band width.
+  const double collision = std::ldexp(1.0, -config.minhash_bits);
+  const double m = std::clamp(
+      effective_threshold * (1.0 - collision) + collision, collision, 1.0);
+  constexpr double kDetection = 7.0;  // P(miss at the threshold) ≤ e⁻⁷
+  LshPlan plan{/*bands=*/std::min<std::int64_t>(
+                   k, static_cast<std::int64_t>(std::ceil(kDetection / m))),
+               /*rows_per_band=*/1};
+  for (std::int64_t rows = 2; rows * 2 <= k; rows *= 2) {
+    const double per_band = std::pow(m, static_cast<double>(rows));
+    const double needed = kDetection / per_band;
+    if (needed > static_cast<double>(k / rows)) break;  // budget exceeded
+    plan.bands = static_cast<std::int64_t>(std::ceil(needed));
+    plan.rows_per_band = rows;
+  }
+  plan.bands = std::max<std::int64_t>(1, plan.bands);
+  return plan;
+}
+
+core::CandidateMode resolved_candidate_mode(const core::Config& config, std::int64_t n) {
+  const bool minhash = resolved_sketch_estimator(config) == core::Estimator::kMinhash;
+  if (config.candidate_mode == core::CandidateMode::kLsh && !minhash) {
+    throw std::invalid_argument(
+        "sketch_candidate_pass: candidate_mode lsh requires the minhash prune sketch");
+  }
+  // A non-positive effective threshold keeps every pair: banding could
+  // only lose candidates, so all-pairs is a correctness fallback.
+  const double effective =
+      std::max(0.0, config.prune_threshold - hybrid_prune_slack(config));
+  if (effective <= 0.0) return core::CandidateMode::kAllPairs;
+  switch (config.candidate_mode) {
+    case core::CandidateMode::kAllPairs:
+      return core::CandidateMode::kAllPairs;
+    case core::CandidateMode::kLsh:
+      return core::CandidateMode::kLsh;
+    case core::CandidateMode::kAuto:
+      break;
+  }
+  return (minhash && n >= config.lsh_min_samples) ? core::CandidateMode::kLsh
+                                                  : core::CandidateMode::kAllPairs;
+}
+
+namespace {
+
+/// Sample-id → owning-rank map from the per-rank id lists; validates that
+/// the lists cover [0, n) disjointly.
+std::vector<int> owner_map(const std::vector<std::vector<std::int64_t>>& id_blocks,
+                           std::int64_t n) {
+  std::vector<int> owner(static_cast<std::size_t>(n), -1);
+  std::int64_t seen = 0;
+  for (std::size_t q = 0; q < id_blocks.size(); ++q) {
+    for (std::int64_t id : id_blocks[q]) {
+      if (id < 0 || id >= n || owner[static_cast<std::size_t>(id)] != -1) {
+        throw std::invalid_argument(
+            "sketch_candidate_pass: samples do not cover [0, n)");
+      }
+      owner[static_cast<std::size_t>(id)] = static_cast<int>(q);
+      ++seen;
+    }
+  }
+  if (seen != n) {
+    throw std::invalid_argument("sketch_candidate_pass: samples do not cover [0, n)");
+  }
+  return owner;
+}
+
+/// A colliding candidate pair routed to the rank owning sample i's blob,
+/// and — once scored — its estimate.
+struct ScoredPair {
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+  double est = 0.0;
+};
+static_assert(std::is_trivially_copyable_v<ScoredPair>);
+
+/// The all-pairs candidate pass (PR 3): allgather every blob, score this
+/// rank's row slice of all n² pairs into a dense mask.
+CandidatePass all_pairs_candidate_pass(
+    bsp::Comm& world, std::span<const std::int64_t> samples,
+    const std::vector<std::vector<std::uint64_t>>& blobs, std::int64_t n,
+    double effective_threshold) {
   const int p = world.size();
   const int r = world.rank();
-  if (samples.size() != blobs.size()) {
-    throw std::invalid_argument("sketch_candidate_pass: ids/blobs length mismatch");
-  }
 
   // Every rank needs every blob (the mask prunes rank-local columns and
   // tiles), so the exchange is a ring allgather of the wire panels —
@@ -205,16 +303,16 @@ CandidatePass sketch_candidate_pass(bsp::Comm& world,
   }
 
   CandidatePass pass;
-  pass.effective_threshold =
-      std::max(0.0, config.prune_threshold - hybrid_prune_slack(config));
-  pass.mask = distmat::PairMask(n);
+  pass.effective_threshold = effective_threshold;
+  pass.mode = core::CandidateMode::kAllPairs;
+  distmat::PairMask mask(n);
 
   // Score a block partition of the rows (any disjoint cover works — all
   // blobs are local now); the diagonal is always a candidate.
   const BlockRange mine = distmat::block_range(n, p, r);
   DenseBlock<double> est_panel(mine, BlockRange{0, n});
   for (std::int64_t i = mine.begin; i < mine.end; ++i) {
-    pass.mask.set(i, i);
+    mask.set(i, i);
     for (std::int64_t j = 0; j < n; ++j) {
       if (j == i) {
         est_panel.at_global(i, i) = 1.0;
@@ -223,14 +321,215 @@ CandidatePass sketch_candidate_pass(bsp::Comm& world,
       const double est = estimate_jaccard_wire(views[static_cast<std::size_t>(i)],
                                                views[static_cast<std::size_t>(j)]);
       est_panel.at_global(i, j) = est;
-      if (est >= pass.effective_threshold) pass.mask.set(i, j);
+      if (est >= pass.effective_threshold) mask.set(i, j);
     }
   }
 
-  distmat::allreduce_pair_mask(world, pass.mask);
+  distmat::allreduce_pair_mask(world, mask);
+  pass.mask = distmat::CandidateMask(std::move(mask));
   pass.estimates = distmat::gather_dense_to_root(world, &est_panel, n, n);
   if (r != 0) pass.estimates.clear();
   return pass;
+}
+
+/// The LSH-banded candidate pass: band keys through the alltoall, score
+/// only colliding pairs, replicate a sparse (or dense, above the
+/// crossover) candidate mask. See the strategy note in exchange.hpp.
+CandidatePass lsh_candidate_pass(bsp::Comm& world,
+                                 std::span<const std::int64_t> samples,
+                                 const std::vector<std::vector<std::uint64_t>>& blobs,
+                                 std::int64_t n, const core::Config& config,
+                                 double effective_threshold) {
+  const int p = world.size();
+  const int r = world.rank();
+  if (n >= (std::int64_t{1} << 31)) {
+    // Key/pair words carry 31-bit sample ids (SparsePairMask::pack_pair).
+    throw std::invalid_argument("sketch_candidate_pass: lsh requires n < 2^31");
+  }
+
+  CandidatePass pass;
+  pass.effective_threshold = effective_threshold;
+  pass.mode = core::CandidateMode::kLsh;
+  pass.plan = lsh_candidate_plan(config, effective_threshold);
+
+  // (1) Ownership map: who holds which blob (cheap — ids only, no blobs).
+  const auto id_blocks = world.allgather_v<std::int64_t>(samples);
+  const std::vector<int> owner = owner_map(id_blocks, n);
+  std::vector<std::int64_t> local_index(static_cast<std::size_t>(n), -1);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    local_index[static_cast<std::size_t>(samples[i])] = static_cast<std::int64_t>(i);
+  }
+
+  // (2) Band keys, one packed word per (sample, band): the bucket hash's
+  // high 32 bits form the routing group, the low half carries the sample
+  // id. Equal band registers ⇒ equal group, so true collisions always
+  // co-locate; cross-band groups that alias in 32 bits only add scored-
+  // then-filtered pairs. Routing by group keeps the emitted pair set
+  // independent of the rank count.
+  std::vector<std::vector<std::uint64_t>> key_blocks(static_cast<std::size_t>(p));
+  for (std::size_t s = 0; s < blobs.size(); ++s) {
+    const std::vector<std::uint64_t> buckets =
+        oph_wire_band_hashes(blobs[s], pass.plan.bands, pass.plan.rows_per_band);
+    for (std::uint64_t bucket : buckets) {
+      const std::uint64_t group = bucket >> 32;
+      const int dest = static_cast<int>((group * static_cast<std::uint64_t>(p)) >> 32);
+      key_blocks[static_cast<std::size_t>(dest)].push_back(
+          (group << 32) | static_cast<std::uint64_t>(samples[s]));
+    }
+  }
+  const auto incoming_keys = world.alltoall_v(key_blocks);
+
+  // (3) Bucket grouping: sorting the packed words groups by (group,
+  // sample); every within-group sample pair is a collision candidate,
+  // routed to the rank owning the LOWER sample's blob.
+  std::vector<std::uint64_t> keys;
+  for (const auto& block : incoming_keys) {
+    keys.insert(keys.end(), block.begin(), block.end());
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::vector<std::vector<std::uint64_t>> pair_blocks(static_cast<std::size_t>(p));
+  for (std::size_t begin = 0; begin < keys.size();) {
+    std::size_t end = begin;
+    const std::uint64_t group = keys[begin] >> 32;
+    while (end < keys.size() && (keys[end] >> 32) == group) ++end;
+    for (std::size_t a = begin; a < end; ++a) {
+      const auto i = static_cast<std::int64_t>(keys[a] & 0xffffffffULL);
+      for (std::size_t b = a + 1; b < end; ++b) {
+        const auto j = static_cast<std::int64_t>(keys[b] & 0xffffffffULL);
+        pair_blocks[static_cast<std::size_t>(owner[static_cast<std::size_t>(i)])]
+            .push_back(distmat::SparsePairMask::pack_pair(i, j));
+      }
+    }
+    begin = end;
+  }
+  const auto incoming_pairs = world.alltoall_v(pair_blocks);
+
+  // (4) Deduplicate (a pair may collide in several bands, possibly via
+  // different group owners) and list the partner blobs to fetch.
+  std::vector<std::uint64_t> todo;
+  for (const auto& block : incoming_pairs) {
+    todo.insert(todo.end(), block.begin(), block.end());
+  }
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+
+  std::vector<std::vector<std::int64_t>> requests(static_cast<std::size_t>(p));
+  for (std::uint64_t packed : todo) {
+    const auto [i, j] = distmat::SparsePairMask::unpack_pair(packed);
+    (void)i;
+    if (local_index[static_cast<std::size_t>(j)] >= 0) continue;
+    requests[static_cast<std::size_t>(owner[static_cast<std::size_t>(j)])].push_back(j);
+  }
+  for (auto& block : requests) {
+    std::sort(block.begin(), block.end());
+    block.erase(std::unique(block.begin(), block.end()), block.end());
+  }
+
+  // (5) Blob fetch, request/response over two alltoalls — O(distinct
+  // colliding partners · sketch_bytes), the LSH pass's only blob traffic.
+  const auto incoming_requests = world.alltoall_v(requests);
+  std::vector<std::vector<std::uint64_t>> responses(static_cast<std::size_t>(p));
+  for (int q = 0; q < p; ++q) {
+    const auto& wanted = incoming_requests[static_cast<std::size_t>(q)];
+    if (wanted.empty()) continue;
+    std::vector<std::vector<std::uint64_t>> payload;
+    payload.reserve(wanted.size());
+    for (std::int64_t id : wanted) {
+      const std::int64_t idx = local_index[static_cast<std::size_t>(id)];
+      if (idx < 0) {
+        throw std::invalid_argument("sketch_candidate_pass: blob request misrouted");
+      }
+      payload.push_back(blobs[static_cast<std::size_t>(idx)]);
+    }
+    responses[static_cast<std::size_t>(q)] = core::pack_word_panel(payload);
+  }
+  const auto incoming_responses = world.alltoall_v(responses);
+
+  std::vector<std::span<const std::uint64_t>> fetched(static_cast<std::size_t>(n));
+  for (int q = 0; q < p; ++q) {
+    const auto& asked = requests[static_cast<std::size_t>(q)];
+    if (asked.empty()) continue;
+    const auto views =
+        core::unpack_word_panel(incoming_responses[static_cast<std::size_t>(q)]);
+    if (views.size() != asked.size()) {
+      throw std::invalid_argument("sketch_candidate_pass: blob response mismatch");
+    }
+    for (std::size_t v = 0; v < asked.size(); ++v) {
+      fetched[static_cast<std::size_t>(asked[v])] = views[v];
+    }
+  }
+  const auto view_of = [&](std::int64_t id) -> std::span<const std::uint64_t> {
+    const std::int64_t idx = local_index[static_cast<std::size_t>(id)];
+    return idx >= 0 ? std::span<const std::uint64_t>(blobs[static_cast<std::size_t>(idx)])
+                    : fetched[static_cast<std::size_t>(id)];
+  };
+
+  // (6) Score exactly the colliding pairs; keep every estimate (pruned
+  // colliders still fill the assembled matrix better than 0) and
+  // threshold into the local candidate list.
+  std::vector<ScoredPair> scored;
+  scored.reserve(todo.size());
+  std::vector<std::uint64_t> kept;
+  for (std::uint64_t packed : todo) {
+    const auto [i, j] = distmat::SparsePairMask::unpack_pair(packed);
+    const double est = estimate_jaccard_wire(view_of(i), view_of(j));
+    scored.push_back({i, j, est});
+    if (est >= pass.effective_threshold) kept.push_back(packed);
+  }
+
+  // (7) Replicate the union — O(survivors) bytes, not O(n²/8) — and pick
+  // the representation by the storage-parity crossover.
+  const std::vector<std::uint64_t> survivors =
+      distmat::allreduce_pair_union(world, std::move(kept));
+  if (distmat::sparse_pair_mask_wins(n, static_cast<std::int64_t>(survivors.size()))) {
+    pass.mask = distmat::CandidateMask(distmat::SparsePairMask(
+        n, std::span<const std::uint64_t>(survivors)));
+  } else {
+    distmat::PairMask mask(n);
+    for (std::int64_t i = 0; i < n; ++i) mask.set(i, i);
+    for (std::uint64_t packed : survivors) {
+      const auto [i, j] = distmat::SparsePairMask::unpack_pair(packed);
+      mask.set(i, j);
+      mask.set(j, i);
+    }
+    pass.mask = distmat::CandidateMask(std::move(mask));
+  }
+
+  // (8) Estimates to rank 0: scored triplets only; never-collided pairs
+  // report 0.0 (they are below the S-curve's collision range).
+  const auto triplet_blocks =
+      world.gather_v<ScoredPair>(std::span<const ScoredPair>(scored), 0);
+  if (r == 0) {
+    pass.estimates.assign(static_cast<std::size_t>(n * n), 0.0);
+    for (std::int64_t i = 0; i < n; ++i) {
+      pass.estimates[static_cast<std::size_t>(i * n + i)] = 1.0;
+    }
+    for (const auto& block : triplet_blocks) {
+      for (const ScoredPair& sp : block) {
+        pass.estimates[static_cast<std::size_t>(sp.i * n + sp.j)] = sp.est;
+        pass.estimates[static_cast<std::size_t>(sp.j * n + sp.i)] = sp.est;
+      }
+    }
+  }
+  return pass;
+}
+
+}  // namespace
+
+CandidatePass sketch_candidate_pass(bsp::Comm& world,
+                                    std::span<const std::int64_t> samples,
+                                    const std::vector<std::vector<std::uint64_t>>& blobs,
+                                    std::int64_t n, const core::Config& config) {
+  if (samples.size() != blobs.size()) {
+    throw std::invalid_argument("sketch_candidate_pass: ids/blobs length mismatch");
+  }
+  const double effective =
+      std::max(0.0, config.prune_threshold - hybrid_prune_slack(config));
+  if (resolved_candidate_mode(config, n) == core::CandidateMode::kLsh) {
+    return lsh_candidate_pass(world, samples, blobs, n, config, effective);
+  }
+  return all_pairs_candidate_pass(world, samples, blobs, n, effective);
 }
 
 core::Result sketch_similarity_at_scale(bsp::Comm& world,

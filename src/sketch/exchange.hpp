@@ -30,15 +30,36 @@
 // == The hybrid candidate pass ===========================================
 //
 // Estimator::kHybrid uses the same wire blobs differently: instead of a
-// similarity matrix alone, the pass returns a replicated candidate
-// PairMask — every pair whose estimated Jaccard clears
+// similarity matrix alone, the pass returns a replicated candidate mask
+// (distmat::CandidateMask) — every pair whose estimated Jaccard clears
 // prune_threshold − slack — plus the estimates themselves (rank 0), which
 // the driver uses to fill the pruned entries of the final matrix. The
 // blobs arrive from the driver's one-pass ingest stage (StreamingSketcher
 // fed by the same reads that are bitmask-packed), so the hybrid reads
-// each input exactly once. Blobs are allgathered (ring allgather — the
-// same O(n · sketch_bytes) per-rank bytes as a full rotation) because
-// every rank needs the mask to prune its own columns and tiles.
+// each input exactly once. Two candidate strategies exist
+// (core::CandidateMode):
+//
+//   all-pairs — every blob is allgathered (ring allgather, O(n ·
+//     sketch_bytes) per rank) and each rank scores its n/p-row slice of
+//     all n² pairs into a dense PairMask (word-OR allreduce). Exact
+//     candidate set; quadratic score work and a quadratic replicated
+//     mask. The default below Config::lsh_min_samples.
+//
+//   lsh — LSH banding over the one-permutation MinHash registers
+//     (oph_wire_band_hashes): each rank computes B band buckets per
+//     owned sample, routes ONE packed (bucket-group, sample) word per
+//     band through the existing alltoall, and only pairs colliding in
+//     ≥ 1 bucket are routed (to the rank owning the lower sample's
+//     blob), deduplicated, blob-fetched, and scored. Bytes and score
+//     work are O(collisions), not O(n²); the replicated mask switches to
+//     the CSR SparsePairMask when the surviving density is low
+//     (sparse_pair_mask_wins), with a union-merge allreduce
+//     (allreduce_pair_union) replacing the dense word-OR. Recall follows
+//     the banding S-curve 1 − (1 − m^R)^B (lsh_candidate_plan picks
+//     (B, R) from the effective threshold); pairs that never collide
+//     report a 0.0 estimate. Pairs BELOW the effective threshold that do
+//     collide still report their scored estimate, so precision is
+//     identical to all-pairs.
 #pragma once
 
 #include <cstdint>
@@ -125,24 +146,59 @@ class StreamingSketcher {
 [[nodiscard]] std::vector<std::uint64_t> build_sample_wire(
     const core::SampleSource& source, std::int64_t sample, const core::Config& config);
 
+/// Banding parameters of the LSH candidate pass: B bands of R registers
+/// each (B·R ≤ sketch_size).
+struct LshPlan {
+  std::int64_t bands = 0;          ///< B
+  std::int64_t rows_per_band = 0;  ///< R
+};
+
+/// (B, R) for the LSH candidate pass under `config` at the given
+/// effective Jaccard threshold. Config::lsh_bands > 0 pins B (with
+/// R = max(1, sketch_size / B)); 0 derives both from the threshold's
+/// register match fraction m = t(1−2⁻ᵇ) + 2⁻ᵇ: the LARGEST R whose
+/// required band count B = ⌈C/mᴿ⌉ (detection constant C = 7, i.e.
+/// P(miss at exactly the threshold) ≤ e⁻⁷) still fits the register
+/// budget B·R ≤ sketch_size. Larger R sharpens the S-curve (fewer
+/// sub-threshold collisions) at more band keys; pairs safely above the
+/// threshold collide with probability ≥ 1 − e⁻ᶜ. Throws when the
+/// resolved sketch is not minhash.
+[[nodiscard]] LshPlan lsh_candidate_plan(const core::Config& config,
+                                         double effective_threshold);
+
+/// Candidate strategy `config` resolves to for an n-sample corpus (the
+/// kAuto rule, plus the correctness fallbacks documented in
+/// core::CandidateMode). Throws std::invalid_argument when kLsh is
+/// pinned with a non-minhash prune sketch.
+[[nodiscard]] core::CandidateMode resolved_candidate_mode(const core::Config& config,
+                                                          std::int64_t n);
+
 /// Output of the hybrid's sketch-prune pass.
 struct CandidatePass {
   /// Replicated candidate mask: pair (i, j) set iff Ĵ(i, j) ≥
-  /// prune_threshold − slack, plus the full diagonal. Symmetric.
-  distmat::PairMask mask;
-  /// Rank 0: row-major n×n estimated similarities (every pair), used to
-  /// fill the pruned entries of the assembled matrix. Empty elsewhere.
+  /// prune_threshold − slack (and, under kLsh, the pair collided in ≥ 1
+  /// band), plus the full diagonal. Symmetric; dense or sparse per the
+  /// storage-parity crossover.
+  distmat::CandidateMask mask;
+  /// Rank 0: row-major n×n estimated similarities, used to fill the
+  /// pruned entries of the assembled matrix. All-pairs mode scores every
+  /// pair; LSH mode scores colliding pairs and reports 0.0 for pairs
+  /// that never collided. Empty on other ranks.
   std::vector<double> estimates;
   /// The threshold actually applied (prune_threshold − slack, floored at 0).
   double effective_threshold = 0.0;
+  /// Strategy actually used (kAuto resolved) and, for kLsh, the banding.
+  core::CandidateMode mode = core::CandidateMode::kAllPairs;
+  LshPlan plan;
 };
 
-/// Collective over `world`: score all pairs from per-sample wire blobs
-/// and threshold them into a replicated candidate mask. `samples`/`blobs`
-/// are this rank's registered samples (any disjoint cover of [0, n)
-/// across ranks works; the driver passes its cyclic read ownership).
-/// `config` is the sketch view of the hybrid config (estimator already
-/// resolved to the prune sketch).
+/// Collective over `world`: generate and score candidate pairs from
+/// per-sample wire blobs and threshold them into a replicated candidate
+/// mask (all-pairs or LSH-banded per Config::candidate_mode).
+/// `samples`/`blobs` are this rank's registered samples (any disjoint
+/// cover of [0, n) across ranks works; the driver passes its cyclic read
+/// ownership). `config` is the sketch view of the hybrid config
+/// (estimator already resolved to the prune sketch).
 [[nodiscard]] CandidatePass sketch_candidate_pass(
     bsp::Comm& world, std::span<const std::int64_t> samples,
     const std::vector<std::vector<std::uint64_t>>& blobs, std::int64_t n,

@@ -179,6 +179,12 @@ HyperLogLog HyperLogLog::deserialize(std::span<const std::uint64_t> wire) {
 
 double hll_wire_jaccard(std::span<const std::uint64_t> a,
                         std::span<const std::uint64_t> b) {
+  // Type first (same gap as oph_wire_jaccard): a blob of another sketch
+  // type with matching params/seed words must throw, not be decoded as
+  // packed HLL registers.
+  if (wire_type(a) != WireType::kHyperLogLog || wire_type(b) != WireType::kHyperLogLog) {
+    throw std::invalid_argument("hll_wire_jaccard: not HLL blobs");
+  }
   if (a.size() != b.size() || a.size() < kWireHeaderWords + 2 || a[1] != b[1] ||
       a[2] != b[2]) {
     throw std::invalid_argument("hll_wire_jaccard: incompatible blobs");

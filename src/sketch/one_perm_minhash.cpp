@@ -181,15 +181,25 @@ std::vector<std::uint64_t> OnePermMinHash::wire() const {
   out.resize(out.size() + payload_words, 0);
   const std::vector<std::uint64_t> regs = densified_registers();
   std::uint64_t* const payload = out.data() + kWireHeaderWords + 1;
+  const std::uint64_t mask = register_mask(bits_);
   for (std::int64_t lane = 0; lane < k; ++lane) {
     const std::int64_t bit = lane * bits_;
-    payload[bit >> 6] |= regs[static_cast<std::size_t>(lane)] << (bit & 63);
+    // Re-mask defensively: a register wider than bits_ (impossible from
+    // add(), conceivable from a corrupted deserialized blob) would
+    // otherwise smear into the next lane.
+    payload[bit >> 6] |= (regs[static_cast<std::size_t>(lane)] & mask) << (bit & 63);
   }
   return out;
 }
 
 double oph_wire_jaccard(std::span<const std::uint64_t> a,
                         std::span<const std::uint64_t> b) {
+  // Type first: a bottom-k or HLL blob whose params/seed words happen to
+  // match must throw, not be scored as if it carried OPH registers.
+  if (wire_type(a) != WireType::kOnePermMinHash ||
+      wire_type(b) != WireType::kOnePermMinHash) {
+    throw std::invalid_argument("oph_wire_jaccard: not OPH comparison blobs");
+  }
   if (a.size() != b.size() || a.size() < kWireHeaderWords + 1 || a[1] != b[1] ||
       a[2] != b[2]) {
     throw std::invalid_argument("oph_wire_jaccard: incompatible blobs");
@@ -212,6 +222,40 @@ double oph_wire_jaccard(std::span<const std::uint64_t> a,
     matches += packed_lane(pa, lane, bits) == packed_lane(pb, lane, bits);
   }
   return corrected_estimate(matches, bins, bits);
+}
+
+std::vector<std::uint64_t> oph_wire_band_hashes(std::span<const std::uint64_t> wire,
+                                                std::int64_t bands,
+                                                std::int64_t rows_per_band) {
+  if (wire_type(wire) != WireType::kOnePermMinHash) {
+    throw std::invalid_argument("oph_wire_band_hashes: not an OPH comparison blob");
+  }
+  if (wire.size() < kWireHeaderWords + 1) {
+    throw std::invalid_argument("oph_wire_band_hashes: truncated blob");
+  }
+  const auto bins = static_cast<std::int64_t>(wire[1] & 0xffffffffu);
+  const int bits = static_cast<int>(wire[1] >> 32);
+  check_params(bins, bits);
+  const auto payload_words = static_cast<std::size_t>((bins * bits + 63) / 64);
+  if (wire.size() != kWireHeaderWords + 1 + payload_words) {
+    throw std::invalid_argument("oph_wire_band_hashes: truncated payload");
+  }
+  if (bands < 1 || rows_per_band < 1 || bands * rows_per_band > bins) {
+    throw std::invalid_argument("oph_wire_band_hashes: bands exceed the registers");
+  }
+  const auto payload = wire.subspan(kWireHeaderWords + 1);
+  std::vector<std::uint64_t> hashes(static_cast<std::size_t>(bands));
+  for (std::int64_t t = 0; t < bands; ++t) {
+    // Fold the band index in so equal buckets imply equal band AND equal
+    // registers (up to 64-bit hash collisions). Pure in (wire, t):
+    // bucket identity is independent of rank count and routing.
+    std::uint64_t h = splitmix64(0x15688bd4c1a6e635ULL ^ static_cast<std::uint64_t>(t));
+    for (std::int64_t r = 0; r < rows_per_band; ++r) {
+      h = hash_combine(h, packed_lane(payload, t * rows_per_band + r, bits));
+    }
+    hashes[static_cast<std::size_t>(t)] = h;
+  }
+  return hashes;
 }
 
 }  // namespace sas::sketch

@@ -112,8 +112,23 @@ class OnePermMinHash {
 };
 
 /// Wire-level Jaccard estimate (used by estimate_jaccard_wire): compares
-/// two packed densified-register payloads lane by lane.
+/// two packed densified-register payloads lane by lane. Both blobs must
+/// carry the kOnePermMinHash type tag (std::invalid_argument otherwise —
+/// a bottom-k/HLL blob with coincidentally matching params must not be
+/// scored as OPH registers).
 [[nodiscard]] double oph_wire_jaccard(std::span<const std::uint64_t> a,
                                       std::span<const std::uint64_t> b);
+
+/// LSH band buckets of a packed OPH comparison blob: band t covers the
+/// densified registers [t·rows_per_band, (t+1)·rows_per_band) and hashes
+/// them (band index folded in) to one 64-bit bucket id. Two samples
+/// collide in band t iff their band registers are equal (up to 64-bit
+/// hash collisions), so P(collide in ≥1 band) = 1 − (1 − m^R)^B for
+/// register match fraction m — the banding S-curve the LSH candidate
+/// pass (exchange.hpp) is built on. Requires bands·rows_per_band ≤ bins;
+/// throws std::invalid_argument on non-OPH or malformed blobs.
+[[nodiscard]] std::vector<std::uint64_t> oph_wire_band_hashes(
+    std::span<const std::uint64_t> wire, std::int64_t bands,
+    std::int64_t rows_per_band);
 
 }  // namespace sas::sketch

@@ -348,12 +348,13 @@ TEST(Hybrid, RingScheduleSkipsFullyPrunedPanels) {
 
   // Two clusters of 8; with 4 ranks each rank's rows pair with only one
   // other rank's columns, so half the arriving panels are skipped whole.
-  distmat::PairMask mask(n);
+  distmat::PairMask bits(n);
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < n; ++j) {
-      if ((i < 8) == (j < 8)) mask.set(i, j);
+      if ((i < 8) == (j < 8)) bits.set(i, j);
     }
   }
+  const distmat::CandidateMask mask(std::move(bits));
 
   bsp::Runtime::run(4, [&](bsp::Comm& comm) {
     const int p = comm.size();
@@ -402,7 +403,9 @@ TEST(Hybrid, CandidatePairsWalksTheMask) {
     EXPECT_LT(pairs[idx].a, pairs[idx].b);
     EXPECT_EQ(pairs[idx].similarity,
               result.similarity.similarity(pairs[idx].a, pairs[idx].b));
-    if (idx > 0) EXPECT_GE(pairs[idx - 1].similarity, pairs[idx].similarity);
+    if (idx > 0) {
+      EXPECT_GE(pairs[idx - 1].similarity, pairs[idx].similarity);
+    }
   }
 
   // Re-thresholding on the exact value filters within the candidates.
@@ -411,7 +414,7 @@ TEST(Hybrid, CandidatePairsWalksTheMask) {
   for (const auto& pair : strict) EXPECT_GE(pair.similarity, 0.99);
   EXPECT_LE(strict.size(), pairs.size());
 
-  distmat::PairMask wrong_size(n + 1);
+  const distmat::CandidateMask wrong_size(distmat::PairMask(n + 1));
   EXPECT_THROW((void)analysis::candidate_pairs(result.similarity, wrong_size),
                std::invalid_argument);
 }

@@ -33,6 +33,7 @@
 //       Synthetic corpus generator (mutated relatives of one ancestor,
 //       optionally as noisy sequencing reads) for testing pipelines.
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -78,6 +79,7 @@ int usage() {
                "           [--minhash-bits 16] [--sketch-seed 1445]\n"
                "           [--hybrid-sketch hll|minhash|bottomk]\n"
                "           [--prune-threshold 0.1] [--prune-slack auto]\n"
+               "           [--candidate-mode auto|allpairs|lsh] [--lsh-bands 0]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
                "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n");
@@ -248,10 +250,49 @@ int cmd_dist(const ArgParser& args) {
   }
   options.core.prune_threshold = args.get_double("prune-threshold", 0.1);
   if (args.has("prune-slack")) {
-    options.core.prune_slack = args.get_double("prune-slack", -1.0);
+    // "auto" keeps the sketch-derived slack (Config::prune_slack < 0);
+    // anything else must parse fully as a number ≥ 0 — strtod's silent
+    // 0.0 on junk would pin ZERO slack and void the recall guarantee.
+    const std::string slack = args.get_string("prune-slack", "auto");
+    if (slack != "auto") {
+      char* end = nullptr;
+      const double value = std::strtod(slack.c_str(), &end);
+      if (end == slack.c_str() || *end != '\0' || value < 0.0) {
+        std::fprintf(stderr,
+                     "gas dist: --prune-slack must be 'auto' or a number >= 0\n");
+        return 2;
+      }
+      options.core.prune_slack = value;
+    }
   }
   if (options.core.prune_threshold < 0.0 || options.core.prune_threshold > 1.0) {
     std::fprintf(stderr, "gas dist: --prune-threshold must be in [0, 1]\n");
+    return 2;
+  }
+
+  // Candidate-pass strategy of the hybrid: all-pairs sketch scoring or
+  // LSH banding over the minhash registers (core/config.hpp documents
+  // the auto rule and the banding S-curve tradeoff).
+  const std::string candidate_mode = args.get_string("candidate-mode", "auto");
+  if (candidate_mode == "auto") {
+    options.core.candidate_mode = core::CandidateMode::kAuto;
+  } else if (candidate_mode == "allpairs") {
+    options.core.candidate_mode = core::CandidateMode::kAllPairs;
+  } else if (candidate_mode == "lsh") {
+    options.core.candidate_mode = core::CandidateMode::kLsh;
+    if (options.core.hybrid_sketch != core::Estimator::kMinhash) {
+      std::fprintf(stderr,
+                   "gas dist: --candidate-mode lsh requires --hybrid-sketch minhash\n");
+      return 2;
+    }
+  } else {
+    std::fprintf(stderr, "gas dist: unknown --candidate-mode '%s'\n",
+                 candidate_mode.c_str());
+    return 2;
+  }
+  options.core.lsh_bands = args.get_int("lsh-bands", 0);
+  if (options.core.lsh_bands < 0) {
+    std::fprintf(stderr, "gas dist: --lsh-bands must be >= 0 (0 = auto)\n");
     return 2;
   }
 
@@ -264,11 +305,16 @@ int cmd_dist(const ArgParser& args) {
 
   if (options.core.estimator == core::Estimator::kHybrid) {
     const std::int64_t candidates = (result.candidates.count() - n) / 2;
+    const core::CandidateMode mode =
+        sketch::resolved_candidate_mode(options.core, n);
     std::printf("hybrid: %lld of %lld pairs survived the sketch prune "
-                "(threshold %.3f); survivors rescored exactly\n\n",
+                "(threshold %.3f, %s candidates, %s mask); "
+                "survivors rescored exactly\n\n",
                 static_cast<long long>(candidates),
                 static_cast<long long>(n * (n - 1) / 2),
-                options.core.prune_threshold);
+                options.core.prune_threshold,
+                mode == core::CandidateMode::kLsh ? "lsh-banded" : "all-pairs",
+                result.candidates.is_sparse() ? "sparse" : "dense");
   }
 
   if (args.has("top") || args.has("threshold")) {
