@@ -14,7 +14,9 @@
 // and project total time = avg_batch_time × total_batches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -76,6 +78,35 @@ inline RunResult run_driver(int ranks, const core::SampleSource& source,
 /// The BSP machine used for modelled times throughout the benches; the
 /// ratios (not the absolute constants) drive the reported shapes.
 inline bsp::BspMachine machine() { return bsp::BspMachine{5e-6, 5e-10, 1e-9}; }
+
+/// Resident bytes of a run's rank-0 output: the dense matrix's n²
+/// doubles, or the sparse view's survivor-proportional vectors.
+inline std::uint64_t result_output_bytes(const core::Result& result) {
+  if (result.sparse_output()) return result.sparse_similarity.resident_bytes();
+  return static_cast<std::uint64_t>(result.similarity.values().size()) * sizeof(double);
+}
+
+/// Machine-readable perf tracking: appends one JSON object per line to
+/// `path` (JSON-lines, append-safe across bench binaries) recording the
+/// output-path byte metrics of one driver run —
+///   assemble_bytes       measured assemble-stage traffic (dense gather
+///                        or survivor-triplet gather),
+///   filter_union_bytes   pack/sketch-stage traffic, dominated by the
+///                        per-batch zero-row filter replication,
+///   peak_root_output_bytes  rank-0 resident output (n²·8 dense,
+///                        survivor-proportional sparse).
+/// CI diffs these against the previous run to track the perf trajectory.
+inline void append_result_bytes_json(const std::string& bench, const std::string& config,
+                                     const core::Result& result,
+                                     const std::string& path = "BENCH_result_bytes.json") {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;  // benches must not fail on a read-only workdir
+  out << "{\"bench\":\"" << bench << "\",\"config\":\"" << config
+      << "\",\"assemble_bytes\":" << result.stages[core::Stage::kAssemble].bytes_sent
+      << ",\"filter_union_bytes\":"
+      << result.stages[core::Stage::kPackSketch].bytes_sent
+      << ",\"peak_root_output_bytes\":" << result_output_bytes(result) << "}\n";
+}
 
 inline void print_header(const char* experiment, const char* paper_ref,
                          const std::string& workload) {

@@ -13,6 +13,7 @@
 #include "distmat/spgemm.hpp"
 #include "genome/kmer.hpp"
 #include "genome/synthetic.hpp"
+#include "util/popcount.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -103,6 +104,64 @@ void BM_CsrAtaKernelWide(benchmark::State& state) {
                           static_cast<std::int64_t>(flop_estimate));
 }
 BENCHMARK(BM_CsrAtaKernelWide)->Arg(0)->Arg(512);
+
+/// Dense-path streaming popcount: scalar cell-at-a-time dot products vs
+/// the 2×2 register tile (popcount_and_sum_stream_2x2). Identical cell
+/// grid and word count, so items/sec compares directly — the 2×2 form
+/// loads each column word once per TWO output cells, halving the load
+/// traffic per output; this pair is the gate for keeping the tiled path
+/// on the dense kernel's unpruned cells. Arg = words per column.
+void BM_DenseStreamScalar(benchmark::State& state) {
+  const auto words = static_cast<std::size_t>(state.range(0));
+  constexpr std::int64_t kCells = 32;  // 32×32 output cells
+  Rng rng(99);
+  std::vector<std::uint64_t> lhs(words * kCells);
+  std::vector<std::uint64_t> rhs(words * kCells);
+  for (auto& w : lhs) w = rng();
+  for (auto& w : rhs) w = rng();
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < kCells; ++i) {
+      for (std::int64_t j = 0; j < kCells; ++j) {
+        sink += sas::popcount_and_sum_stream(
+            lhs.data() + static_cast<std::size_t>(i) * words,
+            rhs.data() + static_cast<std::size_t>(j) * words, words);
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kCells *
+                          kCells * static_cast<std::int64_t>(words));
+}
+BENCHMARK(BM_DenseStreamScalar)->Arg(64)->Arg(512);
+
+void BM_DenseStream2x2(benchmark::State& state) {
+  const auto words = static_cast<std::size_t>(state.range(0));
+  constexpr std::int64_t kCells = 32;
+  Rng rng(99);
+  std::vector<std::uint64_t> lhs(words * kCells);
+  std::vector<std::uint64_t> rhs(words * kCells);
+  for (auto& w : lhs) w = rng();
+  for (auto& w : rhs) w = rng();
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::int64_t i = 0; i < kCells; i += 2) {
+      for (std::int64_t j = 0; j < kCells; j += 2) {
+        std::uint64_t sums[4];
+        sas::popcount_and_sum_stream_2x2(
+            lhs.data() + static_cast<std::size_t>(i) * words,
+            lhs.data() + static_cast<std::size_t>(i + 1) * words,
+            rhs.data() + static_cast<std::size_t>(j) * words,
+            rhs.data() + static_cast<std::size_t>(j + 1) * words, words, sums);
+        sink += sums[0] + sums[1] + sums[2] + sums[3];
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kCells *
+                          kCells * static_cast<std::int64_t>(words));
+}
+BENCHMARK(BM_DenseStream2x2)->Arg(64)->Arg(512);
 
 /// CsrPanel construction — the once-per-received-panel cost the tiled
 /// kernel amortizes (it replaces per-step triplet run re-derivation).

@@ -284,7 +284,7 @@ int main(int argc, char** argv) {
       }
       if (kept) {
         ++surviving;
-        if (hybrid.result.similarity.similarity(i, j) != truth) ++parity_violations;
+        if (hybrid.result.similarity_at(i, j) != truth) ++parity_violations;
       }
     }
   }
@@ -317,7 +317,7 @@ int main(int argc, char** argv) {
 
   // Per-stage breakdown of the hybrid run: shows where the remaining
   // bytes live (the replicated zero-row filter union inside pack/sketch
-  // is the current floor — ROADMAP notes the follow-on).
+  // was the PR 3/4 floor; this run ships it compressed).
   std::printf("\nHybrid per-stage breakdown (max seconds over ranks, bytes summed):\n");
   TextTable stage_table({"stage", "seconds", "bytes sent", "messages"});
   for (std::size_t s = 0; s < core::kStageCount; ++s) {
@@ -327,6 +327,71 @@ int main(int argc, char** argv) {
                          std::to_string(st.messages)});
   }
   stage_table.print();
+
+  // ---- sparse result assembly vs the PR 4 dense baseline -----------------
+  // Same family corpus and hybrid config, assembled three ways:
+  //   baseline — dense gather + raw-index filter union (the PR 4 output
+  //              path, reproduced via dense_output + compress_filter off);
+  //   dense    — dense gather with the compressed filter;
+  //   sparse   — the default survivor gather (this PR's output path).
+  // GATES: survivor values bitwise-identical across all three, and the
+  // sparse run's assemble bytes, assemble+filter bytes, and rank-0
+  // resident output all strictly below the PR 4 baseline.
+  std::printf("\nSparse result assembly vs dense gather "
+              "(same corpus/config; baseline = PR 4 output path)\n\n");
+  core::Config pr4_cfg = hybrid_cfg;
+  pr4_cfg.dense_output = true;
+  pr4_cfg.compress_filter = false;
+  const RunResult pr4_run = run_driver(8, family_source, pr4_cfg);
+  core::Config dense_cfg = hybrid_cfg;
+  dense_cfg.dense_output = true;
+  const RunResult dense_run = run_driver(8, family_source, dense_cfg);
+
+  std::int64_t sparse_parity_violations = 0;
+  for (std::int64_t i = 0; i < fn; ++i) {
+    for (std::int64_t j = i + 1; j < fn; ++j) {
+      if (!hybrid.result.candidates.test(i, j)) continue;
+      const double sparse_value = hybrid.result.similarity_at(i, j);
+      if (sparse_value != pr4_run.result.similarity_at(i, j) ||
+          sparse_value != dense_run.result.similarity_at(i, j)) {
+        ++sparse_parity_violations;
+      }
+    }
+  }
+  const auto assemble_bytes = [](const RunResult& run) {
+    return run.result.stages[core::Stage::kAssemble].bytes_sent;
+  };
+  const auto filter_bytes = [](const RunResult& run) {
+    return run.result.stages[core::Stage::kPackSketch].bytes_sent;
+  };
+  const bool sparse_assemble_ok = assemble_bytes(hybrid) < assemble_bytes(pr4_run);
+  const bool sparse_floor_ok = assemble_bytes(hybrid) + filter_bytes(hybrid) <
+                               assemble_bytes(pr4_run) + filter_bytes(pr4_run);
+  const bool sparse_resident_ok =
+      result_output_bytes(hybrid.result) < result_output_bytes(pr4_run.result);
+  const bool sparse_ok = sparse_parity_violations == 0 && sparse_assemble_ok &&
+                         sparse_floor_ok && sparse_resident_ok;
+  ok = ok && sparse_ok;
+
+  TextTable sparse_table({"output path", "assemble bytes", "filter bytes",
+                          "assemble+filter", "rank-0 output bytes", "parity", "gate"});
+  const auto sparse_row = [&](const char* name, const RunResult& run, bool gated) {
+    sparse_table.add_row(
+        {name, std::to_string(assemble_bytes(run)), std::to_string(filter_bytes(run)),
+         std::to_string(assemble_bytes(run) + filter_bytes(run)),
+         std::to_string(result_output_bytes(run.result)),
+         gated ? (sparse_parity_violations == 0 ? "bitwise" : "FAIL") : "-",
+         gated ? (sparse_ok ? "PASS" : "FAIL") : "-"});
+  };
+  sparse_row("PR4 baseline (dense+raw filter)", pr4_run, false);
+  sparse_row("dense gather + compressed filter", dense_run, false);
+  sparse_row("sparse survivor gather (default)", hybrid, true);
+  sparse_table.print();
+  append_result_bytes_json("minhash_accuracy", "hybrid_pr4_baseline", pr4_run.result);
+  append_result_bytes_json("minhash_accuracy", "hybrid_sparse", hybrid.result);
+  std::printf("\nsparse-output gate: survivor values bitwise-identical to both dense\n"
+              "assemblies; assemble bytes, assemble+filter bytes, and rank-0 resident\n"
+              "output strictly below the PR 4 baseline.\n");
 
   // ---- LSH-banded candidate pass vs all-pairs allgather ------------------
   // Larger family corpus (24 families x 2 members, 8 ranks): the regime

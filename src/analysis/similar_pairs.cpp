@@ -63,6 +63,34 @@ std::vector<ScoredPair> candidate_pairs(const core::SimilarityMatrix& matrix,
   return pairs;
 }
 
+std::vector<ScoredPair> candidate_pairs(const core::SparseSimilarity& sparse,
+                                        double threshold) {
+  std::vector<ScoredPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(sparse.survivor_count()));
+  sparse.for_each_survivor([&](std::int64_t i, std::int64_t j, double s) {
+    if (s >= threshold) pairs.push_back({i, j, s});
+  });
+  std::sort(pairs.begin(), pairs.end(), by_descending_similarity);
+  return pairs;
+}
+
+std::vector<ScoredPair> top_k_pairs(const core::SparseSimilarity& sparse,
+                                    std::int64_t k) {
+  if (k < 0) throw std::invalid_argument("top_k_pairs: k must be non-negative");
+  std::vector<ScoredPair> pairs;
+  pairs.reserve(static_cast<std::size_t>(sparse.survivor_count() +
+                                         sparse.estimate_count()));
+  sparse.for_each_survivor(
+      [&](std::int64_t i, std::int64_t j, double s) { pairs.push_back({i, j, s}); });
+  sparse.for_each_estimate(
+      [&](std::int64_t i, std::int64_t j, double s) { pairs.push_back({i, j, s}); });
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(k), pairs.size());
+  std::partial_sort(pairs.begin(), pairs.begin() + static_cast<std::ptrdiff_t>(take),
+                    pairs.end(), by_descending_similarity);
+  pairs.resize(take);
+  return pairs;
+}
+
 std::vector<ScoredPair> nearest_neighbours(const core::SimilarityMatrix& matrix,
                                            std::int64_t query, std::int64_t k) {
   const std::int64_t n = matrix.size();

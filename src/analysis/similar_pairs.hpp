@@ -4,11 +4,13 @@
 // similar sample discovery" — given the all-pairs similarity matrix,
 // surface the most related samples (to augment datasets with similar
 // samples, §II-B/[64]) or every pair above a similarity threshold (the
-// screen-style query). Both run over the dense matrix the pipeline
-// produces on the root rank. Hybrid runs hand their candidate mask in
-// directly (candidate_pairs) — the pair set is already thresholded, so
-// re-scanning the dense matrix would be wasted work and would surface
-// sketch-estimated (pruned) values as if they were exact.
+// screen-style query). The dense overloads run over the full matrix the
+// exact/sketch pipelines produce on the root rank. Hybrid runs hand
+// their thresholded output in directly — either the candidate mask over
+// a dense matrix (candidate_pairs) or, in the default sparse-output
+// mode, the SparseSimilarity view whose survivor list IS the candidate
+// pair set: those overloads never touch (or require) an n² structure
+// and never surface sketch-estimated (pruned) values as if exact.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +44,17 @@ struct ScoredPair {
 [[nodiscard]] std::vector<ScoredPair> candidate_pairs(
     const core::SimilarityMatrix& matrix, const distmat::CandidateMask& candidates,
     double threshold = 0.0);
+
+/// Sparse-output form: the survivors of a SparseSimilarity (exactly
+/// rescored values), optionally re-thresholded, descending. O(survivors).
+[[nodiscard]] std::vector<ScoredPair> candidate_pairs(
+    const core::SparseSimilarity& sparse, double threshold = 0.0);
+
+/// The k most similar distinct pairs of a sparse-output run, descending.
+/// Survivors dominate by construction (they cleared the prune threshold);
+/// scored-but-pruned estimates fill out k when fewer survivors exist.
+[[nodiscard]] std::vector<ScoredPair> top_k_pairs(const core::SparseSimilarity& sparse,
+                                                  std::int64_t k);
 
 /// For one query sample, its `k` nearest neighbours (most similar other
 /// samples), descending.

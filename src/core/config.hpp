@@ -144,6 +144,31 @@ struct Config {
   /// under ~10² samples the n² score work is trivial and the dense mask
   /// is bytes-cheaper than band keys.
   std::int64_t lsh_min_samples = 128;
+
+  /// LSH bucket-size cap (candidate_mode kLsh/kAuto). A degenerate
+  /// bucket of s samples — e.g. all-empty sketches hashing identically —
+  /// would emit s(s−1)/2 pair words into the candidate alltoall; buckets
+  /// larger than the cap instead replicate their MEMBER list (O(s)
+  /// bytes) and route the implied pairs through a mini all-pairs pass on
+  /// the blob owners. Recall can only grow (a superset of the bucket's
+  /// pairs is scored). 0 disables the cap.
+  std::int64_t lsh_bucket_cap = 64;
+
+  /// Assemble the full dense SimilarityMatrix even when a candidate mask
+  /// is active (estimator == kHybrid). The default (false) assembles the
+  /// survivor-proportional SparseSimilarity instead — each owning rank
+  /// ships only its masked (i, j, value) triplets and rank 0 never
+  /// materializes an n² structure. Dense output remains the right call
+  /// at small n (downstream consumers that want the full matrix) and is
+  /// what the exact / pure-sketch estimators always produce (they
+  /// compute every pair; this knob does not apply to them).
+  bool dense_output = false;
+
+  /// Replicate each batch's zero-row filter union as a compressed bitmap
+  /// (word-RLE segments, raw-list fallback — dist_filter.hpp) instead of
+  /// raw 8-byte row indices. Identical filter contents either way;
+  /// disabling reproduces the PR 4 byte floor for the ablation benches.
+  bool compress_filter = true;
 };
 
 }  // namespace sas::core

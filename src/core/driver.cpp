@@ -226,14 +226,30 @@ void exchange_and_multiply(bsp::Comm& world, Layout& layout, const Config& confi
   }
 }
 
-/// Assemble stage: â allreduce, S = B ⊘ C on the owning ranks, gather on
-/// rank 0, and — for the hybrid — fill pruned entries with their sketch
-/// estimates and attach the candidate mask.
+/// Assemble stage: â allreduce, then one of two output paths.
+///
+/// Dense (no mask, or Config::dense_output): S = B ⊘ C on the owning
+/// ranks, whole blocks gathered on rank 0; for the hybrid the pruned
+/// (unmasked) entries are zeroed and overwritten with their pair-keyed
+/// sketch estimates — bitwise what the sparse path reports for them.
+///
+/// Sparse (mask active, the hybrid default): each owning rank walks its
+/// block against the candidate mask (for_each_pair_in, i < j so disjoint
+/// blocks emit disjoint pairs), finalizes ONLY those cells with the same
+/// sᵢⱼ = bᵢⱼ / (âᵢ + âⱼ − bᵢⱼ) expression, and ships survivor triplets;
+/// rank 0 assembles a SparseSimilarity. No dense double block is ever
+/// built and rank 0 never holds an n² structure.
 Result assemble(bsp::Comm& world, Layout& layout, const Config& config, std::int64_t n,
                 std::vector<std::int64_t>& ahat, std::vector<BatchStats> stats,
                 StageRecorder& recorder, distmat::CandidateMask* mask,
-                const std::vector<double>* estimates) {
+                std::vector<sketch::PairEstimate>* estimates) {
+  const bool sparse_output = mask != nullptr && !config.dense_output;
+  const bool owns_output =
+      layout.b_block.has_value() &&
+      (config.algorithm != Algorithm::kSumma || layout.grid->layer() == 0);
+
   std::vector<double> full;
+  std::vector<Triplet<double>> survivors;
   {
     auto stage = recorder.scope(Stage::kAssemble);
     // Union cardinalities need â = Σ column popcounts over all batches;
@@ -241,26 +257,48 @@ Result assemble(bsp::Comm& world, Layout& layout, const Config& config, std::int
     // exact.
     world.allreduce(ahat, std::plus<std::int64_t>{});
 
-    // S = B ⊘ C on the owning ranks, then assembled on rank 0. With SUMMA
-    // replication only layer 0 holds the reduced B.
-    std::optional<DenseBlock<double>> s_block;
-    const bool owns_output =
-        layout.b_block.has_value() &&
-        (config.algorithm != Algorithm::kSumma || layout.grid->layer() == 0);
-    if (owns_output) s_block = finalize_block(*layout.b_block, ahat);
+    const auto finalize_cell = [&](std::int64_t gi, std::int64_t gj,
+                                   std::int64_t inter) {
+      const std::int64_t uni = ahat[static_cast<std::size_t>(gi)] +
+                               ahat[static_cast<std::size_t>(gj)] - inter;
+      return uni == 0 ? 1.0
+                      : static_cast<double>(inter) / static_cast<double>(uni);
+    };
 
-    full = distmat::gather_dense_to_root(
-        world, s_block.has_value() ? &*s_block : nullptr, n, n);
+    if (sparse_output) {
+      std::vector<Triplet<double>> mine;
+      if (owns_output) {
+        const DenseBlock<std::int64_t>& b = *layout.b_block;
+        mask->for_each_pair_in(b.row_range, b.col_range,
+                               [&](std::int64_t i, std::int64_t j) {
+                                 mine.push_back(
+                                     {i, j, finalize_cell(i, j, b.at_global(i, j))});
+                               });
+      }
+      survivors = distmat::gather_triplets_to_root(world, std::move(mine));
+    } else {
+      // S = B ⊘ C on the owning ranks, then assembled on rank 0. With
+      // SUMMA replication only layer 0 holds the reduced B.
+      std::optional<DenseBlock<double>> s_block;
+      if (owns_output) s_block = finalize_block(*layout.b_block, ahat);
+      full = distmat::gather_dense_to_root(
+          world, s_block.has_value() ? &*s_block : nullptr, n, n);
 
-    // Hybrid fill: surviving pairs keep their exact rescored value;
-    // pruned pairs report the sketch estimate of the candidate pass.
-    if (world.rank() == 0 && mask != nullptr && estimates != nullptr) {
-      for (std::int64_t i = 0; i < n; ++i) {
-        for (std::int64_t j = 0; j < n; ++j) {
-          if (i != j && !mask->test(i, j)) {
-            full[static_cast<std::size_t>(i * n + j)] =
-                (*estimates)[static_cast<std::size_t>(i * n + j)];
+      // Hybrid fill: surviving pairs keep their exact rescored value;
+      // pruned pairs report the candidate pass's sketch estimate (0.0
+      // when never scored — below every threshold by construction).
+      if (world.rank() == 0 && mask != nullptr && estimates != nullptr) {
+        for (std::int64_t i = 0; i < n; ++i) {
+          for (std::int64_t j = 0; j < n; ++j) {
+            if (i != j && !mask->test(i, j)) {
+              full[static_cast<std::size_t>(i * n + j)] = 0.0;
+            }
           }
+        }
+        for (const sketch::PairEstimate& pe : *estimates) {
+          if (mask->test(pe.i, pe.j)) continue;  // survivor: exact value stays
+          full[static_cast<std::size_t>(pe.i * n + pe.j)] = pe.est;
+          full[static_cast<std::size_t>(pe.j * n + pe.i)] = pe.est;
         }
       }
     }
@@ -271,7 +309,32 @@ Result assemble(bsp::Comm& world, Layout& layout, const Config& config, std::int
   result.active_ranks = layout.active_ranks;
   result.stages = recorder.reduce_to_root(world);
   if (world.rank() == 0) {
-    result.similarity = SimilarityMatrix(n, std::move(full));
+    if (sparse_output) {
+      std::vector<std::uint64_t> survivor_keys;
+      std::vector<double> survivor_values;
+      survivor_keys.reserve(survivors.size());
+      survivor_values.reserve(survivors.size());
+      for (const Triplet<double>& t : survivors) {
+        survivor_keys.push_back(SparseSimilarity::pack_pair(t.row, t.col));
+        survivor_values.push_back(t.value);
+      }
+      std::vector<std::uint64_t> estimate_keys;
+      std::vector<double> estimate_values;
+      if (estimates != nullptr) {
+        estimate_keys.reserve(estimates->size());
+        estimate_values.reserve(estimates->size());
+        for (const sketch::PairEstimate& pe : *estimates) {
+          if (mask->test(pe.i, pe.j)) continue;  // survivors carry exact values
+          estimate_keys.push_back(SparseSimilarity::pack_pair(pe.i, pe.j));
+          estimate_values.push_back(pe.est);
+        }
+      }
+      result.sparse_similarity = SparseSimilarity(
+          n, std::move(survivor_keys), std::move(survivor_values),
+          std::move(estimate_keys), std::move(estimate_values), ahat);
+    } else {
+      result.similarity = SimilarityMatrix(n, std::move(full));
+    }
     result.batches = std::move(stats);
     if (mask != nullptr) result.candidates = std::move(*mask);
   }
@@ -280,21 +343,25 @@ Result assemble(bsp::Comm& world, Layout& layout, const Config& config, std::int
 
 /// Per-batch instrumentation shared by the exact and hybrid loops: the
 /// paper times barrier-to-barrier batches; traffic is the allreduced
-/// delta of the bsp byte counters across the batch.
+/// delta of the bsp byte counters across the batch. The closing barrier
+/// comes FIRST and the clock is read right after it, so the reported
+/// wall time covers exactly the batch work — not the stats allreduce
+/// bookkeeping that follows.
 void record_batch(bsp::Comm& world, const Timer& timer, std::int64_t filtered_rows,
                   std::int64_t word_rows, std::int64_t local_nnz,
                   const bsp::CostCounters& at_batch_start,
                   std::vector<BatchStats>& stats) {
+  world.barrier();
+  const double batch_seconds = timer.seconds();
   std::vector<std::int64_t> totals = {
       local_nnz,
       static_cast<std::int64_t>(world.counters().bytes_sent - at_batch_start.bytes_sent),
       static_cast<std::int64_t>(world.counters().bytes_received -
                                 at_batch_start.bytes_received)};
   world.allreduce(totals, std::plus<std::int64_t>{});
-  world.barrier();
   if (world.rank() == 0) {
     BatchStats bs;
-    bs.seconds = timer.seconds();
+    bs.seconds = batch_seconds;
     bs.filtered_rows = filtered_rows;
     bs.word_rows = word_rows;
     bs.packed_nnz = totals[0];
@@ -332,7 +399,7 @@ Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
     {
       auto stage = recorder.scope(Stage::kPackSketch);
       packed = pack_batch(world, reads, rows, config.bit_width,
-                          config.use_zero_row_filter);
+                          config.use_zero_row_filter, config.compress_filter);
     }
     const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
     const std::int64_t filtered_rows = packed.filtered_rows;
@@ -405,7 +472,7 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
       sketcher.absorb(s, std::span<const std::int64_t>(reads.values[s]));
     }
     cache.push_back(pack_batch(world, reads, rows, config.bit_width,
-                               config.use_zero_row_filter));
+                               config.use_zero_row_filter, config.compress_filter));
   }
 
   // (2) Candidate mask from the sketch exchange. Scoring time is sketch

@@ -15,8 +15,14 @@
 //   multiply  — B += Â⁽ˡ⁾ᵀ Â⁽ˡ⁾ under the popcount semiring (spgemm.hpp,
 //               Eq. 7) and â += column popcounts (Eq. 4), or wire-level
 //               Jaccard estimation for sketch estimators
-//   assemble  — C = â1ᵀ + 1âᵀ − B;  S = B ⊘ C;  D = 1 − S (Eq. 2),
-//               gathered on world rank 0
+//   assemble  — C = â1ᵀ + 1âᵀ − B;  S = B ⊘ C;  D = 1 − S (Eq. 2). With
+//               no mask (exact / sketch estimators) the owning ranks'
+//               dense blocks are gathered whole on world rank 0; with a
+//               candidate mask (hybrid, unless Config::dense_output)
+//               each owning rank finalizes ONLY its masked cells and
+//               ships (i, j, value) survivor triplets, assembled into a
+//               SparseSimilarity — bytes and rank-0 memory O(survivors),
+//               not O(n²)
 //
 // The estimators compose the stages differently:
 //
@@ -33,8 +39,10 @@
 //                      cached batch: drop columns with no surviving
 //                      pair → targeted exchange → multiply with tile-
 //                      level mask skipping; assemble rescores surviving
-//                      pairs BITWISE-IDENTICALLY to kExact and fills
-//                      pruned entries with their sketch estimates.
+//                      pairs BITWISE-IDENTICALLY to kExact into a
+//                      survivor-sparse result (pair-keyed sketch
+//                      estimates fill the pruned entries; the dense
+//                      matrix only under Config::dense_output).
 //
 // Per-stage time and traffic land in PipelineStats (fed by the bsp cost
 // counters); per-batch traffic lands in BatchStats. Both are rank-0
@@ -161,7 +169,14 @@ struct BatchStats {
 
 struct Result {
   std::int64_t n = 0;
-  SimilarityMatrix similarity;      ///< valid on world rank 0
+  /// Dense n×n output (rank 0): always populated by kExact and the pure
+  /// sketch estimators; by kHybrid only under Config::dense_output.
+  SimilarityMatrix similarity;
+  /// Survivor-proportional output (rank 0): populated by kHybrid unless
+  /// Config::dense_output — exact values for surviving pairs, sketch
+  /// estimates for scored-but-pruned pairs, 0.0 elsewhere. Rank 0 never
+  /// materializes an n² array on this path.
+  SparseSimilarity sparse_similarity;
   std::vector<BatchStats> batches;  ///< valid on world rank 0
   int active_ranks = 0;             ///< ranks that took part in the product
   PipelineStats stages;             ///< per-stage cost breakdown (rank 0)
@@ -171,6 +186,17 @@ struct Result {
   /// unmasked pairs carry their sketch estimate (0.0 under LSH banding
   /// when the pair never collided). Empty for every other estimator.
   distmat::CandidateMask candidates;
+
+  /// Which output form this run assembled (rank 0).
+  [[nodiscard]] bool sparse_output() const noexcept { return !sparse_similarity.empty(); }
+
+  /// Similarity lookup across both output forms — identical values by
+  /// construction (the sparse assembly is bitwise-parity-tested against
+  /// the dense gather).
+  [[nodiscard]] double similarity_at(std::int64_t i, std::int64_t j) const {
+    return sparse_output() ? sparse_similarity.similarity(i, j)
+                           : similarity.similarity(i, j);
+  }
 };
 
 /// Run SimilarityAtScale collectively over `world`. Every rank of `world`

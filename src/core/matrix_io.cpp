@@ -10,9 +10,10 @@ namespace sas::core {
 namespace {
 
 constexpr char kMagic[4] = {'S', 'A', 'S', 'M'};
+constexpr char kSparseMagic[4] = {'S', 'A', 'S', 'P'};
 
-void check_names(const std::vector<std::string>& names, const SimilarityMatrix& matrix) {
-  if (static_cast<std::int64_t>(names.size()) != matrix.size()) {
+void check_names(std::int64_t n, const std::vector<std::string>& names) {
+  if (static_cast<std::int64_t>(names.size()) != n) {
     throw std::invalid_argument("similarity I/O: one name per sample required");
   }
   for (const std::string& name : names) {
@@ -35,13 +36,7 @@ T read_raw(std::istream& in) {
   return value;
 }
 
-}  // namespace
-
-void write_similarity_binary(std::ostream& out, const std::vector<std::string>& names,
-                             const SimilarityMatrix& matrix) {
-  check_names(names, matrix);
-  out.write(kMagic, sizeof(kMagic));
-  write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(matrix.size()));
+void write_name_block(std::ostream& out, const std::vector<std::string>& names) {
   std::string name_block;
   for (std::size_t i = 0; i < names.size(); ++i) {
     if (i > 0) name_block += '\n';
@@ -49,8 +44,54 @@ void write_similarity_binary(std::ostream& out, const std::vector<std::string>& 
   }
   write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(name_block.size()));
   out.write(name_block.data(), static_cast<std::streamsize>(name_block.size()));
-  out.write(reinterpret_cast<const char*>(matrix.values().data()),
-            static_cast<std::streamsize>(matrix.values().size() * sizeof(double)));
+}
+
+std::vector<std::string> read_name_block(std::istream& in, std::int64_t n) {
+  const auto name_bytes = read_raw<std::uint64_t>(in);
+  std::string name_block(name_bytes, '\0');
+  in.read(name_block.data(), static_cast<std::streamsize>(name_bytes));
+  if (!in) throw std::runtime_error("similarity I/O: truncated names");
+  std::vector<std::string> names;
+  if (n > 0) {
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t end = name_block.find('\n', start);
+      names.push_back(name_block.substr(
+          start, end == std::string::npos ? std::string::npos : end - start));
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  }
+  if (static_cast<std::int64_t>(names.size()) != n) {
+    throw std::runtime_error("similarity I/O: name count mismatch");
+  }
+  return names;
+}
+
+template <typename T>
+void write_array(std::ostream& out, const std::vector<T>& values) {
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_array(std::istream& in, std::uint64_t count) {
+  std::vector<T> values(static_cast<std::size_t>(count));
+  in.read(reinterpret_cast<char*>(values.data()),
+          static_cast<std::streamsize>(values.size() * sizeof(T)));
+  if (!in) throw std::runtime_error("similarity I/O: truncated values");
+  return values;
+}
+
+}  // namespace
+
+void write_similarity_binary(std::ostream& out, const std::vector<std::string>& names,
+                             const SimilarityMatrix& matrix) {
+  check_names(matrix.size(), names);
+  out.write(kMagic, sizeof(kMagic));
+  write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(matrix.size()));
+  write_name_block(out, names);
+  write_array(out, matrix.values());
   if (!out) throw std::runtime_error("similarity I/O: write failed");
 }
 
@@ -61,30 +102,10 @@ NamedSimilarity read_similarity_binary(std::istream& in) {
     throw std::runtime_error("similarity I/O: bad magic");
   }
   const auto n = static_cast<std::int64_t>(read_raw<std::uint64_t>(in));
-  const auto name_bytes = read_raw<std::uint64_t>(in);
-  std::string name_block(name_bytes, '\0');
-  in.read(name_block.data(), static_cast<std::streamsize>(name_bytes));
-  if (!in) throw std::runtime_error("similarity I/O: truncated names");
-
   NamedSimilarity result;
-  if (n > 0) {
-    std::size_t start = 0;
-    while (true) {
-      const std::size_t end = name_block.find('\n', start);
-      result.names.push_back(name_block.substr(
-          start, end == std::string::npos ? std::string::npos : end - start));
-      if (end == std::string::npos) break;
-      start = end + 1;
-    }
-  }
-  if (static_cast<std::int64_t>(result.names.size()) != n) {
-    throw std::runtime_error("similarity I/O: name count mismatch");
-  }
-  std::vector<double> values(static_cast<std::size_t>(n * n));
-  in.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(values.size() * sizeof(double)));
-  if (!in) throw std::runtime_error("similarity I/O: truncated values");
-  result.matrix = SimilarityMatrix(n, std::move(values));
+  result.names = read_name_block(in, n);
+  result.matrix = SimilarityMatrix(
+      n, read_array<double>(in, static_cast<std::uint64_t>(n * n)));
   return result;
 }
 
@@ -102,9 +123,68 @@ NamedSimilarity read_similarity_binary_file(const std::string& path) {
   return read_similarity_binary(in);
 }
 
+void write_sparse_similarity_binary(std::ostream& out,
+                                    const std::vector<std::string>& names,
+                                    const SparseSimilarity& sparse) {
+  check_names(sparse.size(), names);
+  out.write(kSparseMagic, sizeof(kSparseMagic));
+  write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(sparse.size()));
+  write_name_block(out, names);
+  write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(sparse.survivor_count()));
+  write_array(out, sparse.survivor_keys());
+  write_array(out, sparse.survivor_values());
+  write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(sparse.estimate_count()));
+  write_array(out, sparse.estimate_keys());
+  write_array(out, sparse.estimate_values());
+  write_raw<std::uint64_t>(out,
+                           static_cast<std::uint64_t>(sparse.union_cardinalities().size()));
+  write_array(out, sparse.union_cardinalities());
+  if (!out) throw std::runtime_error("similarity I/O: write failed");
+}
+
+NamedSparseSimilarity read_sparse_similarity_binary(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSparseMagic, sizeof(kSparseMagic)) != 0) {
+    throw std::runtime_error("similarity I/O: bad sparse magic");
+  }
+  const auto n = static_cast<std::int64_t>(read_raw<std::uint64_t>(in));
+  NamedSparseSimilarity result;
+  result.names = read_name_block(in, n);
+  const auto survivors = read_raw<std::uint64_t>(in);
+  auto survivor_keys = read_array<std::uint64_t>(in, survivors);
+  auto survivor_values = read_array<double>(in, survivors);
+  const auto estimates = read_raw<std::uint64_t>(in);
+  auto estimate_keys = read_array<std::uint64_t>(in, estimates);
+  auto estimate_values = read_array<double>(in, estimates);
+  const auto ahat_len = read_raw<std::uint64_t>(in);
+  auto ahat = read_array<std::int64_t>(in, ahat_len);
+  // The SparseSimilarity constructor re-validates sortedness/ranges, so a
+  // corrupted file throws here instead of yielding silent wrong lookups.
+  result.sparse =
+      SparseSimilarity(n, std::move(survivor_keys), std::move(survivor_values),
+                       std::move(estimate_keys), std::move(estimate_values),
+                       std::move(ahat));
+  return result;
+}
+
+void write_sparse_similarity_binary_file(const std::string& path,
+                                         const std::vector<std::string>& names,
+                                         const SparseSimilarity& sparse) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write similarity file: " + path);
+  write_sparse_similarity_binary(out, names, sparse);
+}
+
+NamedSparseSimilarity read_sparse_similarity_binary_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open similarity file: " + path);
+  return read_sparse_similarity_binary(in);
+}
+
 void write_similarity_tsv(std::ostream& out, const std::vector<std::string>& names,
                           const SimilarityMatrix& matrix) {
-  check_names(names, matrix);
+  check_names(matrix.size(), names);
   const std::int64_t n = matrix.size();
   out << "sample";
   for (const std::string& name : names) out << '\t' << name;

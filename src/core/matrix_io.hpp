@@ -1,10 +1,18 @@
-// matrix_io.hpp — persistence for similarity matrices.
+// matrix_io.hpp — persistence for similarity matrices, dense and sparse.
 //
 // The paper publishes its computed distance matrices "to foster
 // high-performance distributed genomics research"; these routines are the
-// repository's equivalent: a self-describing binary format for exact
+// repository's equivalent: self-describing binary formats for exact
 // round-trips and a TSV view for spreadsheets/scripts. PHYLIP export for
 // phylogenetics lives in genome/phylip.hpp.
+//
+// Two binary formats, distinguished by magic:
+//   "SASM" — the dense n×n matrix (n² doubles on disk and in memory).
+//   "SASP" — the survivor-sparse SparseSimilarity of a hybrid run:
+//            survivor and estimate pair maps plus â. Disk and memory
+//            stay O(survivors + estimates + n); at thresholded-output
+//            scale this is the only format that round-trips without
+//            materializing the quadratic matrix.
 #pragma once
 
 #include <istream>
@@ -38,5 +46,26 @@ void write_similarity_binary_file(const std::string& path,
 /// (name + n similarity values at full precision).
 void write_similarity_tsv(std::ostream& out, const std::vector<std::string>& names,
                           const SimilarityMatrix& matrix);
+
+/// Sparse binary format: magic "SASP", u64 n, u64 name-block length,
+/// names as '\n'-joined UTF-8, u64 survivor count + (key, value) arrays,
+/// u64 estimate count + (key, value) arrays, u64 â length (0 or n) + â.
+void write_sparse_similarity_binary(std::ostream& out,
+                                    const std::vector<std::string>& names,
+                                    const SparseSimilarity& sparse);
+
+struct NamedSparseSimilarity {
+  std::vector<std::string> names;
+  SparseSimilarity sparse;
+};
+
+[[nodiscard]] NamedSparseSimilarity read_sparse_similarity_binary(std::istream& in);
+
+void write_sparse_similarity_binary_file(const std::string& path,
+                                         const std::vector<std::string>& names,
+                                         const SparseSimilarity& sparse);
+
+[[nodiscard]] NamedSparseSimilarity read_sparse_similarity_binary_file(
+    const std::string& path);
 
 }  // namespace sas::core

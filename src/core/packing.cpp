@@ -23,7 +23,8 @@ BatchReads read_batch(int rank, int nranks, const SampleSource& source,
 }
 
 PackedBatch pack_batch(bsp::Comm& comm, const BatchReads& reads,
-                       distmat::BlockRange rows, int bit_width, bool use_filter) {
+                       distmat::BlockRange rows, int bit_width, bool use_filter,
+                       bool compress_filter) {
   if (bit_width < 1 || bit_width > 64) {
     throw std::invalid_argument("pack_batch: bit_width must be in [1, 64]");
   }
@@ -38,7 +39,7 @@ PackedBatch pack_batch(bsp::Comm& comm, const BatchReads& reads,
       for (std::int64_t v : values) observed.push_back(v - rows.begin);
     }
     filter = distmat::distributed_index_union(
-        comm, std::span<const std::int64_t>(observed), batch_height);
+        comm, std::span<const std::int64_t>(observed), batch_height, compress_filter);
   }
 
   PackedBatch out;
@@ -76,9 +77,10 @@ PackedBatch pack_batch(bsp::Comm& comm, const BatchReads& reads,
 }
 
 PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
-                       distmat::BlockRange rows, int bit_width, bool use_filter) {
+                       distmat::BlockRange rows, int bit_width, bool use_filter,
+                       bool compress_filter) {
   return pack_batch(comm, read_batch(comm.rank(), comm.size(), source, rows), rows,
-                    bit_width, use_filter);
+                    bit_width, use_filter, compress_filter);
 }
 
 std::vector<std::uint64_t> pack_word_panel(

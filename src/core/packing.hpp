@@ -55,16 +55,18 @@ struct PackedBatch {
 
 /// Pack stage, collective over `comm`: filter + compact + bitmask-pack
 /// one batch of reads. `bit_width` ∈ [1, 64] is the paper's b;
-/// `use_filter` toggles the zero-row compaction (Eq. 5–6).
+/// `use_filter` toggles the zero-row compaction (Eq. 5–6);
+/// `compress_filter` replicates the filter union as a compressed bitmap
+/// (dist_filter.hpp) instead of raw indices — same filter, fewer bytes.
 [[nodiscard]] PackedBatch pack_batch(bsp::Comm& comm, const BatchReads& reads,
                                      distmat::BlockRange rows, int bit_width,
-                                     bool use_filter);
+                                     bool use_filter, bool compress_filter = true);
 
 /// Convenience fusion of the two stages (tests, callers that do not need
 /// the reads for anything else).
 [[nodiscard]] PackedBatch pack_batch(bsp::Comm& comm, const SampleSource& source,
                                      distmat::BlockRange rows, int bit_width,
-                                     bool use_filter);
+                                     bool use_filter, bool compress_filter = true);
 
 // ---- sketch-panel wire packing -------------------------------------------
 //

@@ -1,6 +1,8 @@
 #include "core/similarity_matrix.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace sas::core {
@@ -28,6 +30,127 @@ double SimilarityMatrix::max_abs_diff(const SimilarityMatrix& other) const {
     if (diff > worst) worst = diff;
   }
   return worst;
+}
+
+namespace {
+
+/// Keys must be sorted, unique, upper (i < j) pairs within [0, n).
+void check_pair_map(std::int64_t n, const std::vector<std::uint64_t>& keys,
+                    const std::vector<double>& values, const char* what) {
+  if (keys.size() != values.size()) {
+    throw std::invalid_argument(std::string("SparseSimilarity: ") + what +
+                                " keys/values length mismatch");
+  }
+  for (std::size_t s = 0; s < keys.size(); ++s) {
+    if (s > 0 && keys[s] <= keys[s - 1]) {
+      throw std::invalid_argument(std::string("SparseSimilarity: ") + what +
+                                  " keys must be sorted and unique");
+    }
+    const auto [i, j] = SparseSimilarity::unpack_pair(keys[s]);
+    if (i < 0 || j <= i || j >= n) {
+      throw std::invalid_argument(std::string("SparseSimilarity: ") + what +
+                                  " pair out of range");
+    }
+  }
+}
+
+/// Value of `key` in a sorted (keys, values) map, or `fallback`.
+double lookup(const std::vector<std::uint64_t>& keys, const std::vector<double>& values,
+              std::uint64_t key, double fallback) noexcept {
+  const auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return fallback;
+  return values[static_cast<std::size_t>(it - keys.begin())];
+}
+
+}  // namespace
+
+SparseSimilarity::SparseSimilarity(std::int64_t n,
+                                   std::vector<std::uint64_t> survivor_keys,
+                                   std::vector<double> survivor_values,
+                                   std::vector<std::uint64_t> estimate_keys,
+                                   std::vector<double> estimate_values,
+                                   std::vector<std::int64_t> ahat)
+    : n_(n),
+      survivor_keys_(std::move(survivor_keys)),
+      survivor_values_(std::move(survivor_values)),
+      estimate_keys_(std::move(estimate_keys)),
+      estimate_values_(std::move(estimate_values)),
+      ahat_(std::move(ahat)) {
+  if (n_ < 0) throw std::invalid_argument("SparseSimilarity: negative n");
+  check_pair_map(n_, survivor_keys_, survivor_values_, "survivor");
+  check_pair_map(n_, estimate_keys_, estimate_values_, "estimate");
+  // The two maps must be disjoint: a survivor carries its exact value
+  // and must not reappear as an estimate (a corrupted SASP file would
+  // otherwise surface the same pair twice in the pair walks).
+  for (std::size_t s = 0, e = 0; s < survivor_keys_.size() && e < estimate_keys_.size();) {
+    if (survivor_keys_[s] < estimate_keys_[e]) {
+      ++s;
+    } else if (estimate_keys_[e] < survivor_keys_[s]) {
+      ++e;
+    } else {
+      throw std::invalid_argument(
+          "SparseSimilarity: pair present in both survivor and estimate maps");
+    }
+  }
+  if (!ahat_.empty() && static_cast<std::int64_t>(ahat_.size()) != n_) {
+    throw std::invalid_argument("SparseSimilarity: ahat must be empty or length n");
+  }
+}
+
+std::uint64_t SparseSimilarity::pack_pair(std::int64_t i, std::int64_t j) {
+  if (i < 0 || j <= i || j >= (std::int64_t{1} << 31)) {
+    throw std::invalid_argument("SparseSimilarity::pack_pair: need 0 <= i < j < 2^31");
+  }
+  return (static_cast<std::uint64_t>(i) << 32) | static_cast<std::uint64_t>(j);
+}
+
+bool SparseSimilarity::is_survivor(std::int64_t i, std::int64_t j) const noexcept {
+  if (i == j) return false;
+  const std::uint64_t key = (static_cast<std::uint64_t>(std::min(i, j)) << 32) |
+                            static_cast<std::uint64_t>(std::max(i, j));
+  return std::binary_search(survivor_keys_.begin(), survivor_keys_.end(), key);
+}
+
+double SparseSimilarity::similarity(std::int64_t i, std::int64_t j) const noexcept {
+  if (i == j) return 1.0;  // J(X, X) = 1, including the J(∅, ∅) convention
+  const std::uint64_t key = (static_cast<std::uint64_t>(std::min(i, j)) << 32) |
+                            static_cast<std::uint64_t>(std::max(i, j));
+  const auto it = std::lower_bound(survivor_keys_.begin(), survivor_keys_.end(), key);
+  if (it != survivor_keys_.end() && *it == key) {
+    return survivor_values_[static_cast<std::size_t>(it - survivor_keys_.begin())];
+  }
+  return lookup(estimate_keys_, estimate_values_, key, 0.0);
+}
+
+SimilarityMatrix SparseSimilarity::to_dense() const {
+  if (n_ > 0 &&
+      static_cast<std::uint64_t>(n_) >
+          std::numeric_limits<std::size_t>::max() / sizeof(double) /
+              static_cast<std::uint64_t>(n_)) {
+    throw std::length_error("SparseSimilarity::to_dense: n*n doubles overflow");
+  }
+  std::vector<double> full(static_cast<std::size_t>(n_ * n_), 0.0);
+  for (std::int64_t i = 0; i < n_; ++i) full[static_cast<std::size_t>(i * n_ + i)] = 1.0;
+  const auto scatter = [&](const std::vector<std::uint64_t>& keys,
+                           const std::vector<double>& values) {
+    for (std::size_t s = 0; s < keys.size(); ++s) {
+      const auto [i, j] = unpack_pair(keys[s]);
+      full[static_cast<std::size_t>(i * n_ + j)] = values[s];
+      full[static_cast<std::size_t>(j * n_ + i)] = values[s];
+    }
+  };
+  scatter(estimate_keys_, estimate_values_);
+  scatter(survivor_keys_, survivor_values_);  // survivors win over estimates
+  return SimilarityMatrix(n_, std::move(full));
+}
+
+std::uint64_t SparseSimilarity::resident_bytes() const noexcept {
+  return static_cast<std::uint64_t>(
+      survivor_keys_.capacity() * sizeof(std::uint64_t) +
+      survivor_values_.capacity() * sizeof(double) +
+      estimate_keys_.capacity() * sizeof(std::uint64_t) +
+      estimate_values_.capacity() * sizeof(double) +
+      ahat_.capacity() * sizeof(std::int64_t));
 }
 
 }  // namespace sas::core

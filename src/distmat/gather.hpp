@@ -1,16 +1,31 @@
-// gather.hpp — assemble a block-distributed dense matrix on the root.
+// gather.hpp — assemble the distributed output on the root, dense or
+// survivor-sparse.
 //
 // Used at the very end of the pipeline to hand the similarity matrix to
-// downstream consumers (tree building, clustering, file output). Each
-// contributing rank ships (ranges, values); rank 0 stitches the full
-// rows×cols matrix. Ranks without a block pass nullptr.
+// downstream consumers (tree building, clustering, file output). Two
+// forms:
+//
+//   gather_dense_to_root    — each contributing rank ships (ranges,
+//     values); rank 0 stitches the full rows×cols matrix. Rank 0 holds
+//     rows·cols values — 8·n² bytes for the n×n similarity output
+//     (~20 GB at n = 50k), which is why the mask-gated pipelines avoid
+//     this path by default.
+//   gather_triplets_to_root — each rank ships only its (i, j, value)
+//     triplets (for the hybrid: its block's cells that survive the
+//     candidate mask, walked by CandidateMask::for_each_pair_in with the
+//     i < j convention so disjoint blocks emit disjoint triplets); rank 0
+//     merges the sorted pair lists. Bytes and rank-0 memory are
+//     O(survivors), not O(n²).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "bsp/comm.hpp"
 #include "distmat/dense_block.hpp"
+#include "distmat/triplet.hpp"
 
 namespace sas::distmat {
 
@@ -48,6 +63,34 @@ template <typename T>
     }
   }
   return full;
+}
+
+/// Collective over `comm`: gather each rank's coordinate triplets on
+/// rank 0, merged into (row, col) order. Contributions must cover
+/// disjoint coordinates (the for_each_pair_in block walk guarantees
+/// this); duplicates are rejected to catch mis-partitioned callers.
+/// Returns the merged triplets on rank 0 and an empty vector elsewhere.
+template <typename T>
+[[nodiscard]] std::vector<Triplet<T>> gather_triplets_to_root(
+    bsp::Comm& comm, std::vector<Triplet<T>> mine) {
+  static_assert(std::is_trivially_copyable_v<Triplet<T>>);
+  auto blocks = comm.gather_v<Triplet<T>>(std::span<const Triplet<T>>(mine), 0);
+  if (comm.rank() != 0) return {};
+  std::size_t total = 0;
+  for (const auto& block : blocks) total += block.size();
+  std::vector<Triplet<T>> merged;
+  merged.reserve(total);
+  for (auto& block : blocks) {
+    merged.insert(merged.end(), block.begin(), block.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Triplet<T>& a, const Triplet<T>& b) { return triplet_order(a, b); });
+  for (std::size_t s = 1; s < merged.size(); ++s) {
+    if (merged[s].row == merged[s - 1].row && merged[s].col == merged[s - 1].col) {
+      throw std::logic_error("gather_triplets_to_root: overlapping contributions");
+    }
+  }
+  return merged;
 }
 
 }  // namespace sas::distmat

@@ -383,6 +383,54 @@ class CandidateMask {
     return sparse_ ? sparse_mask_.active_columns() : dense_.active_columns();
   }
 
+  /// Visit every masked off-diagonal pair (i, j) with i ∈ rows, j ∈ cols
+  /// and i < j, in (i, j) order. Restricting to i < j means a pair is
+  /// visited by exactly ONE block of any disjoint block cover of the
+  /// matrix (the mirrored cell (j, i) fails the test in its block) —
+  /// this is the survivor-gather walk: each owning rank emits its
+  /// block's surviving (i, j, value) triplets and the concatenation
+  /// covers every survivor exactly once. O(rows · cols/64) dense,
+  /// O(Σᵢ log + hits) sparse.
+  template <typename Visitor>
+  void for_each_pair_in(BlockRange rows, BlockRange cols, Visitor&& visit) const {
+    const std::int64_t n = size();
+    const BlockRange r{std::max<std::int64_t>(rows.begin, 0), std::min(rows.end, n)};
+    const BlockRange c{std::max<std::int64_t>(cols.begin, 0), std::min(cols.end, n)};
+    if (r.size() <= 0 || c.size() <= 0) return;
+    if (sparse_) {
+      for (std::int64_t i = r.begin; i < r.end; ++i) {
+        const auto row = sparse_mask_.row(i);
+        const auto begin = std::lower_bound(row.data(), row.data() + row.size(),
+                                            std::max(c.begin, i + 1));
+        for (const std::int64_t* it = begin; it != row.data() + row.size(); ++it) {
+          if (*it >= c.end) break;
+          visit(i, *it);
+        }
+      }
+      return;
+    }
+    const std::int64_t wpr = dense_.words_per_row();
+    for (std::int64_t i = r.begin; i < r.end; ++i) {
+      const std::int64_t jb = std::max(c.begin, i + 1);
+      if (jb >= c.end) continue;
+      const std::uint64_t* const row = dense_.words().data() + i * wpr;
+      const std::int64_t wb = jb >> 6;
+      const std::int64_t we = (c.end - 1) >> 6;  // inclusive
+      for (std::int64_t w = wb; w <= we; ++w) {
+        std::uint64_t bits = row[w];
+        if (w == wb) bits &= ~std::uint64_t{0} << (jb & 63);
+        if (w == we && ((c.end - 1) & 63) != 63) {
+          bits &= ~std::uint64_t{0} >> (63 - ((c.end - 1) & 63));
+        }
+        while (bits != 0) {
+          const std::int64_t j = (w << 6) + std::countr_zero(bits);
+          bits &= bits - 1;
+          visit(i, j);
+        }
+      }
+    }
+  }
+
   /// Visit every off-diagonal candidate pair (i, j) with i < j, in
   /// (i, j) order. O(n²/64 + candidates) dense, O(candidates + n) sparse
   /// — the analysis-side walk (analysis::candidate_pairs).

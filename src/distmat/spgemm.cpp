@@ -166,10 +166,17 @@ std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
 /// Dense path worker: every output cell (i, j) for j in [j_begin, j_end)
 /// is one streaming popcount dot product — no scatter stores, so the
 /// kernel runs at vector popcount throughput instead of the one
-/// store-per-madd ceiling of the scatter loop. With a candidate mask,
-/// pruned cells are skipped per cell (the mask test is one load against
-/// a words-long popcount stream). Returns the streaming word-madds
-/// actually performed (the dense path's flop unit under pruning).
+/// store-per-madd ceiling of the scatter loop. The unpruned path runs
+/// 2×2 register tiles (popcount_and_sum_stream_2x2): four output cells
+/// per pass over two L and two N columns, so each mask word is loaded
+/// once per TWO cells instead of once per cell — half the load traffic
+/// of the scalar loop at identical (integer) results; the scalar loop
+/// remains for edges and is the reference the micro_kernels bench
+/// compares against. With a candidate mask, pruned cells are skipped per
+/// cell (the mask test is one load against a words-long popcount
+/// stream), so the pruned path stays scalar. Returns the streaming
+/// word-madds actually performed (the dense path's flop unit under
+/// pruning).
 std::uint64_t dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_cols,
                                      const DenseColumnPanel& nd, std::int64_t j_begin,
                                      std::int64_t j_end, std::int64_t l_col_base,
@@ -180,11 +187,47 @@ std::uint64_t dense_accumulate_range(const DenseColumnPanel& ld, std::int64_t l_
   const std::int64_t grow_base = out.row_range.begin + l_col_base;
   const std::int64_t gcol_base = out.col_range.begin + n_col_base;
   std::uint64_t cells = 0;
+  if (prune == nullptr) {
+    std::int64_t i = 0;
+    for (; i + 2 <= l_cols; i += 2) {
+      const std::uint64_t* const lcol0 = ld.column(i);
+      const std::uint64_t* const lcol1 = ld.column(i + 1);
+      std::int64_t* const row0 = out.row_data(l_col_base + i) + n_col_base;
+      std::int64_t* const row1 = out.row_data(l_col_base + i + 1) + n_col_base;
+      std::int64_t j = j_begin;
+      for (; j + 2 <= j_end; j += 2) {
+        std::uint64_t sums[4];
+        popcount_and_sum_stream_2x2(lcol0, lcol1, nd.column(j), nd.column(j + 1),
+                                    static_cast<std::size_t>(words), sums);
+        row0[j] += static_cast<std::int64_t>(sums[0]);
+        row0[j + 1] += static_cast<std::int64_t>(sums[1]);
+        row1[j] += static_cast<std::int64_t>(sums[2]);
+        row1[j + 1] += static_cast<std::int64_t>(sums[3]);
+      }
+      for (; j < j_end; ++j) {
+        row0[j] += static_cast<std::int64_t>(popcount_and_sum_stream(
+            lcol0, nd.column(j), static_cast<std::size_t>(words)));
+        row1[j] += static_cast<std::int64_t>(popcount_and_sum_stream(
+            lcol1, nd.column(j), static_cast<std::size_t>(words)));
+      }
+    }
+    for (; i < l_cols; ++i) {
+      const std::uint64_t* const lcol = ld.column(i);
+      std::int64_t* const row = out.row_data(l_col_base + i) + n_col_base;
+      for (std::int64_t j = j_begin; j < j_end; ++j) {
+        row[j] += static_cast<std::int64_t>(popcount_and_sum_stream(
+            lcol, nd.column(j), static_cast<std::size_t>(words)));
+      }
+    }
+    return static_cast<std::uint64_t>(l_cols) *
+           static_cast<std::uint64_t>(j_end - j_begin) *
+           static_cast<std::uint64_t>(words);
+  }
   for (std::int64_t i = 0; i < l_cols; ++i) {
     const std::uint64_t* const lcol = ld.column(i);
     std::int64_t* const row = out.row_data(l_col_base + i) + n_col_base;
     for (std::int64_t j = j_begin; j < j_end; ++j) {
-      if (prune != nullptr && !prune->test(grow_base + i, gcol_base + j)) continue;
+      if (!prune->test(grow_base + i, gcol_base + j)) continue;
       ++cells;
       row[j] += static_cast<std::int64_t>(
           popcount_and_sum_stream(lcol, nd.column(j), static_cast<std::size_t>(words)));
@@ -444,6 +487,31 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
   if (replicated) partial = DenseBlock<std::int64_t>(b_accum.row_range, b_accum.col_range);
   DenseBlock<std::int64_t>& target = replicated ? partial : b_accum;
 
+  // Mask-aware stage gating: with a candidate mask, a sample block whose
+  // members all have NO surviving off-diagonal partner contributes
+  // nothing anywhere — its samples were column-dropped by the driver
+  // (their triplets never reached the grid) and their diagonals fall
+  // back to the J(∅, ∅) = 1 convention. The per-sample activity flags
+  // are replicated (the mask is), so every rank reaches the same verdict
+  // and the collectives stay aligned: the L-side transpose + row
+  // broadcast of an inactive OUTPUT-ROW block and the N-side column
+  // broadcast of an inactive OUTPUT-COLUMN block are skipped entirely —
+  // the stage loop no longer visits every grid row/col when the mask is
+  // block-sparse. Sender and receiver of a transpose hop evaluate the
+  // same block (the sender's column chunk IS the receiver's row chunk),
+  // so no message is ever posted without its matching receive.
+  std::vector<std::uint8_t> active;
+  if (options.prune != nullptr) active = options.prune->active_columns();
+  const auto block_active = [&](BlockRange range) {
+    if (options.prune == nullptr) return true;
+    for (std::int64_t i = range.begin; i < range.end; ++i) {
+      if (active[static_cast<std::size_t>(i)] != 0) return true;
+    }
+    return false;
+  };
+  const bool my_rows_active = block_active(b_accum.row_range);
+  const bool my_cols_active = block_active(b_accum.col_range);
+
   // (1) Transpose exchange: owner (ℓ, k, i) ships R(ℓ·s+k, i) to (ℓ, i, k).
   // Sends are posted one stage AHEAD of the multiply that consumes them
   // (stage 0 before the loop, stage k+1 before stage k's local work):
@@ -452,7 +520,10 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
   // multiplies — the same overlap the ring schedule gets from double
   // buffering.
   const auto post_transpose = [&](int k) {
-    if (grid.grid_row() == k) {
+    // my_cols_active gates on the RECEIVER's output-row block: the
+    // receiver (ℓ, grid_col, k) has grid_row == this rank's grid_col,
+    // and row chunks equal column chunks on the square grid.
+    if (grid.grid_row() == k && my_cols_active) {
       const int dest = grid.world_rank_of(grid.layer(), grid.grid_col(), k);
       grid.world().send<Triplet<std::uint64_t>>(
           dest, kTagTranspose + k, std::span<const Triplet<std::uint64_t>>(my_block.entries));
@@ -463,16 +534,22 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
   for (int k = 0; k < s; ++k) {
     if (k + 1 < s) post_transpose(k + 1);
     std::vector<Triplet<std::uint64_t>> lbuf;
-    if (grid.grid_col() == k) {
+    if (grid.grid_col() == k && my_rows_active) {
       const int source = grid.world_rank_of(grid.layer(), k, grid.grid_row());
       lbuf = grid.world().recv<Triplet<std::uint64_t>>(source, kTagTranspose + k);
     }
     // (2) L-side broadcast along the grid row (root = grid column k).
-    grid.row_comm().broadcast(lbuf, k);
-    // (3) N-side broadcast along the grid column (root = grid row k).
+    // All ranks of one grid row share the same output-row block, so the
+    // skip verdict is uniform along the communicator.
+    if (my_rows_active) grid.row_comm().broadcast(lbuf, k);
+    // (3) N-side broadcast along the grid column (root = grid row k);
+    // uniform verdict along the column, which shares the output-col block.
     std::vector<Triplet<std::uint64_t>> nbuf;
-    if (grid.grid_row() == k) nbuf = my_block.entries;
-    grid.col_comm().broadcast(nbuf, k);
+    if (my_cols_active) {
+      if (grid.grid_row() == k) nbuf = my_block.entries;
+      grid.col_comm().broadcast(nbuf, k);
+    }
+    if (!my_rows_active || !my_cols_active) continue;
     // (4) Local multiply-accumulate on CSR panels built once per stage.
     // Both buffers are slices of chunk ℓ·s+k, so they share a row space;
     // the tight per-panel row bounds are enough (the kernel intersects).

@@ -180,6 +180,16 @@ void targeted_ata_accumulate(bsp::Comm& comm, std::int64_t n,
 /// inactive ranks must not call. `b_accum` must cover column chunk
 /// grid_row × column chunk grid_col of the n×n output. Broadcast panels
 /// are CSR-converted once per stage before the local multiply.
+///
+/// With a candidate mask (options.prune), the stage collectives are
+/// mask-gated: transpose hops and row/column broadcasts that feed an
+/// output block whose samples all have no surviving off-diagonal partner
+/// are skipped outright, so stage traffic tracks the block structure of
+/// the mask instead of visiting every grid row/col. This assumes the
+/// hybrid driver's column-dropping invariant — samples with no surviving
+/// pair carry no triplets (their b entries are zero and their diagonal
+/// reports the J(∅, ∅) = 1 convention) — which the driver establishes
+/// before redistribution.
 void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
                           DenseBlock<std::int64_t>& b_accum,
                           const CsrAtaOptions& options = {});

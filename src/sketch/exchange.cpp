@@ -237,6 +237,12 @@ core::CandidateMode resolved_candidate_mode(const core::Config& config, std::int
 
 namespace {
 
+/// Ascending (i, j) order over pair estimates — the sort/search order of
+/// CandidatePass::estimates.
+bool pair_estimate_order(const PairEstimate& a, const PairEstimate& b) noexcept {
+  return a.i != b.i ? a.i < b.i : a.j < b.j;
+}
+
 /// Sample-id → owning-rank map from the per-rank id lists; validates that
 /// the lists cover [0, n) disjointly.
 std::vector<int> owner_map(const std::vector<std::vector<std::int64_t>>& id_blocks,
@@ -259,14 +265,22 @@ std::vector<int> owner_map(const std::vector<std::vector<std::int64_t>>& id_bloc
   return owner;
 }
 
-/// A colliding candidate pair routed to the rank owning sample i's blob,
-/// and — once scored — its estimate.
-struct ScoredPair {
-  std::int64_t i = 0;
-  std::int64_t j = 0;
-  double est = 0.0;
-};
-static_assert(std::is_trivially_copyable_v<ScoredPair>);
+/// Gather each rank's non-zero (i < j) pair estimates on rank 0, sorted
+/// by (i, j). Every scored pair is scored by exactly one rank (all-pairs
+/// partitions the rows; LSH routes a pair to its lower sample's blob
+/// owner and dedupes), which the shared triplet gather's
+/// overlapping-contribution check enforces.
+std::vector<PairEstimate> gather_estimates(bsp::Comm& world,
+                                           std::vector<PairEstimate> mine) {
+  std::vector<distmat::Triplet<double>> triplets;
+  triplets.reserve(mine.size());
+  for (const PairEstimate& pe : mine) triplets.push_back({pe.i, pe.j, pe.est});
+  const auto merged = distmat::gather_triplets_to_root(world, std::move(triplets));
+  std::vector<PairEstimate> out;
+  out.reserve(merged.size());
+  for (const auto& t : merged) out.push_back({t.row, t.col, t.value});
+  return out;
+}
 
 /// The all-pairs candidate pass (PR 3): allgather every blob, score this
 /// rank's row slice of all n² pairs into a dense mask.
@@ -308,27 +322,27 @@ CandidatePass all_pairs_candidate_pass(
   distmat::PairMask mask(n);
 
   // Score a block partition of the rows (any disjoint cover works — all
-  // blobs are local now); the diagonal is always a candidate.
+  // blobs are local now); the diagonal is always a candidate. Estimates
+  // ride to rank 0 as (i < j, value) pairs — each upper pair is scored
+  // by exactly the rank owning row i, and zero estimates are dropped
+  // (absent pairs read as 0.0), so the estimate payload tracks the
+  // non-zero pair structure instead of a dense n² array.
   const BlockRange mine = distmat::block_range(n, p, r);
-  DenseBlock<double> est_panel(mine, BlockRange{0, n});
+  std::vector<PairEstimate> scored;
   for (std::int64_t i = mine.begin; i < mine.end; ++i) {
     mask.set(i, i);
     for (std::int64_t j = 0; j < n; ++j) {
-      if (j == i) {
-        est_panel.at_global(i, i) = 1.0;
-        continue;
-      }
+      if (j == i) continue;
       const double est = estimate_jaccard_wire(views[static_cast<std::size_t>(i)],
                                                views[static_cast<std::size_t>(j)]);
-      est_panel.at_global(i, j) = est;
+      if (j > i && est != 0.0) scored.push_back({i, j, est});
       if (est >= pass.effective_threshold) mask.set(i, j);
     }
   }
 
   distmat::allreduce_pair_mask(world, mask);
   pass.mask = distmat::CandidateMask(std::move(mask));
-  pass.estimates = distmat::gather_dense_to_root(world, &est_panel, n, n);
-  if (r != 0) pass.estimates.clear();
+  pass.estimates = gather_estimates(world, std::move(scored));
   return pass;
 }
 
@@ -381,18 +395,32 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
 
   // (3) Bucket grouping: sorting the packed words groups by (group,
   // sample); every within-group sample pair is a collision candidate,
-  // routed to the rank owning the LOWER sample's blob.
+  // routed to the rank owning the LOWER sample's blob. Degenerate
+  // buckets — s samples hashing identically (e.g. all-empty sketches)
+  // would emit s(s−1)/2 pair words here — are capped at
+  // Config::lsh_bucket_cap: their members go to a replicated capped set
+  // (O(s) bytes) and the implied pairs are generated locally on the blob
+  // owners below, a mini all-pairs pass over the capped union.
   std::vector<std::uint64_t> keys;
   for (const auto& block : incoming_keys) {
     keys.insert(keys.end(), block.begin(), block.end());
   }
   std::sort(keys.begin(), keys.end());
   keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  const std::int64_t bucket_cap = config.lsh_bucket_cap;
+  std::vector<std::int64_t> capped_members;
   std::vector<std::vector<std::uint64_t>> pair_blocks(static_cast<std::size_t>(p));
   for (std::size_t begin = 0; begin < keys.size();) {
     std::size_t end = begin;
     const std::uint64_t group = keys[begin] >> 32;
     while (end < keys.size() && (keys[end] >> 32) == group) ++end;
+    if (bucket_cap > 0 && end - begin > static_cast<std::size_t>(bucket_cap)) {
+      for (std::size_t a = begin; a < end; ++a) {
+        capped_members.push_back(static_cast<std::int64_t>(keys[a] & 0xffffffffULL));
+      }
+      begin = end;
+      continue;
+    }
     for (std::size_t a = begin; a < end; ++a) {
       const auto i = static_cast<std::int64_t>(keys[a] & 0xffffffffULL);
       for (std::size_t b = a + 1; b < end; ++b) {
@@ -405,11 +433,34 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
   }
   const auto incoming_pairs = world.alltoall_v(pair_blocks);
 
+  // Mini all-pairs over the capped buckets: replicate the member union
+  // (collective — every rank participates, usually with an empty list)
+  // and let each rank generate the pairs whose lower sample it owns.
+  // This scores a superset of the capped buckets' pairs (cross-bucket
+  // members of the union included), so recall can only improve; the
+  // routed bytes drop from O(s²) pair words to O(s) member ids.
+  std::sort(capped_members.begin(), capped_members.end());
+  capped_members.erase(std::unique(capped_members.begin(), capped_members.end()),
+                       capped_members.end());
+  std::vector<std::int64_t> capped_union =
+      world.allgather<std::int64_t>(std::span<const std::int64_t>(capped_members));
+  std::sort(capped_union.begin(), capped_union.end());
+  capped_union.erase(std::unique(capped_union.begin(), capped_union.end()),
+                     capped_union.end());
+
   // (4) Deduplicate (a pair may collide in several bands, possibly via
-  // different group owners) and list the partner blobs to fetch.
+  // different group owners, or re-arrive via the capped union) and list
+  // the partner blobs to fetch.
   std::vector<std::uint64_t> todo;
   for (const auto& block : incoming_pairs) {
     todo.insert(todo.end(), block.begin(), block.end());
+  }
+  for (std::size_t a = 0; a < capped_union.size(); ++a) {
+    const std::int64_t i = capped_union[a];
+    if (owner[static_cast<std::size_t>(i)] != r) continue;
+    for (std::size_t b = a + 1; b < capped_union.size(); ++b) {
+      todo.push_back(distmat::SparsePairMask::pack_pair(i, capped_union[b]));
+    }
   }
   std::sort(todo.begin(), todo.end());
   todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
@@ -465,16 +516,16 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
                     : fetched[static_cast<std::size_t>(id)];
   };
 
-  // (6) Score exactly the colliding pairs; keep every estimate (pruned
-  // colliders still fill the assembled matrix better than 0) and
+  // (6) Score exactly the colliding pairs; keep every non-zero estimate
+  // (pruned colliders still fill the assembled output better than 0) and
   // threshold into the local candidate list.
-  std::vector<ScoredPair> scored;
+  std::vector<PairEstimate> scored;
   scored.reserve(todo.size());
   std::vector<std::uint64_t> kept;
   for (std::uint64_t packed : todo) {
     const auto [i, j] = distmat::SparsePairMask::unpack_pair(packed);
     const double est = estimate_jaccard_wire(view_of(i), view_of(j));
-    scored.push_back({i, j, est});
+    if (est != 0.0) scored.push_back({i, j, est});
     if (est >= pass.effective_threshold) kept.push_back(packed);
   }
 
@@ -496,26 +547,23 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
     pass.mask = distmat::CandidateMask(std::move(mask));
   }
 
-  // (8) Estimates to rank 0: scored triplets only; never-collided pairs
-  // report 0.0 (they are below the S-curve's collision range).
-  const auto triplet_blocks =
-      world.gather_v<ScoredPair>(std::span<const ScoredPair>(scored), 0);
-  if (r == 0) {
-    pass.estimates.assign(static_cast<std::size_t>(n * n), 0.0);
-    for (std::int64_t i = 0; i < n; ++i) {
-      pass.estimates[static_cast<std::size_t>(i * n + i)] = 1.0;
-    }
-    for (const auto& block : triplet_blocks) {
-      for (const ScoredPair& sp : block) {
-        pass.estimates[static_cast<std::size_t>(sp.i * n + sp.j)] = sp.est;
-        pass.estimates[static_cast<std::size_t>(sp.j * n + sp.i)] = sp.est;
-      }
-    }
-  }
+  // (8) Estimates to rank 0 as sorted (i < j, value) pairs — O(scored)
+  // memory; never-collided pairs stay absent and read as 0.0 (they are
+  // below the S-curve's collision range).
+  pass.estimates = gather_estimates(world, std::move(scored));
   return pass;
 }
 
 }  // namespace
+
+double CandidatePass::estimate_at(std::int64_t i, std::int64_t j) const noexcept {
+  if (i == j) return 1.0;
+  const PairEstimate key{std::min(i, j), std::max(i, j), 0.0};
+  const auto it =
+      std::lower_bound(estimates.begin(), estimates.end(), key, pair_estimate_order);
+  if (it == estimates.end() || it->i != key.i || it->j != key.j) return 0.0;
+  return it->est;
+}
 
 CandidatePass sketch_candidate_pass(bsp::Comm& world,
                                     std::span<const std::int64_t> samples,

@@ -59,7 +59,12 @@
 //     (B, R) from the effective threshold); pairs that never collide
 //     report a 0.0 estimate. Pairs BELOW the effective threshold that do
 //     collide still report their scored estimate, so precision is
-//     identical to all-pairs.
+//     identical to all-pairs. Degenerate buckets larger than
+//     Config::lsh_bucket_cap (e.g. all-empty sketches hashing into one
+//     bucket, which would emit s(s−1)/2 pair words) replicate their
+//     member list instead and are rescored by a mini all-pairs pass over
+//     the capped union on the blob owners — O(s) routed bytes, recall a
+//     superset of the uncapped bucket's.
 #pragma once
 
 #include <cstdint>
@@ -173,6 +178,19 @@ struct LshPlan {
 [[nodiscard]] core::CandidateMode resolved_candidate_mode(const core::Config& config,
                                                           std::int64_t n);
 
+/// One scored pair's sketch estimate (i < j). What the candidate pass
+/// hands rank 0 instead of a dense n² estimate array: pairs the pass
+/// never scored (LSH non-colliders) or scored at exactly 0 are simply
+/// absent — their estimate reads as 0.0.
+struct PairEstimate {
+  std::int64_t i = 0;
+  std::int64_t j = 0;  ///< i < j
+  double est = 0.0;
+
+  friend bool operator==(const PairEstimate&, const PairEstimate&) = default;
+};
+static_assert(std::is_trivially_copyable_v<PairEstimate>);
+
 /// Output of the hybrid's sketch-prune pass.
 struct CandidatePass {
   /// Replicated candidate mask: pair (i, j) set iff Ĵ(i, j) ≥
@@ -180,16 +198,21 @@ struct CandidatePass {
   /// band), plus the full diagonal. Symmetric; dense or sparse per the
   /// storage-parity crossover.
   distmat::CandidateMask mask;
-  /// Rank 0: row-major n×n estimated similarities, used to fill the
-  /// pruned entries of the assembled matrix. All-pairs mode scores every
-  /// pair; LSH mode scores colliding pairs and reports 0.0 for pairs
-  /// that never collided. Empty on other ranks.
-  std::vector<double> estimates;
+  /// Rank 0: the scored pairs with a non-zero estimate, sorted by
+  /// (i, j) — O(scored pairs) memory, never an n² array. All-pairs mode
+  /// scores every pair (zeros are dropped); LSH mode scores colliding
+  /// pairs; estimate_at reports 0.0 for everything absent. Empty on
+  /// other ranks.
+  std::vector<PairEstimate> estimates;
   /// The threshold actually applied (prune_threshold − slack, floored at 0).
   double effective_threshold = 0.0;
   /// Strategy actually used (kAuto resolved) and, for kLsh, the banding.
   core::CandidateMode mode = core::CandidateMode::kAllPairs;
   LshPlan plan;
+
+  /// The estimate of (i, j): 1.0 on the diagonal, the scored value when
+  /// present, 0.0 otherwise. O(log estimates); rank 0 only.
+  [[nodiscard]] double estimate_at(std::int64_t i, std::int64_t j) const noexcept;
 };
 
 /// Collective over `world`: generate and score candidate pairs from

@@ -105,6 +105,19 @@ inline void popcount_and_scatter(std::uint64_t word,
 /// popcount (callers use it to pick the sparse/dense crossover point).
 [[nodiscard]] bool popcount_stream_vectorized() noexcept;
 
+/// 2×2 register-tiled streaming popcount dot products over `len` words:
+///   out = { Σ pc(x0∧y0), Σ pc(x0∧y1), Σ pc(x1∧y0), Σ pc(x1∧y1) }.
+/// One pass loads each of the four columns once for FOUR output cells —
+/// half the word loads of four scalar popcount_and_sum_stream calls —
+/// with four independent popcount chains. Bit-identical to the scalar
+/// sums (integer adds commute); the dense SpGEMM path tiles its
+/// unpruned output cells through this. Lives in the same
+/// runtime-data-only TU as popcount_and_sum_stream so the AVX512
+/// VPOPCNTQ per-TU flag applies (see that function's note).
+void popcount_and_sum_stream_2x2(const std::uint64_t* x0, const std::uint64_t* x1,
+                                 const std::uint64_t* y0, const std::uint64_t* y1,
+                                 std::size_t len, std::uint64_t out[4]) noexcept;
+
 /// 4-row register-blocked variant: four L-side words scatter against the
 /// same CSR row segment, updating four distinct accumulator rows:
 ///   accR[cols[k]] += popcount(wordR ∧ vals[k])   for R in 0..3.

@@ -20,6 +20,29 @@ std::uint64_t popcount_and_sum_stream(const std::uint64_t* x, const std::uint64_
   return popcount_and_sum_block(x, y, len);
 }
 
+void popcount_and_sum_stream_2x2(const std::uint64_t* x0, const std::uint64_t* x1,
+                                 const std::uint64_t* y0, const std::uint64_t* y1,
+                                 std::size_t len, std::uint64_t out[4]) noexcept {
+  std::uint64_t a00 = 0;
+  std::uint64_t a01 = 0;
+  std::uint64_t a10 = 0;
+  std::uint64_t a11 = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::uint64_t w0 = x0[i];
+    const std::uint64_t w1 = x1[i];
+    const std::uint64_t v0 = y0[i];
+    const std::uint64_t v1 = y1[i];
+    a00 += static_cast<std::uint64_t>(std::popcount(w0 & v0));
+    a01 += static_cast<std::uint64_t>(std::popcount(w0 & v1));
+    a10 += static_cast<std::uint64_t>(std::popcount(w1 & v0));
+    a11 += static_cast<std::uint64_t>(std::popcount(w1 & v1));
+  }
+  out[0] = a00;
+  out[1] = a01;
+  out[2] = a10;
+  out[3] = a11;
+}
+
 bool popcount_stream_vectorized() noexcept {
 #if defined(__AVX512VPOPCNTDQ__)
   return true;

@@ -407,9 +407,22 @@ TEST(LshCandidatePass, DeterministicAcrossRankCountsAndFindsTwins) {
   }
   // 200 samples, ~40 surviving pairs: far below the crossover → sparse.
   EXPECT_TRUE(reference.mask.is_sparse());
-  // Rank 0 carries the estimates: 1.0 for twins, 0.0 for never-collided.
-  ASSERT_EQ(reference.estimates.size(), static_cast<std::size_t>(n * n));
-  EXPECT_DOUBLE_EQ(reference.estimates[1], 1.0);  // twin (0, 1)
+  // Rank 0 carries pair-keyed estimates: 1.0 for twins, 0.0 (absent) for
+  // never-collided — O(scored pairs), never an n² array.
+  EXPECT_LT(reference.estimates.size(), static_cast<std::size_t>(n * n) / 4);
+  EXPECT_DOUBLE_EQ(reference.estimate_at(0, 1), 1.0);  // twin (0, 1)
+  EXPECT_DOUBLE_EQ(reference.estimate_at(1, 0), 1.0);  // symmetric lookup
+  EXPECT_DOUBLE_EQ(reference.estimate_at(0, 0), 1.0);  // diagonal convention
+  for (std::size_t e = 0; e < reference.estimates.size(); ++e) {
+    EXPECT_LT(reference.estimates[e].i, reference.estimates[e].j);
+    EXPECT_NE(reference.estimates[e].est, 0.0) << "zeros must be dropped";
+    if (e > 0) {
+      EXPECT_TRUE(reference.estimates[e - 1].i < reference.estimates[e].i ||
+                  (reference.estimates[e - 1].i == reference.estimates[e].i &&
+                   reference.estimates[e - 1].j < reference.estimates[e].j))
+          << "estimates must be (i, j)-sorted";
+    }
+  }
 
   for (const int ranks : {2, 3, 4}) {
     const auto pass = run_candidate_pass(sets, cfg, ranks);
@@ -423,6 +436,70 @@ TEST(LshCandidatePass, DeterministicAcrossRankCountsAndFindsTwins) {
     }
     EXPECT_EQ(pass.estimates, reference.estimates) << ranks << " ranks";
   }
+}
+
+TEST(LshCandidatePass, BucketCapRoutesDegenerateBucketsThroughMiniAllPairs) {
+  // 24 IDENTICAL samples collide in EVERY band — the degenerate bucket
+  // that would emit 24·23/2 pair words per band. With the cap engaged
+  // those buckets go through the replicated capped set + owner-local
+  // mini all-pairs instead; the surviving mask must be unchanged (the
+  // capped union's pair set covers exactly the bucket's pairs here) and
+  // stay deterministic across rank counts.
+  Rng rng(57);
+  std::vector<std::vector<std::uint64_t>> sets;
+  std::vector<std::uint64_t> clones;
+  for (int v = 0; v < 60; ++v) clones.push_back(rng());
+  for (int c = 0; c < 24; ++c) sets.push_back(clones);
+  for (std::int64_t t = 0; t < 6; ++t) {  // plus normal twins + fillers
+    std::vector<std::uint64_t> s;
+    for (int v = 0; v < 60; ++v) s.push_back(rng());
+    sets.push_back(s);
+    sets.push_back(std::move(s));
+  }
+  for (std::int64_t f = 0; f < 20; ++f) {
+    std::vector<std::uint64_t> s;
+    for (int v = 0; v < 60; ++v) s.push_back(rng());
+    sets.push_back(std::move(s));
+  }
+  const auto n = static_cast<std::int64_t>(sets.size());
+
+  core::Config cfg;
+  cfg.estimator = core::Estimator::kMinhash;
+  cfg.candidate_mode = core::CandidateMode::kLsh;
+  cfg.sketch_size = 256;
+  cfg.prune_threshold = 0.5;
+  cfg.lsh_bucket_cap = 0;  // uncapped reference
+  const auto uncapped = run_candidate_pass(sets, cfg, 2);
+
+  cfg.lsh_bucket_cap = 4;  // far below the 24-clone bucket
+  const auto reference = run_candidate_pass(sets, cfg, 1);
+  for (const int ranks : {1, 2, 3, 4}) {
+    const auto capped = run_candidate_pass(sets, cfg, ranks);
+    EXPECT_EQ(capped.mask.count(), reference.mask.count()) << ranks << " ranks";
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) {
+        ASSERT_EQ(capped.mask.test(i, j), reference.mask.test(i, j))
+            << ranks << " ranks, pair (" << i << ", " << j << ")";
+      }
+    }
+    EXPECT_EQ(capped.estimates, reference.estimates) << ranks << " ranks";
+  }
+
+  // Recall: every clone pair and every twin pair survives under the cap,
+  // and nothing the uncapped pass kept is lost.
+  for (std::int64_t a = 0; a < 24; ++a) {
+    for (std::int64_t b = a + 1; b < 24; ++b) {
+      EXPECT_TRUE(reference.mask.test(a, b)) << "clone pair (" << a << ", " << b << ")";
+    }
+  }
+  for (std::int64_t t = 0; t < 6; ++t) {
+    EXPECT_TRUE(reference.mask.test(24 + 2 * t, 24 + 2 * t + 1)) << "twin " << t;
+  }
+  std::int64_t lost = 0;
+  uncapped.mask.for_each_upper_pair([&](std::int64_t i, std::int64_t j) {
+    if (!reference.mask.test(i, j)) ++lost;
+  });
+  EXPECT_EQ(lost, 0) << "capping must not lose uncapped survivors";
 }
 
 TEST(LshCandidatePass, RecallMatchesAllPairsOnGenomeFamilies) {
@@ -463,8 +540,7 @@ TEST(LshCandidatePass, RecallMatchesAllPairsOnGenomeFamilies) {
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = i + 1; j < n; ++j) {
       ASSERT_LT(i + 1, n);
-      const std::size_t row = static_cast<std::size_t>(i * n + j);
-      const double est = all_pairs.estimates[row];
+      const double est = all_pairs.estimate_at(i, j);
       if (est < cfg.prune_threshold + slack) continue;
       ++must_survive;
       EXPECT_TRUE(all_pairs.mask.test(i, j));
@@ -524,8 +600,7 @@ TEST(LshCandidatePass, HybridDriverParityAcrossRankCounts) {
             << ranks << " ranks: mask differs at (" << i << ", " << j << ")";
         if (i != j && hybrid.candidates.test(i, j)) {
           ++surviving;
-          EXPECT_EQ(hybrid.similarity.similarity(i, j),
-                    exact.similarity.similarity(i, j))
+          EXPECT_EQ(hybrid.similarity_at(i, j), exact.similarity.similarity(i, j))
               << ranks << " ranks: survivor (" << i << ", " << j
               << ") must be bitwise-exact";
         }

@@ -156,6 +156,98 @@ TEST_P(FilterTest, CompactRowIdIsThePrefixSum) {
 
 INSTANTIATE_TEST_SUITE_P(RankCounts, FilterTest, ::testing::Values(1, 2, 3, 5, 8));
 
+TEST(FilterEncoding, RoundTripsEveryShape) {
+  struct Shape {
+    const char* name;
+    std::vector<std::int64_t> indices;
+    std::int64_t extent;
+  };
+  std::vector<Shape> shapes = {
+      {"empty", {}, 100},
+      {"single", {0}, 1},
+      {"last", {999}, 1000},
+      {"dense run", {}, 500},
+      {"every other", {}, 512},
+      {"isolated huge gaps", {3, 1000000, 123456789, 999999999}, std::int64_t{1} << 30},
+      {"word boundary", {62, 63, 64, 65, 127, 128}, 200},
+      {"one-word gap inlined", {10, 140}, 4096},
+  };
+  for (std::int64_t v = 0; v < 500; ++v) shapes[3].indices.push_back(v);
+  for (std::int64_t v = 0; v < 512; v += 2) shapes[4].indices.push_back(v);
+  Rng rng(404);
+  Shape random{"random", {}, 1 << 20};
+  for (std::int64_t v = 0; v < (1 << 20); ++v) {
+    if (rng.bernoulli(0.001)) random.indices.push_back(v);
+  }
+  shapes.push_back(std::move(random));
+
+  for (const Shape& shape : shapes) {
+    const auto encoded =
+        encode_index_set(std::span<const std::int64_t>(shape.indices), shape.extent);
+    const auto decoded =
+        decode_index_set(std::span<const std::uint64_t>(encoded), shape.extent);
+    EXPECT_EQ(decoded, shape.indices) << shape.name;
+    // Never more than one mode word above the raw cost.
+    EXPECT_LE(encoded.size(), shape.indices.size() + 1) << shape.name;
+  }
+
+  // Compression wins where it should: ~1 bit/row on dense runs (RLE),
+  // about half the raw words on huge-gap hypersparse sets (delta-varint).
+  const auto dense_encoded =
+      encode_index_set(std::span<const std::int64_t>(shapes[3].indices), 500);
+  EXPECT_LE(dense_encoded.size(), shapes[3].indices.size() / 32 + 2);
+  std::vector<std::int64_t> hypersparse;
+  for (std::int64_t v = 0; v < 1000; ++v) hypersparse.push_back(v * 33554432);
+  const auto sparse_encoded = encode_index_set(
+      std::span<const std::int64_t>(hypersparse), std::int64_t{1} << 45);
+  EXPECT_LE(sparse_encoded.size(), hypersparse.size() / 2 + 2);
+
+  // Malformed inputs throw.
+  const std::vector<std::int64_t> unsorted = {5, 3};
+  EXPECT_THROW((void)encode_index_set(std::span<const std::int64_t>(unsorted), 10),
+               std::invalid_argument);
+  const std::vector<std::int64_t> beyond = {12};
+  EXPECT_THROW((void)encode_index_set(std::span<const std::int64_t>(beyond), 10),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> bad_mode = {99, 1, 2};
+  EXPECT_THROW((void)decode_index_set(std::span<const std::uint64_t>(bad_mode), 10),
+               std::invalid_argument);
+  // Hostile delta streams must throw, never yield negative or
+  // out-of-extent indices: a complete 10-byte varint encoding gap = 2^63
+  // (the sign bit — nine 0x80 continuation bytes, then 0x01) and a gap
+  // one past the extent.
+  const std::vector<std::uint64_t> sign_bit_gap = {2, 0x8080808080808080ULL, 0x0180ULL};
+  EXPECT_THROW((void)decode_index_set(std::span<const std::uint64_t>(sign_bit_gap),
+                                      std::int64_t{1} << 40),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> gap_past_extent = {2, 11};  // gap 11, extent 10
+  EXPECT_THROW((void)decode_index_set(std::span<const std::uint64_t>(gap_past_extent),
+                                      10),
+               std::invalid_argument);
+}
+
+TEST_P(FilterTest, CompressedUnionMatchesRawBitForBit) {
+  const int p = GetParam();
+  // Two regimes per run: a dense-ish range (RLE territory) and an
+  // isolated hypersparse tail (delta/list territory).
+  bsp::Runtime::run(p, [&](bsp::Comm& comm) {
+    const std::int64_t universe = 1 << 16;
+    Rng rng(static_cast<std::uint64_t>(900 + comm.rank()));
+    std::vector<std::int64_t> mine;
+    for (std::int64_t v = 0; v < 2000; ++v) {
+      if (rng.bernoulli(0.6)) mine.push_back(v);
+    }
+    for (std::int64_t v = 2000; v < universe; ++v) {
+      if (rng.bernoulli(0.0005)) mine.push_back(v);
+    }
+    const auto raw = distributed_index_union(
+        comm, std::span<const std::int64_t>(mine), universe, /*compress=*/false);
+    const auto compressed = distributed_index_union(
+        comm, std::span<const std::int64_t>(mine), universe, /*compress=*/true);
+    EXPECT_EQ(compressed, raw);
+  });
+}
+
 // ------------------------------------------------------------------- grid
 
 TEST(ProcGrid, SquareGridCoordinates) {

@@ -113,6 +113,11 @@ TEST_P(HybridEquivalence, SurvivingPairsBitwiseEqualExact) {
 
   ASSERT_EQ(hybrid.n, n);
   ASSERT_EQ(hybrid.candidates.size(), n);
+  // The hybrid assembles the survivor-sparse output by default: the
+  // dense matrix must not even exist on rank 0.
+  EXPECT_TRUE(hybrid.sparse_output());
+  EXPECT_TRUE(hybrid.similarity.empty());
+  ASSERT_EQ(hybrid.sparse_similarity.size(), n);
 
   std::int64_t surviving = 0;
   std::int64_t pruned = 0;
@@ -121,7 +126,11 @@ TEST_P(HybridEquivalence, SurvivingPairsBitwiseEqualExact) {
     for (std::int64_t j = 0; j < n; ++j) {
       EXPECT_EQ(hybrid.candidates.test(i, j), hybrid.candidates.test(j, i))
           << "mask must be symmetric at (" << i << ", " << j << ")";
-      const double h = hybrid.similarity.similarity(i, j);
+      EXPECT_EQ(hybrid.sparse_similarity.is_survivor(i, j),
+                i != j && hybrid.candidates.test(i, j))
+          << "survivor set must mirror the off-diagonal mask at (" << i << ", " << j
+          << ")";
+      const double h = hybrid.similarity_at(i, j);
       const double e = exact.similarity.similarity(i, j);
       if (hybrid.candidates.test(i, j)) {
         EXPECT_EQ(h, e) << "surviving pair (" << i << ", " << j
@@ -171,8 +180,7 @@ TEST(Hybrid, PrunedEntriesEqualPureSketchEstimates) {
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < n; ++j) {
       if (i == j || hybrid.candidates.test(i, j)) continue;
-      EXPECT_EQ(hybrid.similarity.similarity(i, j),
-                sketched.similarity.similarity(i, j))
+      EXPECT_EQ(hybrid.similarity_at(i, j), sketched.similarity.similarity(i, j))
           << "pruned pair (" << i << ", " << j
           << ") must carry the sketch estimate";
     }
@@ -207,7 +215,7 @@ TEST(Hybrid, RecallOnGenomeFamilies) {
       }
       if (!hybrid.candidates.test(i, j)) ++pruned;
       if (hybrid.candidates.test(i, j)) {
-        EXPECT_EQ(hybrid.similarity.similarity(i, j), truth);
+        EXPECT_EQ(hybrid.similarity_at(i, j), truth);
       }
     }
   }
@@ -247,8 +255,7 @@ TEST(Hybrid, TargetedExchangeBeatsExactRingBytes) {
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = 0; j < n; ++j) {
       if (hybrid.candidates.test(i, j)) {
-        EXPECT_EQ(hybrid.similarity.similarity(i, j),
-                  exact.similarity.similarity(i, j));
+        EXPECT_EQ(hybrid.similarity_at(i, j), exact.similarity.similarity(i, j));
       }
     }
   }
@@ -390,7 +397,9 @@ TEST(Hybrid, CandidatePairsWalksTheMask) {
   cfg.prune_threshold = 0.3;
   const core::Result result = similarity_at_scale_threaded(3, src, cfg);
 
-  const auto pairs = analysis::candidate_pairs(result.similarity, result.candidates);
+  // Sparse output (the default): the survivor walk IS the pair listing.
+  ASSERT_TRUE(result.sparse_output());
+  const auto pairs = analysis::candidate_pairs(result.sparse_similarity);
   std::int64_t masked_offdiag = 0;
   for (std::int64_t i = 0; i < n; ++i) {
     for (std::int64_t j = i + 1; j < n; ++j) {
@@ -402,20 +411,33 @@ TEST(Hybrid, CandidatePairsWalksTheMask) {
     EXPECT_TRUE(result.candidates.test(pairs[idx].a, pairs[idx].b));
     EXPECT_LT(pairs[idx].a, pairs[idx].b);
     EXPECT_EQ(pairs[idx].similarity,
-              result.similarity.similarity(pairs[idx].a, pairs[idx].b));
+              result.similarity_at(pairs[idx].a, pairs[idx].b));
     if (idx > 0) {
       EXPECT_GE(pairs[idx - 1].similarity, pairs[idx].similarity);
     }
   }
 
   // Re-thresholding on the exact value filters within the candidates.
-  const auto strict = analysis::candidate_pairs(result.similarity, result.candidates,
-                                                0.99);
+  const auto strict = analysis::candidate_pairs(result.sparse_similarity, 0.99);
   for (const auto& pair : strict) EXPECT_GE(pair.similarity, 0.99);
   EXPECT_LE(strict.size(), pairs.size());
 
+  // The dense-output mode still feeds the mask-walk overload.
+  core::Config dense_cfg = cfg;
+  dense_cfg.dense_output = true;
+  const core::Result dense = similarity_at_scale_threaded(3, src, dense_cfg);
+  ASSERT_FALSE(dense.sparse_output());
+  const auto dense_pairs =
+      analysis::candidate_pairs(dense.similarity, dense.candidates);
+  ASSERT_EQ(dense_pairs.size(), pairs.size());
+  for (std::size_t idx = 0; idx < pairs.size(); ++idx) {
+    EXPECT_EQ(dense_pairs[idx].a, pairs[idx].a);
+    EXPECT_EQ(dense_pairs[idx].b, pairs[idx].b);
+    EXPECT_EQ(dense_pairs[idx].similarity, pairs[idx].similarity);
+  }
+
   const distmat::CandidateMask wrong_size(distmat::PairMask(n + 1));
-  EXPECT_THROW((void)analysis::candidate_pairs(result.similarity, wrong_size),
+  EXPECT_THROW((void)analysis::candidate_pairs(dense.similarity, wrong_size),
                std::invalid_argument);
 }
 

@@ -72,6 +72,7 @@ int usage() {
                "           [--hll-precision 12] [--minhash-bits 16] [--sketch-seed 1445]\n"
                "  gas dist <sample files...> --k 31 [--ranks 8] [--batches 16]\n"
                "           [--phylip out] [--similarity-out out.sasm] [--tsv out.tsv]\n"
+               "           [--sparse-similarity-out out.sasp]\n"
                "           [--top N | --threshold J] [--algorithm summa|ring|serial]\n"
                "           [--replication 1] [--bits 64] [--no-filter]\n"
                "           [--estimator exact|hll|minhash|bottomk|hybrid]\n"
@@ -80,6 +81,7 @@ int usage() {
                "           [--hybrid-sketch hll|minhash|bottomk]\n"
                "           [--prune-threshold 0.1] [--prune-slack auto]\n"
                "           [--candidate-mode auto|allpairs|lsh] [--lsh-bands 0]\n"
+               "           [--dense-output]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
                "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n");
@@ -295,6 +297,11 @@ int cmd_dist(const ArgParser& args) {
     std::fprintf(stderr, "gas dist: --lsh-bands must be >= 0 (0 = auto)\n");
     return 2;
   }
+  // Hybrid runs assemble the survivor-sparse output by default (rank 0
+  // never holds an n² structure); --dense-output restores the gathered
+  // full matrix. Dense artifacts (--phylip/--tsv/--similarity-out) of a
+  // sparse run are reconstructed on demand below.
+  options.core.dense_output = args.get_bool("dense-output", false);
 
   std::vector<std::string> paths(args.positional().begin() + 1, args.positional().end());
   const genome::KmerFileSource source(k, paths);
@@ -308,24 +315,38 @@ int cmd_dist(const ArgParser& args) {
     const core::CandidateMode mode =
         sketch::resolved_candidate_mode(options.core, n);
     std::printf("hybrid: %lld of %lld pairs survived the sketch prune "
-                "(threshold %.3f, %s candidates, %s mask); "
+                "(threshold %.3f, %s candidates, %s mask, %s output); "
                 "survivors rescored exactly\n\n",
                 static_cast<long long>(candidates),
                 static_cast<long long>(n * (n - 1) / 2),
                 options.core.prune_threshold,
                 mode == core::CandidateMode::kLsh ? "lsh-banded" : "all-pairs",
-                result.candidates.is_sparse() ? "sparse" : "dense");
+                result.candidates.is_sparse() ? "sparse" : "dense",
+                result.sparse_output() ? "sparse" : "dense");
   }
+
+  // Dense view on demand: the full-matrix artifacts below reconstruct it
+  // once from the sparse output (explicitly quadratic — the CLI's corpora
+  // are small; at scale, use --sparse-similarity-out instead).
+  core::SimilarityMatrix reconstructed;
+  const auto dense_view = [&]() -> const core::SimilarityMatrix& {
+    if (!result.sparse_output()) return result.similarity;
+    if (reconstructed.empty()) reconstructed = result.sparse_similarity.to_dense();
+    return reconstructed;
+  };
 
   if (args.has("top") || args.has("threshold")) {
     // Similar-sample discovery (paper Fig. 1 step 8): only the most
     // related pairs instead of the full quadratic listing.
     std::vector<analysis::ScoredPair> pairs;
     if (args.has("top")) {
-      pairs = analysis::top_k_pairs(result.similarity, args.get_int("top", 10));
+      pairs = result.sparse_output()
+                  ? analysis::top_k_pairs(result.sparse_similarity,
+                                          args.get_int("top", 10))
+                  : analysis::top_k_pairs(result.similarity, args.get_int("top", 10));
     } else if (options.core.estimator == core::Estimator::kHybrid) {
-      // The hybrid's candidate mask IS the thresholded pair set — walk it
-      // directly instead of re-thresholding the dense assembled matrix
+      // The hybrid's survivor set IS the thresholded pair set — walk it
+      // directly instead of re-thresholding a dense assembled matrix
       // (which would also surface sketch-estimated pruned values).
       const double threshold = args.get_double("threshold", 0.9);
       const double effective =
@@ -338,8 +359,10 @@ int cmd_dist(const ArgParser& args) {
                      "to keep them)\n",
                      threshold, effective);
       }
-      pairs = analysis::candidate_pairs(result.similarity, result.candidates,
-                                        threshold);
+      pairs = result.sparse_output()
+                  ? analysis::candidate_pairs(result.sparse_similarity, threshold)
+                  : analysis::candidate_pairs(result.similarity, result.candidates,
+                                              threshold);
     } else {
       pairs = analysis::pairs_above(result.similarity,
                                     args.get_double("threshold", 0.9));
@@ -356,10 +379,10 @@ int cmd_dist(const ArgParser& args) {
     TextTable table({"sample A", "sample B", "Jaccard", "distance"});
     for (std::int64_t i = 0; i < n; ++i) {
       for (std::int64_t j = i + 1; j < n; ++j) {
+        const double s = result.similarity_at(i, j);
         table.add_row({names[static_cast<std::size_t>(i)],
-                       names[static_cast<std::size_t>(j)],
-                       fmt_fixed(result.similarity.similarity(i, j), 6),
-                       fmt_fixed(result.similarity.distance(i, j), 6)});
+                       names[static_cast<std::size_t>(j)], fmt_fixed(s, 6),
+                       fmt_fixed(1.0 - s, 6)});
       }
     }
     table.print();
@@ -367,18 +390,32 @@ int cmd_dist(const ArgParser& args) {
 
   if (args.has("phylip")) {
     const std::string out = args.get_string("phylip", "distances.phylip");
-    genome::write_phylip_file(out, names, result.similarity.distance_matrix(), n);
+    genome::write_phylip_file(out, names, dense_view().distance_matrix(), n);
     std::printf("\nPHYLIP matrix written to %s\n", out.c_str());
   }
   if (args.has("similarity-out")) {
     const std::string out = args.get_string("similarity-out", "similarity.sasm");
-    core::write_similarity_binary_file(out, names, result.similarity);
+    core::write_similarity_binary_file(out, names, dense_view());
     std::printf("Binary similarity matrix written to %s\n", out.c_str());
+  }
+  if (args.has("sparse-similarity-out")) {
+    const std::string out =
+        args.get_string("sparse-similarity-out", "similarity.sasp");
+    if (!result.sparse_output()) {
+      std::fprintf(stderr,
+                   "gas dist: --sparse-similarity-out needs the hybrid's sparse "
+                   "output (drop --dense-output / use --estimator hybrid)\n");
+      return 2;
+    }
+    core::write_sparse_similarity_binary_file(out, names, result.sparse_similarity);
+    std::printf("Sparse similarity (%lld survivors) written to %s\n",
+                static_cast<long long>(result.sparse_similarity.survivor_count()),
+                out.c_str());
   }
   if (args.has("tsv")) {
     const std::string out_path = args.get_string("tsv", "similarity.tsv");
     std::ofstream tsv(out_path);
-    core::write_similarity_tsv(tsv, names, result.similarity);
+    core::write_similarity_tsv(tsv, names, dense_view());
     std::printf("TSV similarity matrix written to %s\n", out_path.c_str());
   }
   return 0;
