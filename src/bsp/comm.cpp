@@ -15,9 +15,10 @@ void Comm::barrier() {
     ++st.barrier_generation;
     st.barrier_cv.notify_all();
   } else {
-    st.barrier_cv.wait(lock, [&st, generation] {
-      return st.barrier_generation != generation;
-    });
+    wait_or_abort(
+        st.barrier_cv, lock,
+        [&st, generation] { return st.barrier_generation != generation; },
+        wait_policy(), "rank " + std::to_string(rank_) + " in barrier");
   }
 }
 
@@ -55,6 +56,11 @@ Comm Comm::split(int color, int key) {
     auto it = st.split_children.find(slot);
     if (it == st.split_children.end()) {
       child = std::make_shared<detail::SharedState>(group_size);
+      // A failure anywhere aborts every communicator: children share the
+      // parent's token, deadline, and fault plan.
+      child->abort = st.abort;
+      child->watchdog = st.watchdog;
+      child->fault_plan = st.fault_plan;
       if (group_size > 1) {
         st.split_children.emplace(slot, child);
         st.split_remaining.emplace(slot, group_size - 1);
@@ -73,7 +79,7 @@ Comm Comm::split(int color, int key) {
   // The barrier keeps successive split() calls on this communicator from
   // racing on the registry generation.
   barrier();
-  return Comm(std::move(child), new_rank, counters_);
+  return Comm(std::move(child), new_rank, counters_, fault_);
 }
 
 }  // namespace sas::bsp

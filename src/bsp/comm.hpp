@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "bsp/cost_model.hpp"
+#include "bsp/fault.hpp"
 #include "bsp/mailbox.hpp"
 
 namespace sas::bsp {
@@ -41,10 +42,19 @@ namespace detail {
 /// State shared by all ranks of one communicator (world or split group).
 struct SharedState {
   explicit SharedState(int size_in)
-      : size(size_in), mailboxes(static_cast<std::size_t>(size_in)) {}
+      : size(size_in),
+        mailboxes(static_cast<std::size_t>(size_in)),
+        abort(std::make_shared<AbortToken>()) {}
 
   int size;
   std::vector<Mailbox> mailboxes;
+
+  // Failure semantics (fault.hpp). Split children share the parent's
+  // abort token — a failure anywhere unwinds every communicator — and
+  // inherit the watchdog deadline and fault plan.
+  std::shared_ptr<AbortToken> abort;
+  std::chrono::milliseconds watchdog{0};  ///< 0 = no deadline
+  std::shared_ptr<const FaultPlan> fault_plan;
 
   // Sense-reversing barrier.
   std::mutex barrier_mutex;
@@ -81,8 +91,9 @@ enum InternalTag : int {
 /// aligned across ranks.
 class Comm {
  public:
-  Comm(std::shared_ptr<detail::SharedState> state, int rank, CostCounters* counters)
-      : state_(std::move(state)), rank_(rank), counters_(counters) {}
+  Comm(std::shared_ptr<detail::SharedState> state, int rank, CostCounters* counters,
+       FaultSlot* fault = nullptr)
+      : state_(std::move(state)), rank_(rank), counters_(counters), fault_(fault) {}
 
   Comm(const Comm&) = delete;
   Comm& operator=(const Comm&) = delete;
@@ -110,6 +121,7 @@ class Comm {
     check_rank(dest);
     Mailbox::Message payload(data.size_bytes());
     if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size_bytes());
+    fault_point(&payload);
     if (dest != rank_) {
       counters_->messages_sent += 1;
       counters_->bytes_sent += payload.size();
@@ -129,8 +141,9 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(source);
-    Mailbox::Message payload =
-        state_->mailboxes[static_cast<std::size_t>(rank_)].retrieve(source, tag);
+    Mailbox::Message payload = state_->mailboxes[static_cast<std::size_t>(rank_)].retrieve(
+        source, tag, wait_policy());
+    fault_point(&payload);
     if (source != rank_) counters_->bytes_received += payload.size();
     if (payload.size() % sizeof(T) != 0) {
       throw std::logic_error("bsp::Comm::recv: payload size not a multiple of element size");
@@ -403,6 +416,19 @@ class Comm {
     if (r < 0 || r >= size()) throw std::out_of_range("bsp::Comm: rank out of range");
   }
 
+  [[nodiscard]] WaitPolicy wait_policy() const noexcept {
+    return WaitPolicy{state_->abort.get(), state_->watchdog, rank_};
+  }
+
+  /// Fault-injection hook on every counted point-to-point op (and so on
+  /// every collective). No-op unless a plan is installed.
+  void fault_point(Mailbox::Message* payload) {
+    if (fault_ == nullptr) return;
+    const FaultPlan* plan = state_->fault_plan.get();
+    if (plan == nullptr) return;
+    plan->apply(*fault_, payload);
+  }
+
   template <typename T, typename Op>
   static void combine_elementwise(std::vector<T>& into, const std::vector<T>& from,
                                   Op op) {
@@ -415,6 +441,7 @@ class Comm {
   std::shared_ptr<detail::SharedState> state_;
   int rank_;
   CostCounters* counters_;
+  FaultSlot* fault_ = nullptr;  // world-rank injection state; null = no plan
   std::uint64_t split_sequence_ = 0;  // aligned across ranks by SPMD discipline
 };
 

@@ -1,0 +1,132 @@
+#include "bsp/fault.hpp"
+
+#include <cstddef>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace sas::bsp {
+
+namespace {
+
+[[nodiscard]] std::uint64_t parse_u64(const std::string& text, const std::string& spec) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos) {
+    throw error::ConfigError("fault plan: expected a non-negative integer in '" + spec +
+                             "'");
+  }
+  return std::stoull(text);
+}
+
+/// "key=value" -> value, enforcing the key.
+[[nodiscard]] std::string expect_field(const std::string& part, const std::string& key,
+                                       const std::string& spec) {
+  const std::string prefix = key + "=";
+  if (part.rfind(prefix, 0) != 0) {
+    throw error::ConfigError("fault plan: expected '" + key + "=...' in '" + spec +
+                             "', got '" + part + "'");
+  }
+  return part.substr(prefix.size());
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t end = spec.find(';', begin);
+    const std::string entry =
+        spec.substr(begin, end == std::string::npos ? std::string::npos : end - begin);
+    begin = end == std::string::npos ? spec.size() + 1 : end + 1;
+    if (entry.empty()) continue;
+
+    // entry = rank=R:op=K:<kind>[=param]
+    std::vector<std::string> parts;
+    std::size_t p = 0;
+    while (p <= entry.size()) {
+      const std::size_t colon = entry.find(':', p);
+      parts.push_back(entry.substr(
+          p, colon == std::string::npos ? std::string::npos : colon - p));
+      p = colon == std::string::npos ? entry.size() + 1 : colon + 1;
+    }
+    if (parts.size() != 3) {
+      throw error::ConfigError(
+          "fault plan: each action needs 'rank=R:op=K:throw|flip|delay=MS', got '" +
+          entry + "'");
+    }
+
+    FaultAction action;
+    action.rank = static_cast<int>(parse_u64(expect_field(parts[0], "rank", entry), entry));
+    action.op = parse_u64(expect_field(parts[1], "op", entry), entry);
+
+    std::string kind = parts[2];
+    std::string param;
+    if (const std::size_t eq = kind.find('='); eq != std::string::npos) {
+      param = kind.substr(eq + 1);
+      kind = kind.substr(0, eq);
+    }
+    if (kind == "throw") {
+      if (!param.empty()) {
+        throw error::ConfigError("fault plan: 'throw' takes no parameter in '" + entry +
+                                 "'");
+      }
+      action.kind = FaultKind::kThrow;
+    } else if (kind == "flip") {
+      action.kind = FaultKind::kFlip;
+      action.param = param.empty() ? 0 : parse_u64(param, entry);
+    } else if (kind == "delay") {
+      if (param.empty()) {
+        throw error::ConfigError("fault plan: 'delay' needs milliseconds in '" + entry +
+                                 "'");
+      }
+      action.kind = FaultKind::kDelay;
+      action.param = parse_u64(param, entry);
+    } else {
+      throw error::ConfigError("fault plan: unknown action '" + kind + "' in '" + entry +
+                               "' (throw|flip|delay)");
+    }
+    plan.actions.push_back(action);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::random_throw(std::uint64_t seed, int nranks, std::uint64_t max_op) {
+  Rng rng(seed);
+  FaultAction action;
+  action.kind = FaultKind::kThrow;
+  action.rank = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(nranks)));
+  action.op = rng.uniform(max_op == 0 ? 1 : max_op);
+  FaultPlan plan;
+  plan.actions.push_back(action);
+  return plan;
+}
+
+void FaultPlan::apply(FaultSlot& slot, std::vector<std::byte>* payload) const {
+  if (actions.empty()) return;
+  if (slot.fired.size() != actions.size()) slot.fired.assign(actions.size(), 0);
+  const std::uint64_t op = slot.ops++;
+  for (std::size_t i = 0; i < actions.size(); ++i) {
+    const FaultAction& action = actions[i];
+    if (action.rank != slot.world_rank || slot.fired[i] != 0 || op < action.op) continue;
+    switch (action.kind) {
+      case FaultKind::kThrow:
+        slot.fired[i] = 1;
+        throw FaultInjected("fault injection: rank " + std::to_string(slot.world_rank) +
+                            " throw at op " + std::to_string(op));
+      case FaultKind::kFlip:
+        // A flip needs bytes to corrupt; hold fire until an op carries a
+        // payload.
+        if (payload == nullptr || payload->empty()) break;
+        slot.fired[i] = 1;
+        (*payload)[static_cast<std::size_t>(action.param % payload->size())] ^=
+            std::byte{0xff};
+        break;
+      case FaultKind::kDelay:
+        slot.fired[i] = 1;
+        std::this_thread::sleep_for(std::chrono::milliseconds(action.param));
+        break;
+    }
+  }
+}
+
+}  // namespace sas::bsp

@@ -4,6 +4,11 @@
 // (source, tag); per-key delivery is FIFO, matching MPI's non-overtaking
 // guarantee for same (source, tag) pairs. Sends are buffered (never
 // block), so naive send-then-receive exchange patterns cannot deadlock.
+//
+// retrieve() is the runtime's main blocking point and therefore where the
+// failure semantics live: the wait runs under a WaitPolicy (fault.hpp),
+// unwinding with RankAborted when a peer rank fails and with
+// WatchdogTimeout when the optional deadline expires.
 #pragma once
 
 #include <condition_variable>
@@ -11,8 +16,11 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "bsp/fault.hpp"
 
 namespace sas::bsp {
 
@@ -30,10 +38,17 @@ class Mailbox {
   }
 
   /// Block until a message from (source, tag) is available and return it.
-  [[nodiscard]] Message retrieve(int source, int tag) {
+  /// Under `policy`: throws RankAborted if the run aborts while waiting,
+  /// error::WatchdogTimeout if the deadline elapses first.
+  [[nodiscard]] Message retrieve(int source, int tag, const WaitPolicy& policy = {}) {
     std::unique_lock<std::mutex> lock(mutex_);
     auto& queue = queues_[{source, tag}];
-    cv_.wait(lock, [&queue] { return !queue.empty(); });
+    if (queue.empty()) {
+      const std::string site = "rank " + std::to_string(policy.rank) +
+                               " in recv(source=" + std::to_string(source) +
+                               ", tag=" + std::to_string(tag) + ")";
+      wait_or_abort(cv_, lock, [&queue] { return !queue.empty(); }, policy, site);
+    }
     Message payload = std::move(queue.front());
     queue.pop_front();
     return payload;

@@ -1,24 +1,57 @@
 #include "bsp/runtime.hpp"
 
+#include <cstdlib>
 #include <exception>
 #include <memory>
 #include <stdexcept>
 #include <thread>
 
+#include "util/error.hpp"
+
 namespace sas::bsp {
+
+namespace {
+
+/// Explicit option wins; otherwise SAS_WATCHDOG_MS (CI's safety net);
+/// otherwise off.
+std::chrono::milliseconds effective_watchdog(std::chrono::milliseconds requested) {
+  if (requested.count() > 0) return requested;
+  if (const char* env = std::getenv("SAS_WATCHDOG_MS")) {
+    char* end = nullptr;
+    const long long ms = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && ms > 0) return std::chrono::milliseconds(ms);
+  }
+  return std::chrono::milliseconds{0};
+}
+
+}  // namespace
 
 std::vector<CostCounters> Runtime::run(int nranks,
                                        const std::function<void(Comm&)>& fn) {
+  return run(nranks, fn, RuntimeOptions{});
+}
+
+std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm&)>& fn,
+                                       const RuntimeOptions& options) {
   if (nranks < 1) throw std::invalid_argument("bsp::Runtime::run: nranks must be >= 1");
 
   auto state = std::make_shared<detail::SharedState>(nranks);
+  state->watchdog = effective_watchdog(options.watchdog);
+  state->fault_plan = options.fault_plan;
   std::vector<CostCounters> counters(static_cast<std::size_t>(nranks));
-  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<FaultSlot> fault_slots(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) fault_slots[static_cast<std::size_t>(r)].world_rank = r;
 
   if (nranks == 1) {
-    // Fast path: run on the calling thread (serial references, unit tests).
-    Comm comm(state, 0, &counters[0]);
-    fn(comm);
+    // Fast path: run on the calling thread (serial references, unit
+    // tests). Errors get the same rank/context annotation as the
+    // threaded path so messages are identical at any p.
+    try {
+      Comm comm(state, 0, &counters[0], &fault_slots[0]);
+      fn(comm);
+    } catch (...) {
+      std::rethrow_exception(error::annotate_rank_error(std::current_exception(), 0));
+    }
     return counters;
   }
 
@@ -27,16 +60,25 @@ std::vector<CostCounters> Runtime::run(int nranks,
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
       try {
-        Comm comm(state, r, &counters[static_cast<std::size_t>(r)]);
+        Comm comm(state, r, &counters[static_cast<std::size_t>(r)],
+                  &fault_slots[static_cast<std::size_t>(r)]);
         fn(comm);
+      } catch (const RankAborted&) {
+        // A peer failed first; its annotated error is already in the
+        // token. Unwind quietly.
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        // Annotate on THIS thread — the context stack is thread-local to
+        // the failing rank. Losing the trip race (two ranks failing
+        // concurrently) just means the other rank's error is the one
+        // reported.
+        state->abort->trip(r,
+                           error::annotate_rank_error(std::current_exception(), r));
       }
     });
   }
   for (auto& t : threads) t.join();
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
+  if (state->abort->tripped.load(std::memory_order_acquire)) {
+    std::rethrow_exception(state->abort->cause());
   }
   return counters;
 }

@@ -7,25 +7,50 @@
 // MPI program would be, and rank counts may exceed physical cores (the
 // scaling benches oversubscribe deliberately; modelled α-β-γ cost is the
 // machine-independent signal).
+//
+// Failure semantics (fault.hpp; ROADMAP "Failure semantics"): when any
+// rank's fn throws, the world's AbortToken trips with the error annotated
+// by rank and stage/batch context, every peer blocked in a mailbox wait
+// or barrier unwinds with RankAborted, and run() rethrows the ORIGINAL
+// annotated error after joining — a failing rank terminates the whole
+// run instead of deadlocking it. The single-rank fast path wraps errors
+// identically, so messages match between p = 1 and p > 1.
 #pragma once
 
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "bsp/comm.hpp"
 #include "bsp/cost_model.hpp"
+#include "bsp/fault.hpp"
 
 namespace sas::bsp {
+
+/// Optional failure-semantics knobs of one run.
+struct RuntimeOptions {
+  /// Deadline for every blocking primitive. 0 falls back to the
+  /// SAS_WATCHDOG_MS environment variable (CI sets it); unset/0 there
+  /// disables the watchdog.
+  std::chrono::milliseconds watchdog{0};
+
+  /// Deterministic fault-injection plan (tests); null = none.
+  std::shared_ptr<const FaultPlan> fault_plan;
+};
 
 class Runtime {
  public:
   /// Run `fn(comm)` as `nranks` SPMD threads. Blocks until all ranks
-  /// finish. If any rank throws, the first exception (by rank order) is
-  /// rethrown after all threads have been joined.
+  /// finish. If any rank throws, the abort token trips, all peers unwind,
+  /// and the first failure's error — annotated with rank and context —
+  /// is rethrown after all threads have been joined.
   ///
   /// Returns the per-rank cost counters accumulated during the run.
   static std::vector<CostCounters> run(int nranks,
                                        const std::function<void(Comm&)>& fn);
+  static std::vector<CostCounters> run(int nranks, const std::function<void(Comm&)>& fn,
+                                       const RuntimeOptions& options);
 };
 
 }  // namespace sas::bsp

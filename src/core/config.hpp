@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace sas::core {
 
@@ -169,6 +170,31 @@ struct Config {
   /// raw 8-byte row indices. Identical filter contents either way;
   /// disabling reproduces the PR 4 byte floor for the ablation benches.
   bool compress_filter = true;
+
+  // ---- failure semantics (ROADMAP "Failure semantics") -----------------
+
+  /// Watchdog deadline (milliseconds) for the blocking BSP primitives
+  /// (recv, barrier). 0 defers to the SAS_WATCHDOG_MS environment
+  /// variable (CI sets it); unset/0 there disables the watchdog. On
+  /// expiry the run aborts with error::WatchdogTimeout naming every
+  /// blocked rank and the primitive (source, tag) it was stuck in.
+  std::int64_t watchdog_ms = 0;
+
+  /// Deterministic fault-injection plan (bsp::FaultPlan::parse grammar),
+  /// e.g. "rank=1:op=8:throw;rank=0:op=3:delay=50". Empty = none. A
+  /// test/CI hook — never set in production runs.
+  std::string fault_plan;
+
+  /// Directory for per-batch checkpoints (core/checkpoint.hpp). Empty
+  /// disables checkpointing. Only the batched pipelines (kExact,
+  /// kHybrid) support it.
+  std::string checkpoint_dir;
+
+  /// Resume from checkpoint_dir: validate the manifest against this
+  /// run's config fingerprint, restore each rank's partial accumulators,
+  /// and skip completed batches. The resumed result is bitwise-identical
+  /// to an uninterrupted run.
+  bool resume = false;
 };
 
 }  // namespace sas::core

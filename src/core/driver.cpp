@@ -1,13 +1,16 @@
 #include "core/driver.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "bsp/runtime.hpp"
+#include "core/checkpoint.hpp"
 #include "core/packing.hpp"
 #include "distmat/dist_filter.hpp"
 #include "distmat/gather.hpp"
@@ -341,6 +344,64 @@ Result assemble(bsp::Comm& world, Layout& layout, const Config& config, std::int
   return result;
 }
 
+/// Checkpoint state of one batched pipeline run (checkpoint.hpp).
+struct CheckpointState {
+  std::optional<Checkpoint> ckpt;
+  std::int64_t start_batch = 0;       ///< first batch still to run
+  std::vector<BatchStats> stats;      ///< restored stats (rank 0)
+};
+
+/// Open (and on --resume restore from) the checkpoint directory. The
+/// completed-batch count comes from rank 0's manifest and is broadcast
+/// so every rank restores and skips consistently; each rank then loads
+/// its own B block and â vector.
+CheckpointState init_checkpoint(bsp::Comm& world, Layout& layout, const Config& config,
+                                std::int64_t n, std::int64_t m,
+                                std::vector<std::int64_t>& ahat) {
+  CheckpointState cs;
+  if (config.checkpoint_dir.empty()) return cs;
+  const std::uint64_t fingerprint =
+      checkpoint_fingerprint(config, n, m, world.size());
+  cs.ckpt.emplace(config.checkpoint_dir, fingerprint);
+  if (!config.resume) return cs;
+
+  std::int64_t completed = 0;
+  CheckpointManifest manifest;
+  if (world.rank() == 0) {
+    if (auto loaded = cs.ckpt->load_manifest()) {
+      manifest = std::move(*loaded);
+      completed = manifest.completed;
+    }
+  }
+  completed = world.broadcast_value<std::int64_t>(completed, 0);
+  if (completed <= 0) return cs;  // nothing durable yet: run from scratch
+
+  distmat::DenseBlock<std::int64_t>* block =
+      layout.b_block.has_value() ? &*layout.b_block : nullptr;
+  cs.ckpt->load_rank(world.rank(), completed, block, ahat);
+  cs.start_batch = completed;
+  cs.stats = std::move(manifest.stats);
+  return cs;
+}
+
+/// Persist batch `completed`'s state: every rank saves its versioned
+/// b<completed> file, a barrier proves them all durable, rank 0 commits
+/// the manifest, a second barrier proves THAT durable, and only then is
+/// the obsolete b<completed-1> state deleted. A kill at any point leaves
+/// the manifest pointing at a fully durable set of rank files.
+void checkpoint_batch(bsp::Comm& world, const Checkpoint& ckpt, const Layout& layout,
+                      std::int64_t completed, const std::vector<std::int64_t>& ahat,
+                      const std::vector<BatchStats>& stats) {
+  const distmat::DenseBlock<std::int64_t>* block =
+      layout.b_block.has_value() ? &*layout.b_block : nullptr;
+  ckpt.save_rank(world.rank(), completed, block,
+                 std::span<const std::int64_t>(ahat));
+  world.barrier();
+  if (world.rank() == 0) ckpt.save_manifest({completed, stats});
+  world.barrier();
+  ckpt.remove_rank(world.rank(), completed - 1);
+}
+
 /// Per-batch instrumentation shared by the exact and hybrid loops: the
 /// paper times barrier-to-barrier batches; traffic is the allreduced
 /// delta of the bsp byte counters across the batch. The closing barrier
@@ -381,10 +442,13 @@ Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
   StageRecorder recorder(world.counters());
 
   std::vector<std::int64_t> ahat(static_cast<std::size_t>(n), 0);
-  std::vector<BatchStats> stats;
+  CheckpointState cs = init_checkpoint(world, layout, config, n, m, ahat);
+  std::vector<BatchStats> stats = std::move(cs.stats);
 
   const int batches = static_cast<int>(config.batch_count);
   for (int l = 0; l < batches; ++l) {
+    if (l < cs.start_batch) continue;  // restored from the checkpoint
+    const error::Context batch_context("batch " + std::to_string(l));
     const BlockRange rows = distmat::block_range(m, batches, l);
     world.barrier();
     const bsp::CostCounters batch_start = world.counters();
@@ -408,6 +472,7 @@ Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
     exchange_and_multiply(world, layout, config, n, std::move(packed), ahat, recorder,
                           nullptr);
     record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start, stats);
+    if (cs.ckpt.has_value()) checkpoint_batch(world, *cs.ckpt, layout, l + 1, ahat, stats);
   }
 
   return assemble(world, layout, config, n, ahat, std::move(stats), recorder, nullptr,
@@ -429,15 +494,6 @@ Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
 ///      every entry and â is exact on active columns).
 Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
                            const Config& config) {
-  switch (config.hybrid_sketch) {
-    case Estimator::kHll:
-    case Estimator::kMinhash:
-    case Estimator::kBottomK:
-      break;
-    default:
-      throw std::invalid_argument(
-          "similarity_at_scale: hybrid_sketch must be a sketch estimator");
-  }
   const std::int64_t n = source.sample_count();
   const std::int64_t m = source.attribute_universe();
   const int p = world.size();
@@ -486,10 +542,16 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
   }
   const std::vector<std::uint8_t> active = candidates.mask.active_columns();
 
-  // (3) Exact rescore over the cached batches.
+  // (3) Exact rescore over the cached batches. On --resume the ingest/
+  // sketch/candidate work above reran (it is deterministic and cheap
+  // relative to the rescore); only completed RESCORE batches are skipped,
+  // their accumulator state restored from the checkpoint.
   std::vector<std::int64_t> ahat(static_cast<std::size_t>(n), 0);
-  std::vector<BatchStats> stats;
+  CheckpointState cs = init_checkpoint(world, layout, config, n, m, ahat);
+  std::vector<BatchStats> stats = std::move(cs.stats);
   for (int l = 0; l < batches; ++l) {
+    if (l < cs.start_batch) continue;  // restored from the checkpoint
+    const error::Context batch_context("batch " + std::to_string(l));
     world.barrier();
     const bsp::CostCounters batch_start = world.counters();
     Timer timer;
@@ -509,23 +571,51 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
     exchange_and_multiply(world, layout, config, n, std::move(packed), ahat, recorder,
                           &candidates.mask);
     record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start, stats);
+    if (cs.ckpt.has_value()) checkpoint_batch(world, *cs.ckpt, layout, l + 1, ahat, stats);
   }
 
   return assemble(world, layout, config, n, ahat, std::move(stats), recorder,
                   &candidates.mask, &candidates.estimates);
 }
 
+/// Caller-error validation, shared by both entry points. The threaded
+/// entry runs it BEFORE spawning ranks so a bad config surfaces as the
+/// plain error::ConfigError it is, not as an annotated rank failure.
+void validate_config(const SampleSource& source, const Config& config) {
+  const std::int64_t m = source.attribute_universe();
+  if (config.batch_count < 1) {
+    throw error::ConfigError("similarity_at_scale: batch_count must be >= 1");
+  }
+  if (config.batch_count > m && m > 0) {
+    throw error::ConfigError("similarity_at_scale: more batches than matrix rows");
+  }
+  if (config.resume && config.checkpoint_dir.empty()) {
+    throw error::ConfigError("similarity_at_scale: --resume needs a checkpoint dir");
+  }
+  if (!config.checkpoint_dir.empty() && config.estimator != Estimator::kExact &&
+      config.estimator != Estimator::kHybrid) {
+    throw error::ConfigError(
+        "similarity_at_scale: checkpointing requires a batched pipeline "
+        "(estimator exact or hybrid)");
+  }
+  if (config.estimator == Estimator::kHybrid) {
+    switch (config.hybrid_sketch) {
+      case Estimator::kHll:
+      case Estimator::kMinhash:
+      case Estimator::kBottomK:
+        break;
+      default:
+        throw error::ConfigError(
+            "similarity_at_scale: hybrid_sketch must be a sketch estimator");
+    }
+  }
+}
+
 }  // namespace
 
 Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
                            const Config& config) {
-  const std::int64_t m = source.attribute_universe();
-  if (config.batch_count < 1) {
-    throw std::invalid_argument("similarity_at_scale: batch_count must be >= 1");
-  }
-  if (config.batch_count > m && m > 0) {
-    throw std::invalid_argument("similarity_at_scale: more batches than matrix rows");
-  }
+  validate_config(source, config);
 
   switch (config.estimator) {
     case Estimator::kExact:
@@ -543,15 +633,25 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
 Result similarity_at_scale_threaded(int nranks, const SampleSource& source,
                                     const Config& config,
                                     std::vector<bsp::CostCounters>* counters_out) {
+  validate_config(source, config);
   Result result;
   std::mutex result_mutex;
-  auto counters = bsp::Runtime::run(nranks, [&](bsp::Comm& comm) {
-    Result local = similarity_at_scale(comm, source, config);
-    if (comm.rank() == 0) {
-      std::lock_guard<std::mutex> lock(result_mutex);
-      result = std::move(local);
-    }
-  });
+  bsp::RuntimeOptions options;
+  options.watchdog = std::chrono::milliseconds(config.watchdog_ms);
+  if (!config.fault_plan.empty()) {
+    options.fault_plan =
+        std::make_shared<const bsp::FaultPlan>(bsp::FaultPlan::parse(config.fault_plan));
+  }
+  auto counters = bsp::Runtime::run(
+      nranks,
+      [&](bsp::Comm& comm) {
+        Result local = similarity_at_scale(comm, source, config);
+        if (comm.rank() == 0) {
+          std::lock_guard<std::mutex> lock(result_mutex);
+          result = std::move(local);
+        }
+      },
+      options);
   if (counters_out != nullptr) *counters_out = std::move(counters);
   return result;
 }

@@ -58,6 +58,7 @@
 #include "core/sample_source.hpp"
 #include "core/similarity_matrix.hpp"
 #include "distmat/pair_mask.hpp"
+#include "util/error.hpp"
 #include "util/timer.hpp"
 
 namespace sas::core {
@@ -121,6 +122,7 @@ class StageRecorder {
         : recorder_(recorder),
           time_stage_(time_stage),
           byte_stage_(byte_stage),
+          context_(std::string("stage=") + stage_name(time_stage)),
           bytes_sent_(recorder.counters_->bytes_sent),
           bytes_received_(recorder.counters_->bytes_received),
           messages_(recorder.counters_->messages_sent) {}
@@ -138,6 +140,9 @@ class StageRecorder {
     StageRecorder& recorder_;
     Stage time_stage_;
     Stage byte_stage_;
+    // Provenance for error annotation: a rank failing inside this scope
+    // reports "rank R [stage=multiply, ...]" (util/error.hpp).
+    error::Context context_;
     Timer timer_;
     std::uint64_t bytes_sent_;
     std::uint64_t bytes_received_;

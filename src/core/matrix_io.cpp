@@ -3,7 +3,10 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
+
+#include "util/error.hpp"
 
 namespace sas::core {
 
@@ -28,13 +31,70 @@ void write_raw(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
-template <typename T>
-T read_raw(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  if (!in) throw std::runtime_error("similarity I/O: truncated input");
-  return value;
-}
+/// Bounded reads: every length/count field is checked against the bytes
+/// actually remaining in the stream BEFORE any allocation or indexing, so
+/// a truncated or bit-flipped file throws a typed error::CorruptInput
+/// instead of allocating gigabytes or reading garbage (ISSUE 6).
+class BoundedReader {
+ public:
+  explicit BoundedReader(std::istream& in) : in_(in) {
+    const std::streampos pos = in.tellg();
+    if (pos != std::streampos(-1)) {
+      in.seekg(0, std::ios::end);
+      const std::streampos end = in.tellg();
+      in.seekg(pos);
+      if (end != std::streampos(-1) && end >= pos) {
+        remaining_ = static_cast<std::uint64_t>(end - pos);
+        bounded_ = true;
+      }
+    }
+  }
+
+  template <typename T>
+  T value(const char* what) {
+    check_bytes(sizeof(T), what);
+    T value{};
+    in_.read(reinterpret_cast<char*>(&value), sizeof(T));
+    if (!in_) throw error::CorruptInput(std::string("similarity I/O: truncated ") + what);
+    if (bounded_) remaining_ -= sizeof(T);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> array(std::uint64_t count, const char* what) {
+    if (count > (std::numeric_limits<std::uint64_t>::max)() / sizeof(T)) {
+      throw error::CorruptInput(std::string("similarity I/O: absurd count for ") + what);
+    }
+    check_bytes(count * sizeof(T), what);
+    std::vector<T> values(static_cast<std::size_t>(count));
+    in_.read(reinterpret_cast<char*>(values.data()),
+             static_cast<std::streamsize>(count * sizeof(T)));
+    if (!in_) throw error::CorruptInput(std::string("similarity I/O: truncated ") + what);
+    if (bounded_) remaining_ -= count * sizeof(T);
+    return values;
+  }
+
+  std::string bytes(std::uint64_t count, const char* what) {
+    check_bytes(count, what);
+    std::string out(static_cast<std::size_t>(count), '\0');
+    in_.read(out.data(), static_cast<std::streamsize>(count));
+    if (!in_) throw error::CorruptInput(std::string("similarity I/O: truncated ") + what);
+    if (bounded_) remaining_ -= count;
+    return out;
+  }
+
+ private:
+  void check_bytes(std::uint64_t needed, const char* what) const {
+    if (bounded_ && needed > remaining_) {
+      throw error::CorruptInput(std::string("similarity I/O: ") + what +
+                                " extends past end of input");
+    }
+  }
+
+  std::istream& in_;
+  std::uint64_t remaining_ = 0;
+  bool bounded_ = false;  ///< non-seekable streams fall back to read-and-fail
+};
 
 void write_name_block(std::ostream& out, const std::vector<std::string>& names) {
   std::string name_block;
@@ -46,11 +106,9 @@ void write_name_block(std::ostream& out, const std::vector<std::string>& names) 
   out.write(name_block.data(), static_cast<std::streamsize>(name_block.size()));
 }
 
-std::vector<std::string> read_name_block(std::istream& in, std::int64_t n) {
-  const auto name_bytes = read_raw<std::uint64_t>(in);
-  std::string name_block(name_bytes, '\0');
-  in.read(name_block.data(), static_cast<std::streamsize>(name_bytes));
-  if (!in) throw std::runtime_error("similarity I/O: truncated names");
+std::vector<std::string> read_name_block(BoundedReader& reader, std::int64_t n) {
+  const auto name_bytes = reader.value<std::uint64_t>("name block length");
+  const std::string name_block = reader.bytes(name_bytes, "name block");
   std::vector<std::string> names;
   if (n > 0) {
     std::size_t start = 0;
@@ -63,7 +121,7 @@ std::vector<std::string> read_name_block(std::istream& in, std::int64_t n) {
     }
   }
   if (static_cast<std::int64_t>(names.size()) != n) {
-    throw std::runtime_error("similarity I/O: name count mismatch");
+    throw error::CorruptInput("similarity I/O: name count mismatch");
   }
   return names;
 }
@@ -72,15 +130,6 @@ template <typename T>
 void write_array(std::ostream& out, const std::vector<T>& values) {
   out.write(reinterpret_cast<const char*>(values.data()),
             static_cast<std::streamsize>(values.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_array(std::istream& in, std::uint64_t count) {
-  std::vector<T> values(static_cast<std::size_t>(count));
-  in.read(reinterpret_cast<char*>(values.data()),
-          static_cast<std::streamsize>(values.size() * sizeof(T)));
-  if (!in) throw std::runtime_error("similarity I/O: truncated values");
-  return values;
 }
 
 }  // namespace
@@ -99,13 +148,21 @@ NamedSimilarity read_similarity_binary(std::istream& in) {
   char magic[4] = {};
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    throw std::runtime_error("similarity I/O: bad magic");
+    throw error::CorruptInput("similarity I/O: bad magic");
   }
-  const auto n = static_cast<std::int64_t>(read_raw<std::uint64_t>(in));
+  BoundedReader reader(in);
+  const auto n_raw = reader.value<std::uint64_t>("sample count");
+  // n² must stay addressable; anything larger cannot be a real matrix of
+  // this file's size anyway (the bounded array read would reject it), but
+  // guard the multiplication itself against overflow first.
+  if (n_raw > (1ULL << 31)) {
+    throw error::CorruptInput("similarity I/O: absurd sample count");
+  }
+  const auto n = static_cast<std::int64_t>(n_raw);
   NamedSimilarity result;
-  result.names = read_name_block(in, n);
-  result.matrix = SimilarityMatrix(
-      n, read_array<double>(in, static_cast<std::uint64_t>(n * n)));
+  result.names = read_name_block(reader, n);
+  result.matrix =
+      SimilarityMatrix(n, reader.array<double>(n_raw * n_raw, "matrix values"));
   return result;
 }
 
@@ -146,25 +203,38 @@ NamedSparseSimilarity read_sparse_similarity_binary(std::istream& in) {
   char magic[4] = {};
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kSparseMagic, sizeof(kSparseMagic)) != 0) {
-    throw std::runtime_error("similarity I/O: bad sparse magic");
+    throw error::CorruptInput("similarity I/O: bad sparse magic");
   }
-  const auto n = static_cast<std::int64_t>(read_raw<std::uint64_t>(in));
+  BoundedReader reader(in);
+  const auto n_raw = reader.value<std::uint64_t>("sample count");
+  if (n_raw > (1ULL << 31)) {
+    throw error::CorruptInput("similarity I/O: absurd sample count");
+  }
+  const auto n = static_cast<std::int64_t>(n_raw);
   NamedSparseSimilarity result;
-  result.names = read_name_block(in, n);
-  const auto survivors = read_raw<std::uint64_t>(in);
-  auto survivor_keys = read_array<std::uint64_t>(in, survivors);
-  auto survivor_values = read_array<double>(in, survivors);
-  const auto estimates = read_raw<std::uint64_t>(in);
-  auto estimate_keys = read_array<std::uint64_t>(in, estimates);
-  auto estimate_values = read_array<double>(in, estimates);
-  const auto ahat_len = read_raw<std::uint64_t>(in);
-  auto ahat = read_array<std::int64_t>(in, ahat_len);
-  // The SparseSimilarity constructor re-validates sortedness/ranges, so a
-  // corrupted file throws here instead of yielding silent wrong lookups.
-  result.sparse =
-      SparseSimilarity(n, std::move(survivor_keys), std::move(survivor_values),
-                       std::move(estimate_keys), std::move(estimate_values),
-                       std::move(ahat));
+  result.names = read_name_block(reader, n);
+  const auto survivors = reader.value<std::uint64_t>("survivor count");
+  auto survivor_keys = reader.array<std::uint64_t>(survivors, "survivor keys");
+  auto survivor_values = reader.array<double>(survivors, "survivor values");
+  const auto estimates = reader.value<std::uint64_t>("estimate count");
+  auto estimate_keys = reader.array<std::uint64_t>(estimates, "estimate keys");
+  auto estimate_values = reader.array<double>(estimates, "estimate values");
+  const auto ahat_len = reader.value<std::uint64_t>("union cardinality count");
+  auto ahat = reader.array<std::int64_t>(ahat_len, "union cardinalities");
+  // The SparseSimilarity constructor re-validates sortedness/ranges; wrap
+  // its diagnosis so a corrupted file still surfaces as CorruptInput
+  // instead of a generic invariant failure.
+  try {
+    result.sparse =
+        SparseSimilarity(n, std::move(survivor_keys), std::move(survivor_values),
+                         std::move(estimate_keys), std::move(estimate_values),
+                         std::move(ahat));
+  } catch (const error::Error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw error::CorruptInput(std::string("similarity I/O: invalid SASP content: ") +
+                              e.what());
+  }
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "distmat/block.hpp"
+#include "util/error.hpp"
 
 namespace sas::distmat {
 
@@ -56,7 +57,7 @@ std::vector<std::int64_t> decode_delta(std::span<const std::uint64_t> words,
     if ((byte & 0x80) != 0) {
       shift += 7;
       if (shift > 63) {
-        throw std::invalid_argument("decode_index_set: runaway varint");
+        throw error::CorruptInput("decode_index_set: runaway varint");
       }
       continue;
     }
@@ -66,7 +67,7 @@ std::vector<std::int64_t> decode_delta(std::span<const std::uint64_t> words,
     // admissible gap and is non-negative by the loop invariant prev <
     // extent, so the unsigned comparison is exact.
     if (gap == 0 || gap > static_cast<std::uint64_t>(extent - 1 - prev)) {
-      throw std::invalid_argument("decode_index_set: malformed delta stream");
+      throw error::CorruptInput("decode_index_set: malformed delta stream");
     }
     const std::int64_t idx = prev + static_cast<std::int64_t>(gap);
     out.push_back(idx);
@@ -75,7 +76,7 @@ std::vector<std::int64_t> decode_delta(std::span<const std::uint64_t> words,
     shift = 0;
   }
   if (shift != 0) {
-    throw std::invalid_argument("decode_index_set: truncated varint");
+    throw error::CorruptInput("decode_index_set: truncated varint");
   }
   return out;
 }
@@ -170,7 +171,7 @@ std::vector<std::int64_t> decode_index_set(std::span<const std::uint64_t> words,
     for (std::size_t w = 1; w < words.size(); ++w) {
       const auto idx = static_cast<std::int64_t>(words[w]);
       if (idx < 0 || idx >= extent || (!out.empty() && idx <= out.back())) {
-        throw std::invalid_argument("decode_index_set: malformed raw list");
+        throw error::CorruptInput("decode_index_set: malformed raw list");
       }
       out.push_back(idx);
     }
@@ -180,8 +181,9 @@ std::vector<std::int64_t> decode_index_set(std::span<const std::uint64_t> words,
     return decode_delta(words.subspan(1), extent);
   }
   if (words[0] != kEncodingRle) {
-    throw std::invalid_argument("decode_index_set: unknown encoding mode");
+    throw error::CorruptInput("decode_index_set: unknown encoding mode");
   }
+  const std::int64_t word_extent = (extent + 63) / 64;
   std::int64_t pos = 0;  // current bitmap word position
   std::size_t w = 1;
   while (w < words.size()) {
@@ -189,16 +191,27 @@ std::vector<std::int64_t> decode_index_set(std::span<const std::uint64_t> words,
     const std::int64_t literals = static_cast<std::int64_t>(words[w] & kMax32);
     ++w;
     if (w + static_cast<std::size_t>(literals) > words.size()) {
-      throw std::invalid_argument("decode_index_set: truncated RLE segment");
+      throw error::CorruptInput("decode_index_set: truncated RLE segment");
     }
     pos += skip;
+    // Bound pos before forming pos * 64: hostile skip headers chained
+    // across segments could otherwise push it past the signed range.
+    if (pos > word_extent) {
+      throw error::CorruptInput("decode_index_set: RLE skip beyond extent");
+    }
     for (std::int64_t l = 0; l < literals; ++l, ++w, ++pos) {
+      if (pos >= word_extent) {
+        if (words[w] != 0) {
+          throw error::CorruptInput("decode_index_set: index beyond extent");
+        }
+        continue;  // zero padding words past the extent carry no indices
+      }
       std::uint64_t bits = words[w];
       while (bits != 0) {
         const std::int64_t idx = pos * 64 + std::countr_zero(bits);
         bits &= bits - 1;
         if (idx >= extent) {
-          throw std::invalid_argument("decode_index_set: index beyond extent");
+          throw error::CorruptInput("decode_index_set: index beyond extent");
         }
         out.push_back(idx);
       }

@@ -69,9 +69,10 @@ namespace sas::distmat {
 [[nodiscard]] std::vector<std::uint64_t> encode_index_set(
     std::span<const std::int64_t> sorted, std::int64_t extent);
 
-/// Inverse of encode_index_set. Throws std::invalid_argument on
-/// malformed input (unknown mode, truncated segments, indices outside
-/// [0, extent)).
+/// Inverse of encode_index_set. Throws sas::error::CorruptInput on
+/// malformed input (unknown mode, truncated segments, runaway varints,
+/// indices outside [0, extent)) — the words arrived over the wire or
+/// from disk, so damage is input corruption, not a caller bug.
 [[nodiscard]] std::vector<std::int64_t> decode_index_set(
     std::span<const std::uint64_t> words, std::int64_t extent);
 

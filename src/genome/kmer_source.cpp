@@ -81,8 +81,9 @@ std::vector<std::uint64_t> KmerFileSource::persisted_sketch(
     default:
       return {};
   }
-  // read_wire_file returns empty on missing/malformed files; parameter
-  // compatibility is the caller's wire_matches_config check.
+  // read_wire_file returns empty on missing files and throws
+  // error::CorruptInput on malformed ones; parameter compatibility is
+  // the caller's wire_matches_config check.
   return sketch::read_wire_file(sketch_path(sample, config));
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "sketch/bottomk.hpp"
+#include "util/error.hpp"
 #include "sketch/hyperloglog.hpp"
 #include "sketch/one_perm_minhash.hpp"
 
@@ -60,16 +61,24 @@ void write_wire_file(const std::string& path, std::span<const std::uint64_t> wir
 
 std::vector<std::uint64_t> read_wire_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return {};
+  if (!in) return {};  // missing/unreadable: "no persisted sketch"
+  // The file EXISTS from here on: any malformation is data corruption,
+  // not absence, and must surface as a typed error instead of silently
+  // falling back to recomputation (which would mask bit rot).
   const std::streamsize bytes = in.tellg();
   if (bytes <= 0 || bytes % static_cast<std::streamsize>(sizeof(std::uint64_t)) != 0) {
-    return {};
+    throw error::CorruptInput("read_wire_file: " + path +
+                              ": size is not a whole number of sketch words");
   }
   std::vector<std::uint64_t> wire(static_cast<std::size_t>(bytes) / sizeof(std::uint64_t));
   in.seekg(0);
   in.read(reinterpret_cast<char*>(wire.data()), bytes);
-  if (!in) return {};
-  if (wire.size() < kWireHeaderWords || (wire[0] >> 32) != kWireMagic) return {};
+  if (!in) {
+    throw error::CorruptInput("read_wire_file: " + path + ": short read");
+  }
+  if (wire.size() < kWireHeaderWords || (wire[0] >> 32) != kWireMagic) {
+    throw error::CorruptInput("read_wire_file: " + path + ": bad sketch wire magic");
+  }
   return wire;
 }
 

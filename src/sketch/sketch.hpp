@@ -121,8 +121,10 @@ inline constexpr std::size_t kWireHeaderWords = 3;       // tag, params, seed
 void write_wire_file(const std::string& path, std::span<const std::uint64_t> wire);
 
 /// Read a persisted wire blob. Returns an empty vector when the file is
-/// missing, unreadable, not a whole number of words, or fails the wire
-/// magic check — callers treat that as "no persisted sketch".
+/// missing or unreadable — callers treat that as "no persisted sketch".
+/// A file that EXISTS but is not a whole number of words, is short, or
+/// fails the wire magic check throws sas::error::CorruptInput: silent
+/// fallback to recomputation would mask on-disk corruption.
 [[nodiscard]] std::vector<std::uint64_t> read_wire_file(const std::string& path);
 
 }  // namespace sas::sketch

@@ -1,0 +1,44 @@
+// crc32.hpp — CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// Integrity check for the checkpoint files (core/checkpoint.hpp): every
+// manifest and rank-state file ends with the CRC of its preceding bytes,
+// so a torn write or bit flip is detected on --resume instead of
+// silently corrupting a restored run. Table-driven, byte-at-a-time —
+// checkpoints are megabytes at most, not a hot path.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace sas {
+
+namespace detail {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1U) != 0 ? (crc >> 1) ^ 0xEDB88320U : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+
+}  // namespace detail
+
+[[nodiscard]] inline std::uint32_t crc32(const void* data, std::size_t size,
+                                         std::uint32_t seed = 0) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = detail::kCrc32Table[(crc ^ bytes[i]) & 0xffU] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace sas

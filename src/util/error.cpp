@@ -1,0 +1,51 @@
+#include "util/error.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace sas::error {
+
+namespace {
+
+thread_local std::vector<std::string> t_context;
+
+}  // namespace
+
+int exit_code_for(const std::exception& e) noexcept {
+  if (const auto* typed = dynamic_cast<const Error*>(&e)) {
+    return static_cast<int>(typed->code());
+  }
+  return static_cast<int>(Code::kGeneric);
+}
+
+Context::Context(std::string label) { t_context.push_back(std::move(label)); }
+
+Context::~Context() { t_context.pop_back(); }
+
+std::string context_string() {
+  std::string out;
+  for (const std::string& label : t_context) {
+    if (!out.empty()) out += ", ";
+    out += label;
+  }
+  return out;
+}
+
+std::exception_ptr annotate_rank_error(std::exception_ptr original, int rank) {
+  std::string prefix = "rank " + std::to_string(rank);
+  const std::string context = context_string();
+  if (!context.empty()) prefix += " [" + context + "]";
+  prefix += ": ";
+  try {
+    std::rethrow_exception(original);
+  } catch (const Error& e) {
+    return std::make_exception_ptr(Error(e.code(), prefix + e.what()));
+  } catch (const std::exception& e) {
+    return std::make_exception_ptr(Error(Code::kRankFailure, prefix + e.what()));
+  } catch (...) {
+    return std::make_exception_ptr(
+        Error(Code::kRankFailure, prefix + "unknown exception"));
+  }
+}
+
+}  // namespace sas::error

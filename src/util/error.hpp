@@ -1,0 +1,94 @@
+// error.hpp — the typed error taxonomy of the SimilarityAtScale runtime.
+//
+// Every failure the library can report falls into one of a small set of
+// codes, and each code doubles as the `gas` CLI's process exit code, so
+// scripts driving long runs can distinguish "your flags are wrong" from
+// "your input file is damaged" from "a rank crashed mid-run" without
+// parsing stderr:
+//
+//   1  kGeneric          unclassified failure (bare std::exception)
+//   2  kConfig           invalid configuration / CLI usage
+//   3  kCorruptInput     an input artifact failed validation (bad magic,
+//                        truncated stream, out-of-bounds length/offset)
+//   4  kRankFailure      a BSP rank threw; the run was aborted
+//   5  kWatchdogTimeout  a blocking BSP primitive exceeded its deadline
+//
+// Rank threads additionally carry *where* they failed: a thread-local
+// stack of context labels ("stage=multiply", "batch 3") maintained by the
+// Context RAII guard, rendered into the rethrown message by
+// annotate_rank_error so that a p = 64 run failing deep in batch 17 still
+// reports "rank 23 [stage=multiply, batch 17]: <original what()>".
+#pragma once
+
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+namespace sas::error {
+
+enum class Code : int {
+  kGeneric = 1,
+  kConfig = 2,
+  kCorruptInput = 3,
+  kRankFailure = 4,
+  kWatchdogTimeout = 5,
+};
+
+/// Base of the taxonomy. Derives from std::runtime_error so existing
+/// catch sites (and tests) that expect the standard hierarchy keep
+/// working.
+class Error : public std::runtime_error {
+ public:
+  Error(Code code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+
+  [[nodiscard]] Code code() const noexcept { return code_; }
+
+ private:
+  Code code_;
+};
+
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& message) : Error(Code::kConfig, message) {}
+};
+
+class CorruptInput : public Error {
+ public:
+  explicit CorruptInput(const std::string& message)
+      : Error(Code::kCorruptInput, message) {}
+};
+
+class WatchdogTimeout : public Error {
+ public:
+  explicit WatchdogTimeout(const std::string& message)
+      : Error(Code::kWatchdogTimeout, message) {}
+};
+
+/// Process exit code for a caught exception: an Error carries its Code;
+/// anything else maps to kGeneric.
+[[nodiscard]] int exit_code_for(const std::exception& e) noexcept;
+
+/// RAII context label pushed onto this thread's provenance stack; the
+/// stack is rendered (outermost first) into annotate_rank_error's
+/// message. Cheap enough to wrap every stage scope and batch iteration.
+class Context {
+ public:
+  explicit Context(std::string label);
+  ~Context();
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+};
+
+/// This thread's current context stack as "a, b, c" (empty when clear).
+[[nodiscard]] std::string context_string();
+
+/// Wrap `original` with rank + context provenance. The result is an
+/// Error whose message is "rank R [contexts]: <original what()>" and
+/// whose code is preserved when the original already belongs to the
+/// taxonomy (kRankFailure otherwise). Must be called on the throwing
+/// thread — the context stack is thread-local to the failing rank.
+[[nodiscard]] std::exception_ptr annotate_rank_error(std::exception_ptr original,
+                                                     int rank);
+
+}  // namespace sas::error

@@ -14,6 +14,7 @@
 #include "core/matrix_io.hpp"
 #include "core/packing.hpp"
 #include "core/sample_source.hpp"
+#include "util/error.hpp"
 #include "util/popcount.hpp"
 #include "util/rng.hpp"
 
@@ -151,9 +152,9 @@ TEST(Driver, RejectsInvalidConfigs) {
   VectorSampleSource src(10, {{1}});
   Config bad;
   bad.batch_count = 0;
-  EXPECT_THROW((void)similarity_at_scale_threaded(1, src, bad), std::invalid_argument);
+  EXPECT_THROW((void)similarity_at_scale_threaded(1, src, bad), error::ConfigError);
   bad.batch_count = 11;  // more batches than rows
-  EXPECT_THROW((void)similarity_at_scale_threaded(1, src, bad), std::invalid_argument);
+  EXPECT_THROW((void)similarity_at_scale_threaded(1, src, bad), error::ConfigError);
 }
 
 TEST(Driver, ReportsBatchStats) {

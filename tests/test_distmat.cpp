@@ -16,6 +16,7 @@
 #include "distmat/proc_grid.hpp"
 #include "distmat/redistribute.hpp"
 #include "distmat/spgemm.hpp"
+#include "util/error.hpp"
 #include "util/popcount.hpp"
 #include "util/rng.hpp"
 
@@ -211,7 +212,7 @@ TEST(FilterEncoding, RoundTripsEveryShape) {
                std::invalid_argument);
   const std::vector<std::uint64_t> bad_mode = {99, 1, 2};
   EXPECT_THROW((void)decode_index_set(std::span<const std::uint64_t>(bad_mode), 10),
-               std::invalid_argument);
+               sas::error::CorruptInput);
   // Hostile delta streams must throw, never yield negative or
   // out-of-extent indices: a complete 10-byte varint encoding gap = 2^63
   // (the sign bit — nine 0x80 continuation bytes, then 0x01) and a gap
@@ -219,11 +220,18 @@ TEST(FilterEncoding, RoundTripsEveryShape) {
   const std::vector<std::uint64_t> sign_bit_gap = {2, 0x8080808080808080ULL, 0x0180ULL};
   EXPECT_THROW((void)decode_index_set(std::span<const std::uint64_t>(sign_bit_gap),
                                       std::int64_t{1} << 40),
-               std::invalid_argument);
+               sas::error::CorruptInput);
   const std::vector<std::uint64_t> gap_past_extent = {2, 11};  // gap 11, extent 10
   EXPECT_THROW((void)decode_index_set(std::span<const std::uint64_t>(gap_past_extent),
                                       10),
-               std::invalid_argument);
+               sas::error::CorruptInput);
+  // Hostile RLE skip headers chained past the extent must throw before
+  // pos * 64 can overflow.
+  const std::uint64_t skip_only = 0xffffffffULL << 32;  // skip 2^32-1, 0 literals
+  const std::vector<std::uint64_t> runaway_skip = {
+      0, skip_only, skip_only, skip_only, (1ULL << 32) | 1, 1};
+  EXPECT_THROW((void)decode_index_set(std::span<const std::uint64_t>(runaway_skip), 64),
+               sas::error::CorruptInput);
 }
 
 TEST_P(FilterTest, CompressedUnionMatchesRawBitForBit) {

@@ -5,13 +5,19 @@
 //    neighbor joining and clustering that recover the planted structure,
 //  * PHYLIP export of a real pipeline result,
 //  * the three computation paths (driver, MapReduce baseline, exact
-//    pairwise) agreeing on identical genomic inputs.
+//    pairwise) agreeing on identical genomic inputs,
+//  * the gas CLI's failure-taxonomy exit codes, driven against the real
+//    binary (GAS_BIN, set by ctest) — skipped when GAS_BIN is unset.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <sstream>
 
 #include "analysis/clustering.hpp"
 #include "analysis/neighbor_joining.hpp"
@@ -274,6 +280,148 @@ TEST(Integration, FileBackedSourceMatchesInMemory) {
   const auto b = core::similarity_at_scale_threaded(2, in_memory, core::Config{});
   EXPECT_EQ(a.similarity.max_abs_diff(b.similarity), 0.0);
   fs::remove_all(dir);
+}
+
+// ------------------------------------------------------ gas CLI exit codes
+//
+// The error taxonomy doubles as the gas process exit code (0 ok,
+// 1 generic, 2 config/usage, 3 corrupt input, 4 rank failure, 5 watchdog
+// timeout). These tests exercise the REAL binary end-to-end: ctest
+// exports its path as GAS_BIN; when absent (manual runs of the bare test
+// executable) the tests skip rather than fail.
+
+struct CommandResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+CommandResult run_command(const std::string& command) {
+  CommandResult result;
+  FILE* pipe = popen((command + " 2>&1").c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+/// A tiny on-disk corpus for driving the binary: three k=11 samples.
+class GasCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* bin = std::getenv("GAS_BIN");
+    if (bin == nullptr || *bin == '\0') {
+      GTEST_SKIP() << "GAS_BIN not set (run via ctest)";
+    }
+    bin_ = bin;
+    dir_ = fs::temp_directory_path() /
+           ("sas_gas_cli_" +
+            std::string(::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    Rng rng(77);
+    const genome::KmerCodec codec(11);
+    for (int i = 0; i < 3; ++i) {
+      const auto sample = genome::build_sample(
+          "s" + std::to_string(i), {{"g", "", genome::random_genome(2000, rng)}},
+          codec);
+      const fs::path path = dir_ / ("s" + std::to_string(i) + ".kmers");
+      genome::write_sample_file(path.string(), sample);
+      samples_ += " " + path.string();
+    }
+  }
+  void TearDown() override {
+    if (!dir_.empty()) fs::remove_all(dir_);
+  }
+
+  std::string dist(const std::string& extra) const {
+    return bin_ + " dist" + samples_ + " --k 11 --ranks 2 --batches 3 " + extra;
+  }
+
+  std::string bin_;
+  fs::path dir_;
+  std::string samples_;  // " path0 path1 path2"
+};
+
+TEST_F(GasCli, CleanRunExitsZero) {
+  const auto result = run_command(dist("--algorithm ring"));
+  EXPECT_EQ(result.exit_code, 0) << result.output;
+}
+
+TEST_F(GasCli, UsageErrorsExitWithConfigCode) {
+  EXPECT_EQ(run_command(dist("--algorithm bogus")).exit_code, 2);
+  EXPECT_EQ(run_command(dist("--resume")).exit_code, 2);  // no --checkpoint
+  EXPECT_EQ(run_command(dist("--watchdog-ms -5")).exit_code, 2);
+  EXPECT_EQ(run_command(dist("--fault-plan rank=0:op=zero:throw")).exit_code, 2);
+}
+
+TEST_F(GasCli, MissingInputExitsWithGenericCode) {
+  const auto result =
+      run_command(bin_ + " dist /nonexistent/a.kmers /nonexistent/b.kmers --k 11");
+  EXPECT_EQ(result.exit_code, 1) << result.output;
+}
+
+TEST_F(GasCli, CorruptPersistedSketchExitsWithCorruptCode) {
+  // An EXISTING but malformed persisted sketch blob must abort the run
+  // with the corrupt-input code — silently re-sketching would mask rot.
+  {
+    std::ofstream blob(dir_ / "s0.kmers.minhash.sketch", std::ios::binary);
+    blob << "\xff\xff\xff\xff\xff\xff\xff\xff";  // one word, bad magic
+  }
+  const auto result = run_command(dist("--estimator minhash --algorithm ring"));
+  EXPECT_EQ(result.exit_code, 3) << result.output;
+  EXPECT_NE(result.output.find("sketch"), std::string::npos) << result.output;
+}
+
+TEST_F(GasCli, InjectedFaultExitsWithRankFailureCode) {
+  const auto result =
+      run_command(dist("--algorithm ring --fault-plan rank=1:op=2:throw"));
+  EXPECT_EQ(result.exit_code, 4) << result.output;
+  EXPECT_NE(result.output.find("fault injection"), std::string::npos)
+      << result.output;
+  EXPECT_NE(result.output.find("rank 1"), std::string::npos) << result.output;
+}
+
+TEST_F(GasCli, WatchdogExpiryExitsWithTimeoutCode) {
+  // Rank 1 sleeps through its first op; rank 0 blocks waiting on it past
+  // the 150 ms deadline. The report must name the blocked primitive.
+  const auto result = run_command(
+      dist("--algorithm ring --watchdog-ms 150 --fault-plan rank=1:op=0:delay=2000"));
+  EXPECT_EQ(result.exit_code, 5) << result.output;
+  EXPECT_NE(result.output.find("watchdog"), std::string::npos) << result.output;
+}
+
+TEST_F(GasCli, CheckpointResumeReproducesUninterruptedRun) {
+  const fs::path ref_tsv = dir_ / "ref.tsv";
+  const fs::path resumed_tsv = dir_ / "resumed.tsv";
+  const fs::path ckpt = dir_ / "ckpt";
+
+  const auto reference =
+      run_command(dist("--algorithm ring --tsv " + ref_tsv.string()));
+  ASSERT_EQ(reference.exit_code, 0) << reference.output;
+
+  // Kill the checkpointed run mid-flight, then resume it to completion.
+  const auto killed = run_command(dist("--algorithm ring --checkpoint " +
+                                       ckpt.string() +
+                                       " --fault-plan rank=1:op=6:throw"));
+  ASSERT_EQ(killed.exit_code, 4) << killed.output;
+  const auto resumed = run_command(dist("--algorithm ring --checkpoint " +
+                                        ckpt.string() + " --resume --tsv " +
+                                        resumed_tsv.string()));
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+
+  const auto slurp = [](const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  };
+  const std::string ref_bytes = slurp(ref_tsv);
+  ASSERT_FALSE(ref_bytes.empty());
+  EXPECT_EQ(ref_bytes, slurp(resumed_tsv));
 }
 
 }  // namespace

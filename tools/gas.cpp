@@ -56,6 +56,7 @@
 #include "sketch/one_perm_minhash.hpp"
 #include "sketch/sketch.hpp"
 #include "util/args.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
 namespace fs = std::filesystem;
@@ -82,9 +83,21 @@ int usage() {
                "           [--prune-threshold 0.1] [--prune-slack auto]\n"
                "           [--candidate-mode auto|allpairs|lsh] [--lsh-bands 0]\n"
                "           [--dense-output]\n"
+               "           [--checkpoint DIR] [--resume] [--watchdog-ms N]\n"
+               "           [--fault-plan SPEC]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
-               "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n");
+               "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n"
+               "\n"
+               "failure semantics (gas dist):\n"
+               "  --checkpoint DIR   persist per-batch state; --resume skips completed\n"
+               "                     batches (bitwise-identical result)\n"
+               "  --watchdog-ms N    abort with a blocked-rank diagnostic if any rank\n"
+               "                     waits longer than N ms in a BSP primitive\n"
+               "  --fault-plan SPEC  deterministic fault injection for testing:\n"
+               "                     'rank=R:op=K:throw|flip[=BYTE]|delay=MS' (';'-joined)\n"
+               "exit codes: 0 ok, 1 generic error, 2 bad config/usage,\n"
+               "            3 corrupt input, 4 rank failure, 5 watchdog timeout\n");
   return 2;
 }
 
@@ -303,6 +316,20 @@ int cmd_dist(const ArgParser& args) {
   // sparse run are reconstructed on demand below.
   options.core.dense_output = args.get_bool("dense-output", false);
 
+  // Fault-tolerance knobs (see "failure semantics" in the usage text).
+  options.core.checkpoint_dir = args.get_string("checkpoint", "");
+  options.core.resume = args.get_bool("resume", false);
+  options.core.watchdog_ms = args.get_int("watchdog-ms", 0);
+  options.core.fault_plan = args.get_string("fault-plan", "");
+  if (options.core.resume && options.core.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "gas dist: --resume needs --checkpoint DIR\n");
+    return 2;
+  }
+  if (options.core.watchdog_ms < 0) {
+    std::fprintf(stderr, "gas dist: --watchdog-ms must be >= 0\n");
+    return 2;
+  }
+
   std::vector<std::string> paths(args.positional().begin() + 1, args.positional().end());
   const genome::KmerFileSource source(k, paths);
   core::Result result = core::similarity_at_scale_threaded(options.ranks, source,
@@ -486,9 +513,18 @@ int main(int argc, char** argv) {
   const ArgParser args(argc, argv);
   if (args.positional().empty()) return usage();
   const std::string& command = args.positional()[0];
-  if (command == "sketch") return cmd_sketch(args);
-  if (command == "dist") return cmd_dist(args);
-  if (command == "tree") return cmd_tree(args);
-  if (command == "simulate") return cmd_simulate(args);
+  // Map the error taxonomy (util/error.hpp) to distinct exit codes so
+  // pipelines can tell "your flags are wrong" (2) from "your data is
+  // damaged" (3) from "a rank crashed" (4) from "a rank hung" (5). A
+  // watchdog message carries the blocked-rank diagnostic verbatim.
+  try {
+    if (command == "sketch") return cmd_sketch(args);
+    if (command == "dist") return cmd_dist(args);
+    if (command == "tree") return cmd_tree(args);
+    if (command == "simulate") return cmd_simulate(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gas: %s\n", e.what());
+    return sas::error::exit_code_for(e);
+  }
   return usage();
 }
