@@ -24,6 +24,8 @@
 #include "core/config.hpp"
 #include "core/driver.hpp"
 #include "core/sample_source.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -53,7 +55,7 @@ inline BatchTiming summarize_batches(const std::vector<core::BatchStats>& batche
 inline std::uint64_t mean_batch_bytes(const std::vector<core::BatchStats>& batches) {
   if (batches.empty()) return 0;
   std::uint64_t total = 0;
-  for (const auto& b : batches) total += static_cast<std::uint64_t>(b.bytes_sent);
+  for (const auto& b : batches) total += b.bytes_sent;
   return total / batches.size();
 }
 
@@ -64,12 +66,17 @@ struct RunResult {
   double wall_seconds = 0.0;
 };
 
+/// `observer` (optional) is bound to the rank threads for the run — the
+/// drift-gate and tracing-overhead benches pass one; everything else
+/// runs unobserved (null observer = one TLS load per span site).
 inline RunResult run_driver(int ranks, const core::SampleSource& source,
-                            const core::Config& config) {
+                            const core::Config& config,
+                            obs::Observer* observer = nullptr) {
   RunResult out;
   std::vector<bsp::CostCounters> counters;
   Timer timer;
-  out.result = core::similarity_at_scale_threaded(ranks, source, config, &counters);
+  out.result =
+      core::similarity_at_scale_threaded(ranks, source, config, &counters, observer);
   out.wall_seconds = timer.seconds();
   out.cost = bsp::CostSummary::aggregate(counters);
   return out;
@@ -101,11 +108,17 @@ inline void append_result_bytes_json(const std::string& bench, const std::string
                                      const std::string& path = "BENCH_result_bytes.json") {
   std::ofstream out(path, std::ios::app);
   if (!out) return;  // benches must not fail on a read-only workdir
-  out << "{\"bench\":\"" << bench << "\",\"config\":\"" << config
-      << "\",\"assemble_bytes\":" << result.stages[core::Stage::kAssemble].bytes_sent
-      << ",\"filter_union_bytes\":"
-      << result.stages[core::Stage::kPackSketch].bytes_sent
-      << ",\"peak_root_output_bytes\":" << result_output_bytes(result) << "}\n";
+  // One compact object per line through the shared emitter (obs/json.hpp)
+  // — same schema and byte format as before, so the CI diff keeps working.
+  obs::JsonWriter w(out);
+  w.begin_object()
+      .field("bench", bench)
+      .field("config", config)
+      .field("assemble_bytes", result.stages[core::Stage::kAssemble].bytes_sent)
+      .field("filter_union_bytes", result.stages[core::Stage::kPackSketch].bytes_sent)
+      .field("peak_root_output_bytes", result_output_bytes(result))
+      .end_object();
+  out << '\n';
 }
 
 inline void print_header(const char* experiment, const char* paper_ref,

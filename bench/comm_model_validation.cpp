@@ -119,6 +119,64 @@ int main() {
   std::printf("Shape to match: SUMMA moves the fewest bytes per rank at both operating\n"
               "points; the ring pays Θ(z) input circulation; MapReduce pays the Θ(n²)\n"
               "allreduce the paper criticizes — dominant at the second operating point\n"
-              "— plus quadratic reduce-side work on dense attribute rows.\n");
-  return 0;
+              "— plus quadratic reduce-side work on dense attribute rows.\n\n");
+
+  // (d) cost-model drift gate: every instrumented collective books its
+  // α-β prediction next to the measured time (obs::CollectiveScope). The
+  // gate is deliberately loose — in-process "ranks" are threads
+  // oversubscribing one host, so measured times wander far from the
+  // network model — but it catches the failure modes that matter: a
+  // primitive whose prediction went to zero (counter plumbing broke) or
+  // a drift ratio off by >4 decades (model or clock broke). The barrier
+  // row is printed but exempt from the ratio range: its measured time is
+  // pure scheduler noise at p ≫ cores.
+  std::printf("(d) cost-model drift: α-β predicted vs measured per primitive\n");
+  obs::Observer observer(16, std::size_t{1} << 15);
+  {
+    core::Config config;
+    config.batch_count = 2;
+    (void)run_driver(16, source, config, &observer);
+    config.algorithm = core::Algorithm::kRing1D;
+    (void)run_driver(16, source, config, &observer);
+  }
+  const auto drift = observer.aggregate_drift();
+  const auto fmt_sci = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3e", v);
+    return std::string(buf);
+  };
+  TextTable drift_table(
+      {"primitive", "samples", "predicted s", "measured s", "measured/predicted"});
+  int data_primitives_ok = 0;
+  bool gate_failed = false;
+  for (std::size_t i = 0; i < obs::kPrimitiveCount; ++i) {
+    const obs::DriftCell& cell = drift[i];
+    if (cell.samples == 0) continue;
+    const auto prim = static_cast<obs::Primitive>(i);
+    const double ratio = cell.predicted_seconds > 0.0
+                             ? cell.measured_seconds / cell.predicted_seconds
+                             : 0.0;
+    drift_table.add_row({obs::primitive_name(prim), fmt_count(cell.samples),
+                         fmt_sci(cell.predicted_seconds), fmt_sci(cell.measured_seconds),
+                         fmt_sci(ratio)});
+    if (prim == obs::Primitive::kBarrier) continue;
+    if (cell.predicted_seconds > 0.0 && cell.measured_seconds > 0.0 &&
+        ratio >= 1e-4 && ratio <= 1e4) {
+      ++data_primitives_ok;
+    } else {
+      std::printf("DRIFT GATE: %s out of range (predicted %.3e s, measured %.3e s)\n",
+                  obs::primitive_name(prim), cell.predicted_seconds,
+                  cell.measured_seconds);
+      gate_failed = true;
+    }
+  }
+  drift_table.print();
+  if (data_primitives_ok < 3) {
+    std::printf("DRIFT GATE: only %d data primitives exercised (need >= 3)\n",
+                data_primitives_ok);
+    gate_failed = true;
+  }
+  std::printf("drift gate: %d data primitives in range [1e-4, 1e4] — %s\n",
+              data_primitives_ok, gate_failed ? "FAIL" : "ok");
+  return gate_failed ? 1 : 0;
 }

@@ -6,9 +6,11 @@
 // costs behind every figure bench; regressions here move every curve.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "baselines/minhash.hpp"
+#include "bench_common.hpp"
 #include "distmat/csr.hpp"
 #include "distmat/spgemm.hpp"
 #include "genome/kmer.hpp"
@@ -227,6 +229,51 @@ void BM_NormalizeTriplets(benchmark::State& state) {
 }
 BENCHMARK(BM_NormalizeTriplets)->Arg(1 << 12)->Arg(1 << 16);
 
+/// Tracing-overhead gate (ROADMAP "Observability"): the span layer must
+/// stay cheap enough to leave on — every instrumentation site is one
+/// thread-local load plus a null check when unbound, and a clock pair
+/// plus a bounded append when bound. The gate times identical 4-rank
+/// exact 1D-ring driver runs with tracing off (null observer) and on
+/// (fresh Observer each trial), interleaved min-of-N so scheduler noise
+/// cancels, and fails the binary when the bound path costs >= 3%.
+int run_tracing_overhead_gate() {
+  const sas::core::BernoulliSampleSource source(std::int64_t{1} << 17, 96, 1e-3, 7);
+  sas::core::Config config;
+  config.algorithm = sas::core::Algorithm::kRing1D;
+  config.batch_count = 2;
+
+  constexpr int kTrials = 11;
+  (void)sas::core::similarity_at_scale_threaded(4, source, config);  // warmup
+  double best_off = 1e300;
+  double best_on = 1e300;
+  for (int t = 0; t < kTrials; ++t) {
+    {
+      sas::Timer timer;
+      (void)sas::core::similarity_at_scale_threaded(4, source, config);
+      best_off = std::min(best_off, timer.seconds());
+    }
+    {
+      sas::obs::Observer observer(4);
+      sas::Timer timer;
+      (void)sas::core::similarity_at_scale_threaded(4, source, config, nullptr,
+                                                    &observer);
+      best_on = std::min(best_on, timer.seconds());
+    }
+  }
+  const double overhead = best_on / best_off - 1.0;
+  std::printf(
+      "tracing overhead (exact 1D ring, 4 ranks, min of %d): off %.2f ms, "
+      "on %.2f ms, overhead %.2f%% (gate < 3%%)\n",
+      kTrials, best_off * 1e3, best_on * 1e3, overhead * 100.0);
+  return overhead >= 0.03 ? 1 : 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_tracing_overhead_gate();
+}

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""CI smoke assertions over the observability artifacts.
+
+Usage: check_observability.py <trace.json> <report.json>
+
+Validates a 4-rank hybrid `gas dist --trace-out --report-json` run:
+  * the Chrome trace parses, carries spans for ranks 0..3, every rank's
+    timeline covers all five pipeline stages, and at least one
+    collective span is present;
+  * the run report parses, its stage table names exactly the five
+    stages with nonzero exchange bytes, and the cost-model drift table
+    is populated (samples, predicted, measured all > 0).
+
+Exits nonzero with a diagnostic on the first violated assertion.
+"""
+import json
+import sys
+
+STAGES = {"ingest", "pack/sketch", "exchange", "multiply", "assemble"}
+RANKS = {0, 1, 2, 3}
+
+
+def fail(msg):
+    print(f"check_observability: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    pids = set()
+    stages_by_pid = {}
+    collectives = 0
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        pid = ev["pid"]
+        pids.add(pid)
+        if ev.get("dur", 0) < 0:
+            fail(f"{path}: negative duration in span {ev.get('name')}")
+        if ev.get("cat") == "stage":
+            stages_by_pid.setdefault(pid, set()).add(ev["name"])
+        if ev.get("cat") == "collective":
+            collectives += 1
+    if not RANKS <= pids:
+        fail(f"{path}: expected spans for ranks {sorted(RANKS)}, got {sorted(pids)}")
+    for rank in sorted(RANKS):
+        missing = STAGES - stages_by_pid.get(rank, set())
+        if missing:
+            fail(f"{path}: rank {rank} is missing stage spans {sorted(missing)}")
+    if collectives == 0:
+        fail(f"{path}: no collective spans recorded")
+    if trace.get("otherData", {}).get("aborted") is not False:
+        fail(f"{path}: otherData.aborted is not false on a successful run")
+    print(f"trace ok: {len(events)} events, ranks {sorted(pids)}, "
+          f"{collectives} collective spans")
+
+
+def check_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("status") != "ok":
+        fail(f"{path}: status is {report.get('status')!r}, expected 'ok'")
+    stages = report.get("stages", [])
+    names = {s["name"] for s in stages}
+    if names != STAGES:
+        fail(f"{path}: stage table names {sorted(names)}, expected {sorted(STAGES)}")
+    exchange = next(s for s in stages if s["name"] == "exchange")
+    if exchange["bytes_sent"] <= 0:
+        fail(f"{path}: exchange stage moved no bytes")
+    drift = report.get("drift", [])
+    if not drift:
+        fail(f"{path}: drift table is empty")
+    for row in drift:
+        if row["samples"] <= 0 or row["predicted_seconds"] <= 0 \
+                or row["measured_seconds"] <= 0:
+            fail(f"{path}: degenerate drift row {row}")
+    metrics = report.get("metrics", [])
+    if len(metrics) != len(RANKS):
+        fail(f"{path}: expected {len(RANKS)} per-rank metric rows, got {len(metrics)}")
+    print(f"report ok: exchange moved {exchange['bytes_sent']} bytes, "
+          f"{len(drift)} drift rows")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail("usage: check_observability.py <trace.json> <report.json>")
+    check_trace(sys.argv[1])
+    check_report(sys.argv[2])
+    print("check_observability: ok")
+
+
+if __name__ == "__main__":
+    main()

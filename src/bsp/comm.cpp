@@ -6,6 +6,7 @@
 namespace sas::bsp {
 
 void Comm::barrier() {
+  const obs::CollectiveScope obs_scope(obs::Primitive::kBarrier, *counters_);
   counters_->supersteps += 1;
   detail::SharedState& st = *state_;
   std::unique_lock<std::mutex> lock(st.barrier_mutex);

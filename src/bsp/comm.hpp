@@ -34,6 +34,7 @@
 #include "bsp/cost_model.hpp"
 #include "bsp/fault.hpp"
 #include "bsp/mailbox.hpp"
+#include "obs/trace.hpp"
 
 namespace sas::bsp {
 
@@ -125,6 +126,9 @@ class Comm {
     if (dest != rank_) {
       counters_->messages_sent += 1;
       counters_->bytes_sent += payload.size();
+      if (obs::RankObserver* o = obs::current()) {
+        o->message_bytes.record(payload.size());
+      }
     }
     state_->mailboxes[static_cast<std::size_t>(dest)].deposit(rank_, tag,
                                                               std::move(payload));
@@ -141,8 +145,14 @@ class Comm {
   [[nodiscard]] std::vector<T> recv(int source, int tag) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(source);
+    obs::RankObserver* const o = obs::current();
+    const std::int64_t wait_start_ns = o != nullptr ? o->now_ns() : 0;
     Mailbox::Message payload = state_->mailboxes[static_cast<std::size_t>(rank_)].retrieve(
         source, tag, wait_policy());
+    if (o != nullptr) {
+      o->mailbox_wait_ns.record(
+          static_cast<std::uint64_t>(o->now_ns() - wait_start_ns));
+    }
     fault_point(&payload);
     if (source != rank_) counters_->bytes_received += payload.size();
     if (payload.size() % sizeof(T) != 0) {
@@ -169,6 +179,7 @@ class Comm {
   void broadcast(std::vector<T>& data, int root) {
     const int p = size();
     if (p == 1) return;
+    const obs::CollectiveScope obs_scope(obs::Primitive::kBroadcast, *counters_);
     const int vrank = virtual_rank(root);
     for (int mask = 1; mask < p; mask <<= 1) {
       if (vrank < mask) {
@@ -196,6 +207,7 @@ class Comm {
   template <typename T, typename Op>
   void reduce(std::vector<T>& data, Op op, int root) {
     const int p = size();
+    const obs::CollectiveScope obs_scope(obs::Primitive::kReduce, *counters_);
     const int vrank = virtual_rank(root);
     int top = 1;
     while (top < p) top <<= 1;
@@ -216,6 +228,9 @@ class Comm {
   /// reduce-to-root followed by broadcast; result defined on all ranks.
   template <typename T, typename Op>
   void allreduce(std::vector<T>& data, Op op) {
+    // Outermost scope: the internal reduce + broadcast emit nested spans
+    // but only this one books cost-model drift (obs/trace.hpp).
+    const obs::CollectiveScope obs_scope(obs::Primitive::kAllreduce, *counters_);
     reduce(data, op, 0);
     broadcast(data, 0);
   }
@@ -232,6 +247,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> gather_v(std::span<const T> mine, int root) {
     const int p = size();
+    const obs::CollectiveScope obs_scope(obs::Primitive::kGather, *counters_);
     std::vector<std::vector<T>> blocks;
     if (rank_ == root) {
       blocks.resize(static_cast<std::size_t>(p));
@@ -252,6 +268,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> allgather_v(std::span<const T> mine) {
     const int p = size();
+    const obs::CollectiveScope obs_scope(obs::Primitive::kAllgather, *counters_);
     std::vector<std::vector<T>> blocks(static_cast<std::size_t>(p));
     blocks[static_cast<std::size_t>(rank_)].assign(mine.begin(), mine.end());
     const int next = (rank_ + 1) % p;
@@ -284,6 +301,7 @@ class Comm {
   [[nodiscard]] std::vector<T> scatter_v(const std::vector<std::vector<T>>& blocks,
                                          int root) {
     const int p = size();
+    const obs::CollectiveScope obs_scope(obs::Primitive::kScatter, *counters_);
     if (rank_ == root) {
       if (static_cast<int>(blocks.size()) != p) {
         throw std::invalid_argument("bsp::Comm::scatter_v: need one block per rank");
@@ -304,6 +322,7 @@ class Comm {
   [[nodiscard]] std::vector<std::vector<T>> alltoall_v(
       const std::vector<std::vector<T>>& outgoing) {
     const int p = size();
+    const obs::CollectiveScope obs_scope(obs::Primitive::kAlltoall, *counters_);
     if (static_cast<int>(outgoing.size()) != p) {
       throw std::invalid_argument("bsp::Comm::alltoall_v: need one block per rank");
     }
@@ -340,6 +359,8 @@ class Comm {
                                 static_cast<std::size_t>(block_begin(b + 1) - block_begin(b)));
     };
     if (p == 1) return data;
+    const obs::CollectiveScope obs_scope(obs::Primitive::kReduceScatter,
+                                         *counters_);
 
     // Block b leaves rank b+1 first and travels the ring once, combining
     // each rank's copy on the way; after p−1 rounds it lands fully
@@ -368,6 +389,7 @@ class Comm {
   template <typename T, typename Op>
   [[nodiscard]] T scan(T value, Op op) {
     const int p = size();
+    const obs::CollectiveScope obs_scope(obs::Primitive::kScan, *counters_);
     T inclusive = value;
     for (int offset = 1; offset < p; offset <<= 1) {
       if (rank_ + offset < p) send_value<T>(rank_ + offset, kTagScan, inclusive);
@@ -384,6 +406,7 @@ class Comm {
   template <typename T, typename Op>
   [[nodiscard]] T exscan(T value, Op op, T identity) {
     const int p = size();
+    const obs::CollectiveScope obs_scope(obs::Primitive::kScan, *counters_);
     T inclusive = value;
     T exclusive = identity;
     bool has_exclusive = false;

@@ -69,6 +69,19 @@ struct BspMachine {
            static_cast<double>(s.max_bytes) * beta +
            static_cast<double>(s.max_flops) * gamma;
   }
+
+  /// α-β prediction for a single communication primitive as observed from
+  /// one rank: `messages` sends at latency α each plus `bytes` payload at
+  /// β each. The observability layer (obs/trace.hpp) records this next to
+  /// the measured duration of every outermost collective so the report
+  /// can surface per-primitive model drift. A zero-message primitive
+  /// (barrier) still pays one α of synchronization.
+  [[nodiscard]] double predicted_seconds(std::uint64_t messages,
+                                         std::uint64_t bytes) const noexcept {
+    const double latency =
+        static_cast<double>(messages > 0 ? messages : 1) * alpha;
+    return latency + static_cast<double>(bytes) * beta;
+  }
 };
 
 }  // namespace sas::bsp

@@ -71,6 +71,15 @@ class AbortToken {
     if (tripped.load(std::memory_order_relaxed)) return false;
     cause_ = std::move(cause);
     source_rank_ = rank;
+    // Snapshot the blocked-site registry at the instant of failure — the
+    // observability layer attaches it to the postmortem trace. Built
+    // inline because mutex_ is already held (blocked_sites() would
+    // self-deadlock).
+    blocked_at_trip_.clear();
+    for (const auto& [tid, site] : blocked_) {
+      if (!blocked_at_trip_.empty()) blocked_at_trip_ += "; ";
+      blocked_at_trip_ += site;
+    }
     tripped.store(true, std::memory_order_release);
     return true;
   }
@@ -83,6 +92,13 @@ class AbortToken {
   [[nodiscard]] int source_rank() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return source_rank_;
+  }
+
+  /// The blocked-site snapshot captured when the token tripped (empty if
+  /// no thread was blocked, or the token never tripped).
+  [[nodiscard]] std::string blocked_at_trip() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return blocked_at_trip_;
   }
 
   void register_blocked(std::string site) {
@@ -111,6 +127,7 @@ class AbortToken {
   mutable std::mutex mutex_;
   std::exception_ptr cause_;
   int source_rank_ = -1;
+  std::string blocked_at_trip_;
   std::map<std::thread::id, std::string> blocked_;
 };
 

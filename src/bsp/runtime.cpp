@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace sas::bsp {
@@ -24,6 +25,22 @@ std::chrono::milliseconds effective_watchdog(std::chrono::milliseconds requested
   return std::chrono::milliseconds{0};
 }
 
+/// Postmortem note: record the run's failure (and the blocked-site
+/// snapshot, when available) into the observer so the flushed trace
+/// explains what the timeline was doing when it died.
+void note_abort(obs::Observer* observer, const std::exception_ptr& cause,
+                const std::string& blocked_sites) {
+  if (observer == nullptr) return;
+  std::string message = "unknown error";
+  try {
+    std::rethrow_exception(cause);
+  } catch (const std::exception& e) {
+    message = e.what();
+  } catch (...) {
+  }
+  observer->note_abort(message, blocked_sites);
+}
+
 }  // namespace
 
 std::vector<CostCounters> Runtime::run(int nranks,
@@ -34,6 +51,10 @@ std::vector<CostCounters> Runtime::run(int nranks,
 std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm&)>& fn,
                                        const RuntimeOptions& options) {
   if (nranks < 1) throw std::invalid_argument("bsp::Runtime::run: nranks must be >= 1");
+  if (options.observer != nullptr && options.observer->nranks() < nranks) {
+    throw std::invalid_argument(
+        "bsp::Runtime::run: observer has fewer rank buffers than nranks");
+  }
 
   auto state = std::make_shared<detail::SharedState>(nranks);
   state->watchdog = effective_watchdog(options.watchdog);
@@ -47,10 +68,14 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
     // tests). Errors get the same rank/context annotation as the
     // threaded path so messages are identical at any p.
     try {
+      obs::ScopedRankBinding obs_binding(options.observer, 0);
       Comm comm(state, 0, &counters[0], &fault_slots[0]);
       fn(comm);
     } catch (...) {
-      std::rethrow_exception(error::annotate_rank_error(std::current_exception(), 0));
+      const std::exception_ptr annotated =
+          error::annotate_rank_error(std::current_exception(), 0);
+      note_abort(options.observer, annotated, state->abort->blocked_at_trip());
+      std::rethrow_exception(annotated);
     }
     return counters;
   }
@@ -59,6 +84,7 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
+      obs::ScopedRankBinding obs_binding(options.observer, r);
       try {
         Comm comm(state, r, &counters[static_cast<std::size_t>(r)],
                   &fault_slots[static_cast<std::size_t>(r)]);
@@ -78,6 +104,8 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
   }
   for (auto& t : threads) t.join();
   if (state->abort->tripped.load(std::memory_order_acquire)) {
+    note_abort(options.observer, state->abort->cause(),
+               state->abort->blocked_at_trip());
     std::rethrow_exception(state->abort->cause());
   }
   return counters;

@@ -26,9 +26,13 @@
 #include "bsp/cost_model.hpp"
 #include "bsp/fault.hpp"
 
+namespace sas::obs {
+class Observer;
+}
+
 namespace sas::bsp {
 
-/// Optional failure-semantics knobs of one run.
+/// Optional failure-semantics and observability knobs of one run.
 struct RuntimeOptions {
   /// Deadline for every blocking primitive. 0 falls back to the
   /// SAS_WATCHDOG_MS environment variable (CI sets it); unset/0 there
@@ -37,6 +41,13 @@ struct RuntimeOptions {
 
   /// Deterministic fault-injection plan (tests); null = none.
   std::shared_ptr<const FaultPlan> fault_plan;
+
+  /// Span/metric collection (obs/trace.hpp): each rank thread is bound
+  /// to observer->rank(r) for the duration of the run, and on abort the
+  /// failure message plus the blocked-site snapshot are noted into the
+  /// observer before the error is rethrown. Must outlive the run and
+  /// have nranks() >= the run's rank count. Null = observability off.
+  obs::Observer* observer = nullptr;
 };
 
 class Runtime {

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "util/crc32.hpp"
 #include "util/hashing.hpp"
 
@@ -37,6 +38,8 @@ class Writer {
     value<std::uint64_t>(values.size());
     if (!values.empty()) raw(values.data(), values.size() * sizeof(T));
   }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
 
   void commit(const std::string& path) {
     const std::uint32_t crc = crc32(buffer_.data(), buffer_.size());
@@ -215,6 +218,12 @@ void Checkpoint::save_rank(int rank, std::int64_t completed,
   }
   w.array(std::vector<std::int64_t>(ahat.begin(), ahat.end()));
   w.commit(rank_state_path(dir_, rank, completed));
+  // Checkpoint I/O volume per rank (commit() appended the trailing CRC,
+  // so size() is the full file), surfaced in the run report's per-rank
+  // counter table.
+  if (obs::RankObserver* o = obs::current()) {
+    o->add_counter("checkpoint.bytes", w.size());
+  }
 }
 
 void Checkpoint::load_rank(int rank, std::int64_t completed,
@@ -275,10 +284,15 @@ void Checkpoint::save_manifest(const CheckpointManifest& manifest) const {
     w.value<std::int64_t>(bs.filtered_rows);
     w.value<std::int64_t>(bs.word_rows);
     w.value<std::int64_t>(bs.packed_nnz);
-    w.value<std::int64_t>(bs.bytes_sent);
-    w.value<std::int64_t>(bs.bytes_received);
+    // Wire format stability: byte counters stay int64-wide on disk even
+    // though BatchStats holds them as uint64 in memory.
+    w.value<std::int64_t>(static_cast<std::int64_t>(bs.bytes_sent));
+    w.value<std::int64_t>(static_cast<std::int64_t>(bs.bytes_received));
   }
   w.commit(dir_ + "/manifest.sasc");
+  if (obs::RankObserver* o = obs::current()) {
+    o->add_counter("checkpoint.bytes", w.size());
+  }
 }
 
 std::optional<CheckpointManifest> Checkpoint::load_manifest() const {
@@ -299,8 +313,8 @@ std::optional<CheckpointManifest> Checkpoint::load_manifest() const {
     bs.filtered_rows = reader.value<std::int64_t>();
     bs.word_rows = reader.value<std::int64_t>();
     bs.packed_nnz = reader.value<std::int64_t>();
-    bs.bytes_sent = reader.value<std::int64_t>();
-    bs.bytes_received = reader.value<std::int64_t>();
+    bs.bytes_sent = static_cast<std::uint64_t>(reader.value<std::int64_t>());
+    bs.bytes_received = static_cast<std::uint64_t>(reader.value<std::int64_t>());
     manifest.stats.push_back(bs);
   }
   reader.expect_end();

@@ -195,6 +195,24 @@ struct Config {
   /// and skip completed batches. The resumed result is bitwise-identical
   /// to an uninterrupted run.
   bool resume = false;
+
+  // ---- observability (ROADMAP "Observability") -------------------------
+
+  /// Chrome trace-event JSON output path (gas dist --trace-out). Every
+  /// rank's spans — stages, batches, collectives, checkpoint ops, LSH
+  /// candidate phases — merge into one file loadable in Perfetto /
+  /// about:tracing, with rank → "process" mapping and byte counts as
+  /// span args. An aborted run still flushes the buffers, with the
+  /// failure and blocked-site snapshot attached (postmortem timeline).
+  /// Empty disables tracing.
+  std::string trace_out;
+
+  /// Machine-readable run-report JSON path (gas dist --report-json):
+  /// per-stage and per-batch tables mirroring PipelineStats/BatchStats,
+  /// per-rank BSP cost counters and metric histograms, and per-primitive
+  /// cost-model drift (α-β predicted vs measured seconds). Written on
+  /// success and on abort (status "aborted"). Empty disables the report.
+  std::string report_json;
 };
 
 }  // namespace sas::core

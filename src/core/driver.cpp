@@ -12,6 +12,8 @@
 #include "bsp/runtime.hpp"
 #include "core/checkpoint.hpp"
 #include "core/packing.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "distmat/dist_filter.hpp"
 #include "distmat/gather.hpp"
 #include "distmat/proc_grid.hpp"
@@ -392,6 +394,7 @@ CheckpointState init_checkpoint(bsp::Comm& world, Layout& layout, const Config& 
 void checkpoint_batch(bsp::Comm& world, const Checkpoint& ckpt, const Layout& layout,
                       std::int64_t completed, const std::vector<std::int64_t>& ahat,
                       const std::vector<BatchStats>& stats) {
+  const obs::Span span("checkpoint", "checkpoint", &world.counters());
   const distmat::DenseBlock<std::int64_t>* block =
       layout.b_block.has_value() ? &*layout.b_block : nullptr;
   ckpt.save_rank(world.rank(), completed, block,
@@ -426,8 +429,11 @@ void record_batch(bsp::Comm& world, const Timer& timer, std::int64_t filtered_ro
     bs.filtered_rows = filtered_rows;
     bs.word_rows = word_rows;
     bs.packed_nnz = totals[0];
-    bs.bytes_sent = totals[1];
-    bs.bytes_received = totals[2];
+    // The allreduce moves int64 (signed sums are what the reduce op
+    // combines); the stored counters are uint64 like every other byte
+    // counter, and deltas of monotonic counters are never negative.
+    bs.bytes_sent = static_cast<std::uint64_t>(totals[1]);
+    bs.bytes_received = static_cast<std::uint64_t>(totals[2]);
     stats.push_back(bs);
   }
 }
@@ -449,6 +455,7 @@ Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
   for (int l = 0; l < batches; ++l) {
     if (l < cs.start_batch) continue;  // restored from the checkpoint
     const error::Context batch_context("batch " + std::to_string(l));
+    const obs::BatchScope batch_scope(l);
     const BlockRange rows = distmat::block_range(m, batches, l);
     world.barrier();
     const bsp::CostCounters batch_start = world.counters();
@@ -552,6 +559,7 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
   for (int l = 0; l < batches; ++l) {
     if (l < cs.start_batch) continue;  // restored from the checkpoint
     const error::Context batch_context("batch " + std::to_string(l));
+    const obs::BatchScope batch_scope(l);
     world.barrier();
     const bsp::CostCounters batch_start = world.counters();
     Timer timer;
@@ -611,6 +619,70 @@ void validate_config(const SampleSource& source, const Config& config) {
   }
 }
 
+const char* estimator_name(Estimator e) {
+  switch (e) {
+    case Estimator::kExact:
+      return "exact";
+    case Estimator::kHll:
+      return "hll";
+    case Estimator::kMinhash:
+      return "minhash";
+    case Estimator::kBottomK:
+      return "bottomk";
+    case Estimator::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+const char* algorithm_name(Algorithm a) {
+  switch (a) {
+    case Algorithm::kSerial:
+      return "serial";
+    case Algorithm::kRing1D:
+      return "ring";
+    case Algorithm::kSumma:
+      return "summa";
+  }
+  return "?";
+}
+
+/// Flush the run's observability artifacts (config.trace_out /
+/// config.report_json). `result` is null on the postmortem path — the
+/// report then carries the abort note but no stage/batch tables (they
+/// live on rank 0, which died).
+void write_observability_artifacts(const Config& config, const SampleSource& source,
+                                   int nranks, const obs::Observer& observer,
+                                   const Result* result,
+                                   std::span<const bsp::CostCounters> counters) {
+  if (!config.trace_out.empty()) {
+    observer.write_chrome_trace_file(config.trace_out);
+  }
+  if (config.report_json.empty()) return;
+  obs::ReportInput input;
+  input.ranks = nranks;
+  input.samples = source.sample_count();
+  input.estimator = estimator_name(config.estimator);
+  input.algorithm = algorithm_name(config.algorithm);
+  if (result != nullptr) {
+    for (std::size_t s = 0; s < kStageCount; ++s) {
+      const StageStats& st = result->stages.stages[s];
+      input.stages.push_back({stage_name(static_cast<Stage>(s)), st.seconds,
+                              st.bytes_sent, st.bytes_received, st.messages});
+    }
+    for (std::size_t b = 0; b < result->batches.size(); ++b) {
+      const BatchStats& bs = result->batches[b];
+      input.batches.push_back({static_cast<int>(b), bs.seconds, bs.packed_nnz,
+                               bs.bytes_sent, bs.bytes_received});
+    }
+  }
+  input.counters.assign(counters.begin(), counters.end());
+  input.observer = &observer;
+  input.abort_message = observer.abort_message();
+  input.blocked_sites = observer.blocked_sites_at_abort();
+  obs::write_report_json_file(config.report_json, input);
+}
+
 }  // namespace
 
 Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
@@ -632,26 +704,56 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
 
 Result similarity_at_scale_threaded(int nranks, const SampleSource& source,
                                     const Config& config,
-                                    std::vector<bsp::CostCounters>* counters_out) {
+                                    std::vector<bsp::CostCounters>* counters_out,
+                                    obs::Observer* observer) {
   validate_config(source, config);
+  // Observability: use the caller's observer when given (benches own
+  // theirs to inspect drift); otherwise create one only if the config
+  // requests an artifact, so runs with neither flag pay nothing.
+  std::unique_ptr<obs::Observer> owned_observer;
+  if (observer == nullptr &&
+      (!config.trace_out.empty() || !config.report_json.empty())) {
+    owned_observer = std::make_unique<obs::Observer>(nranks);
+    observer = owned_observer.get();
+  }
   Result result;
   std::mutex result_mutex;
   bsp::RuntimeOptions options;
   options.watchdog = std::chrono::milliseconds(config.watchdog_ms);
+  options.observer = observer;
   if (!config.fault_plan.empty()) {
     options.fault_plan =
         std::make_shared<const bsp::FaultPlan>(bsp::FaultPlan::parse(config.fault_plan));
   }
-  auto counters = bsp::Runtime::run(
-      nranks,
-      [&](bsp::Comm& comm) {
-        Result local = similarity_at_scale(comm, source, config);
-        if (comm.rank() == 0) {
-          std::lock_guard<std::mutex> lock(result_mutex);
-          result = std::move(local);
-        }
-      },
-      options);
+  std::vector<bsp::CostCounters> counters;
+  try {
+    counters = bsp::Runtime::run(
+        nranks,
+        [&](bsp::Comm& comm) {
+          Result local = similarity_at_scale(comm, source, config);
+          if (comm.rank() == 0) {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            result = std::move(local);
+          }
+        },
+        options);
+  } catch (...) {
+    // Postmortem flush: a failed run still leaves its trace + report
+    // (status "aborted", blocked-site snapshot attached). Best-effort —
+    // a write failure here must not mask the run's actual error.
+    if (observer != nullptr) {
+      try {
+        write_observability_artifacts(config, source, nranks, *observer, nullptr,
+                                      {});
+      } catch (...) {
+      }
+    }
+    throw;
+  }
+  if (observer != nullptr) {
+    write_observability_artifacts(config, source, nranks, *observer, &result,
+                                  counters);
+  }
   if (counters_out != nullptr) *counters_out = std::move(counters);
   return result;
 }

@@ -122,6 +122,7 @@ class StageRecorder {
         : recorder_(recorder),
           time_stage_(time_stage),
           byte_stage_(byte_stage),
+          span_(stage_name(time_stage), "stage", recorder.counters_),
           context_(std::string("stage=") + stage_name(time_stage)),
           bytes_sent_(recorder.counters_->bytes_sent),
           bytes_received_(recorder.counters_->bytes_received),
@@ -140,6 +141,11 @@ class StageRecorder {
     StageRecorder& recorder_;
     Stage time_stage_;
     Stage byte_stage_;
+    // Trace span named after the time stage; its byte args are this
+    // rank's counter deltas over the scope. Declared before the Timer so
+    // the span closes after the stage accounting (it destructs last of
+    // the measurement members). No-op when observability is off.
+    obs::Span span_;
     // Provenance for error annotation: a rank failing inside this scope
     // reports "rank R [stage=multiply, ...]" (util/error.hpp).
     error::Context context_;
@@ -163,13 +169,17 @@ class StageRecorder {
 };
 
 /// Per-batch instrumentation (rank-0 view; the benches consume this).
+/// Byte counters are std::uint64_t to match StageStats/CostCounters —
+/// one signedness across every traffic counter in the system (the
+/// checkpoint manifest still serializes them as int64 on the wire for
+/// format stability; checkpoint.cpp casts explicitly).
 struct BatchStats {
   double seconds = 0.0;          ///< wall time, barrier-to-barrier (I/O included)
   std::int64_t filtered_rows = 0;///< rows surviving the zero-row filter
   std::int64_t word_rows = 0;    ///< h after bitmask compression
   std::int64_t packed_nnz = 0;   ///< nonzero words across all ranks
-  std::int64_t bytes_sent = 0;   ///< measured payload bytes, summed over ranks
-  std::int64_t bytes_received = 0;  ///< measured receive bytes, summed over ranks
+  std::uint64_t bytes_sent = 0;  ///< measured payload bytes, summed over ranks
+  std::uint64_t bytes_received = 0;  ///< measured receive bytes, summed over ranks
 };
 
 struct Result {
@@ -213,8 +223,16 @@ struct Result {
 /// Single-threaded convenience wrapper: spins up `nranks` bsp ranks, runs
 /// the driver, and returns rank 0's result (plus the cost counters, if
 /// requested via `counters_out`).
+///
+/// Observability: a caller-owned `observer` (benches, tests) is bound to
+/// the rank threads for the run; when none is given but the config asks
+/// for artifacts (trace_out / report_json), one is created internally.
+/// Either way the artifacts are written at run end — including after a
+/// failed run, where the flushed trace carries the abort postmortem
+/// before the error is rethrown.
 [[nodiscard]] Result similarity_at_scale_threaded(
     int nranks, const SampleSource& source, const Config& config,
-    std::vector<bsp::CostCounters>* counters_out = nullptr);
+    std::vector<bsp::CostCounters>* counters_out = nullptr,
+    obs::Observer* observer = nullptr);
 
 }  // namespace sas::core

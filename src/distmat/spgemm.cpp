@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "distmat/crossover.hpp"
+#include "obs/trace.hpp"
 #include "util/popcount.hpp"
 
 namespace sas::distmat {
@@ -102,14 +103,23 @@ CommonRows find_common_rows(const CsrPanel& L, const CsrPanel& N) {
 /// cols] pair set is fully pruned are skipped (cursors still advance so
 /// later tiles stay aligned). Returns the multiply flops actually
 /// performed — equal to the tile's share of CommonRows::flops when
-/// nothing is skipped.
-std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
-                                      std::span<const CommonRow> common_rows,
-                                      std::int64_t l_col_base, std::int64_t n_col_base,
-                                      std::int64_t col_begin, std::int64_t col_end,
-                                      std::int64_t tile_cols,
-                                      DenseBlock<std::int64_t>& out,
-                                      const CandidateMask* prune) {
+/// nothing is skipped — plus the tile visit/skip tallies. The tallies
+/// ride back by value because this runs on kernel worker threads, which
+/// are unbound (obs::current() is null there); the caller aggregates
+/// them onto the rank thread's observer.
+struct RangeResult {
+  std::uint64_t flops = 0;
+  std::uint64_t tiles_visited = 0;
+  std::uint64_t tiles_skipped = 0;
+};
+
+RangeResult accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
+                                    std::span<const CommonRow> common_rows,
+                                    std::int64_t l_col_base, std::int64_t n_col_base,
+                                    std::int64_t col_begin, std::int64_t col_end,
+                                    std::int64_t tile_cols,
+                                    DenseBlock<std::int64_t>& out,
+                                    const CandidateMask* prune) {
   const std::int64_t* const ncols = N.col_idx.data();
   const std::uint64_t* const nvals = N.values.data();
   const std::int64_t* const lcols = L.col_idx.data();
@@ -117,7 +127,7 @@ std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
   const BlockRange out_rows{out.row_range.begin + l_col_base,
                             out.row_range.begin + l_col_base + L.cols};
   const std::int64_t gcol_base = out.col_range.begin + n_col_base;
-  std::uint64_t flops = 0;
+  RangeResult result;
 
   std::vector<std::int64_t> cursor(common_rows.size());
   for (std::size_t idx = 0; idx < common_rows.size(); ++idx) {
@@ -132,6 +142,11 @@ std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
     const bool skip_tile =
         prune != nullptr &&
         !prune->any_pair(out_rows, {gcol_base + tile, gcol_base + tile_end});
+    if (skip_tile) {
+      ++result.tiles_skipped;
+    } else {
+      ++result.tiles_visited;
+    }
     for (std::size_t idx = 0; idx < common_rows.size(); ++idx) {
       const std::int64_t b = cursor[idx];
       const std::int64_t row_end = N.row_end(common_rows[idx].n_index);
@@ -142,7 +157,8 @@ std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
       if (count == 0 || skip_tile) continue;
       const std::int64_t la = L.row_begin(common_rows[idx].l_index);
       const std::int64_t le = L.row_end(common_rows[idx].l_index);
-      flops += static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(le - la);
+      result.flops +=
+          static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(le - la);
       // Register-block four L entries per pass: each (col, mask) of the
       // N segment is loaded once and scattered into four output rows.
       std::int64_t a = la;
@@ -160,7 +176,7 @@ std::uint64_t accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
       }
     }
   }
-  return flops;
+  return result;
 }
 
 /// Dense path worker: every output cell (i, j) for j in [j_begin, j_end)
@@ -272,6 +288,9 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
                         out.row_range.begin + l_col_base + L.cols},
                        {out.col_range.begin + n_col_base,
                         out.col_range.begin + n_col_base + N.cols})) {
+    if (obs::RankObserver* o = obs::current()) {
+      o->add_counter("spgemm.blocks_skipped", 1);
+    }
     return;
   }
   const CommonRows common = find_common_rows(L, N);
@@ -326,14 +345,17 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
   }
 
   const std::span<const CommonRow> rows(common.rows);
+  RangeResult tally;
   if (threads <= 1) {
-    flops_done = accumulate_column_range(L, N, rows, l_col_base, n_col_base, 0, N.cols,
-                                         tile_cols, out, prune);
+    tally = accumulate_column_range(L, N, rows, l_col_base, n_col_base, 0, N.cols,
+                                    tile_cols, out, prune);
   } else {
     // Tiles are disjoint output-column ranges; hand each worker a
     // contiguous run of whole tiles so no accumulator slot is shared.
+    // Worker threads are unbound (no rank observer); their tile tallies
+    // return by value and are folded in here, on the rank thread.
     std::vector<std::thread> workers;
-    std::vector<std::uint64_t> worker_flops(static_cast<std::size_t>(threads), 0);
+    std::vector<RangeResult> worker_results(static_cast<std::size_t>(threads));
     workers.reserve(static_cast<std::size_t>(threads));
     for (int t = 0; t < threads; ++t) {
       const BlockRange tiles = block_range(ntiles, threads, t);
@@ -341,13 +363,24 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
       const std::int64_t col_end = std::min(N.cols, tiles.end * tile_cols);
       if (col_begin >= col_end) continue;
       workers.emplace_back([&, col_begin, col_end, t] {
-        worker_flops[static_cast<std::size_t>(t)] =
+        worker_results[static_cast<std::size_t>(t)] =
             accumulate_column_range(L, N, rows, l_col_base, n_col_base, col_begin,
                                     col_end, tile_cols, out, prune);
       });
     }
     for (std::thread& w : workers) w.join();
-    for (std::uint64_t f : worker_flops) flops_done += f;
+    for (const RangeResult& wr : worker_results) {
+      tally.flops += wr.flops;
+      tally.tiles_visited += wr.tiles_visited;
+      tally.tiles_skipped += wr.tiles_skipped;
+    }
+  }
+  flops_done = tally.flops;
+  if (obs::RankObserver* o = obs::current()) {
+    o->add_counter("spgemm.tiles_visited", tally.tiles_visited);
+    if (tally.tiles_skipped > 0) {
+      o->add_counter("spgemm.tiles_skipped", tally.tiles_skipped);
+    }
   }
   if (counters != nullptr) {
     counters->flops += prune != nullptr ? flops_done : common.flops;
@@ -378,6 +411,9 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
   std::vector<Triplet<std::uint64_t>> current = my_panel.entries;
   int current_owner = r;
   for (int step = 0; step < p; ++step) {
+    // Plain span (no drift prediction): the hop interleaves with the
+    // local multiply, so α-β time would not be comparable.
+    const obs::Span hop("ring/step", "ring", &comm.counters());
     const bool last_step = step + 1 == p;
     // Double buffering: post the rotation send *before* the multiply.
     // Sends are buffered copies, so `current` stays valid for the local
@@ -532,6 +568,9 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
   post_transpose(0);
 
   for (int k = 0; k < s; ++k) {
+    // Per-stage span; the inner broadcasts are Comm collectives and book
+    // their own drift samples, so this span stays prediction-free.
+    const obs::Span stage("summa/stage", "summa", &grid.world().counters());
     if (k + 1 < s) post_transpose(k + 1);
     std::vector<Triplet<std::uint64_t>> lbuf;
     if (grid.grid_col() == k && my_rows_active) {

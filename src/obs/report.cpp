@@ -1,0 +1,154 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace sas::obs {
+
+namespace {
+
+void write_histogram(JsonWriter& w, const char* key, const Histogram& h) {
+  w.key(key);
+  w.begin_object();
+  w.field("count", h.count).field("sum", h.sum).field("max", h.max);
+  // Only the populated tail of the log2 buckets; bucket index k counts
+  // values of bit width k.
+  w.key("log2_buckets");
+  w.begin_object();
+  for (std::size_t k = 0; k < h.buckets.size(); ++k) {
+    if (h.buckets[k] != 0) w.field(std::to_string(k), h.buckets[k]);
+  }
+  w.end_object();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_report_json(std::ostream& out, const ReportInput& input) {
+  JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", kReportSchema);
+  w.field("status", input.abort_message.empty() ? "ok" : "aborted");
+  if (!input.abort_message.empty()) {
+    w.field("abort_message", input.abort_message);
+    w.field("blocked_sites", input.blocked_sites);
+  }
+  w.field("ranks", input.ranks);
+  w.field("samples", input.samples);
+  if (!input.estimator.empty()) w.field("estimator", input.estimator);
+  if (!input.algorithm.empty()) w.field("algorithm", input.algorithm);
+
+  w.key("stages");
+  w.begin_array();
+  for (const StageRow& s : input.stages) {
+    w.begin_object();
+    w.field("name", s.name).field("seconds", s.seconds);
+    w.field("bytes_sent", s.bytes_sent);
+    w.field("bytes_received", s.bytes_received);
+    w.field("messages", s.messages);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("batches");
+  w.begin_array();
+  for (const BatchRow& b : input.batches) {
+    w.begin_object();
+    w.field("index", b.index).field("seconds", b.seconds);
+    w.field("local_nnz", b.local_nnz);
+    w.field("bytes_sent", b.bytes_sent);
+    w.field("bytes_received", b.bytes_received);
+    w.end_object();
+  }
+  w.end_array();
+
+  if (!input.counters.empty()) {
+    const bsp::CostSummary summary = bsp::CostSummary::aggregate(input.counters);
+    w.key("cost_summary");
+    w.begin_object();
+    w.field("total_messages", summary.total_messages);
+    w.field("total_bytes", summary.total_bytes);
+    w.field("total_bytes_received", summary.total_bytes_received);
+    w.field("max_messages", summary.max_messages);
+    w.field("max_bytes", summary.max_bytes);
+    w.field("max_supersteps", summary.max_supersteps);
+    w.field("total_flops", summary.total_flops);
+    w.field("max_flops", summary.max_flops);
+    w.end_object();
+  }
+
+  if (input.observer != nullptr) {
+    const Observer& obs = *input.observer;
+
+    // Per-primitive cost-model drift: Σ α-β predicted vs Σ measured over
+    // every outermost instance across all ranks. drift_ratio > 1 means
+    // the machine is slower than the model parameters claim.
+    w.key("drift");
+    w.begin_array();
+    const auto drift = obs.aggregate_drift();
+    for (std::size_t p = 0; p < kPrimitiveCount; ++p) {
+      const DriftCell& cell = drift[p];
+      if (cell.samples == 0) continue;
+      w.begin_object();
+      w.field("primitive", primitive_name(static_cast<Primitive>(p)));
+      w.field("samples", cell.samples);
+      w.field("predicted_seconds", cell.predicted_seconds);
+      w.field("measured_seconds", cell.measured_seconds);
+      w.field("drift_ratio", cell.predicted_seconds > 0.0
+                                 ? cell.measured_seconds / cell.predicted_seconds
+                                 : 0.0);
+      w.end_object();
+    }
+    w.end_array();
+
+    w.key("metrics");
+    w.begin_array();
+    for (int r = 0; r < obs.nranks(); ++r) {
+      const RankObserver& rank = obs.rank(r);
+      w.begin_object();
+      w.field("rank", r);
+      w.field("spans", static_cast<std::uint64_t>(rank.events().size()));
+      w.field("dropped_spans", rank.dropped());
+      if (static_cast<std::size_t>(r) < input.counters.size()) {
+        const bsp::CostCounters& c = input.counters[static_cast<std::size_t>(r)];
+        w.field("messages_sent", c.messages_sent);
+        w.field("bytes_sent", c.bytes_sent);
+        w.field("bytes_received", c.bytes_received);
+        w.field("supersteps", c.supersteps);
+        w.field("flops", c.flops);
+      }
+      write_histogram(w, "message_bytes", rank.message_bytes);
+      write_histogram(w, "mailbox_wait_ns", rank.mailbox_wait_ns);
+      w.key("counters");
+      w.begin_object();
+      for (const auto& [name, value] : rank.counters()) {
+        w.field(name, value);
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_array();
+
+    w.field("dropped_spans", obs.total_dropped());
+  }
+
+  w.end_object();
+  out << '\n';
+}
+
+void write_report_json_file(const std::string& path, const ReportInput& input) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw error::ConfigError("cannot write report file: " + path);
+  }
+  write_report_json(out, input);
+  out.flush();
+  if (!out) {
+    throw error::ConfigError("failed writing report file: " + path);
+  }
+}
+
+}  // namespace sas::obs

@@ -1,0 +1,67 @@
+// report.hpp — machine-readable run report (`gas dist --report-json`).
+//
+// The report is the registry's serialization: per-stage and per-batch
+// tables copied verbatim from the driver's PipelineStats/BatchStats (so
+// the report always matches what the pipeline itself measured), per-rank
+// BSP cost counters and metric histograms, and the per-primitive
+// cost-model drift table. The input struct is deliberately generic —
+// obs/ never includes core/ headers, the driver flattens its stats into
+// rows — which is also what lets the benches reuse this writer.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bsp/cost_model.hpp"
+
+namespace sas::obs {
+
+class Observer;
+
+/// One pipeline stage row (rank-0 aggregated view, max-seconds /
+/// summed-traffic — exactly PipelineStats' reduction).
+struct StageRow {
+  std::string name;
+  double seconds = 0.0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t messages = 0;
+};
+
+/// One batch row mirroring core::BatchStats.
+struct BatchRow {
+  int index = 0;
+  double seconds = 0.0;
+  std::int64_t local_nnz = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Everything the report writer needs, flattened by the caller.
+struct ReportInput {
+  int ranks = 0;
+  std::string estimator;
+  std::string algorithm;
+  std::int64_t samples = 0;
+  std::vector<StageRow> stages;
+  std::vector<BatchRow> batches;
+  /// Per-rank counters from Runtime::run; may be empty on an aborted run.
+  std::vector<bsp::CostCounters> counters;
+  /// Optional: adds per-rank metrics, histograms, and the drift table.
+  const Observer* observer = nullptr;
+  /// Non-empty marks the run aborted (status "aborted" + postmortem).
+  std::string abort_message;
+  std::string blocked_sites;
+};
+
+/// Schema identifier stamped into every report ("schema" key).
+inline constexpr const char* kReportSchema = "sas-run-report-v1";
+
+void write_report_json(std::ostream& out, const ReportInput& input);
+
+/// As above, to a file. Throws error::ConfigError if unwritable.
+void write_report_json_file(const std::string& path, const ReportInput& input);
+
+}  // namespace sas::obs

@@ -11,6 +11,7 @@
 #include "distmat/dense_block.hpp"
 #include "distmat/dist_filter.hpp"
 #include "distmat/gather.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace sas::sketch {
@@ -366,6 +367,11 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
   pass.mode = core::CandidateMode::kLsh;
   pass.plan = lsh_candidate_plan(config, effective_threshold);
 
+  // Phase spans: the pass is straight-line code with locals flowing
+  // across phases, so each span is an explicit object closed at the
+  // phase boundary instead of a nested block.
+  obs::Span phase_ownership("lsh/ownership", "lsh", &world.counters());
+
   // (1) Ownership map: who holds which blob (cheap — ids only, no blobs).
   const auto id_blocks = world.allgather_v<std::int64_t>(samples);
   const std::vector<int> owner = owner_map(id_blocks, n);
@@ -373,6 +379,9 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
   for (std::size_t i = 0; i < samples.size(); ++i) {
     local_index[static_cast<std::size_t>(samples[i])] = static_cast<std::int64_t>(i);
   }
+
+  phase_ownership.close();
+  obs::Span phase_band_keys("lsh/band-keys", "lsh", &world.counters());
 
   // (2) Band keys, one packed word per (sample, band): the bucket hash's
   // high 32 bits form the routing group, the low half carries the sample
@@ -392,6 +401,9 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
     }
   }
   const auto incoming_keys = world.alltoall_v(key_blocks);
+
+  phase_band_keys.close();
+  obs::Span phase_buckets("lsh/buckets", "lsh", &world.counters());
 
   // (3) Bucket grouping: sorting the packed words groups by (group,
   // sample); every within-group sample pair is a collision candidate,
@@ -448,6 +460,9 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
   capped_union.erase(std::unique(capped_union.begin(), capped_union.end()),
                      capped_union.end());
 
+  phase_buckets.close();
+  obs::Span phase_dedup("lsh/dedup", "lsh", &world.counters());
+
   // (4) Deduplicate (a pair may collide in several bands, possibly via
   // different group owners, or re-arrive via the capped union) and list
   // the partner blobs to fetch.
@@ -476,6 +491,9 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
     std::sort(block.begin(), block.end());
     block.erase(std::unique(block.begin(), block.end()), block.end());
   }
+
+  phase_dedup.close();
+  obs::Span phase_fetch("lsh/blob-fetch", "lsh", &world.counters());
 
   // (5) Blob fetch, request/response over two alltoalls — O(distinct
   // colliding partners · sketch_bytes), the LSH pass's only blob traffic.
@@ -516,6 +534,9 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
                     : fetched[static_cast<std::size_t>(id)];
   };
 
+  phase_fetch.close();
+  obs::Span phase_score("lsh/score", "lsh", &world.counters());
+
   // (6) Score exactly the colliding pairs; keep every non-zero estimate
   // (pruned colliders still fill the assembled output better than 0) and
   // threshold into the local candidate list.
@@ -528,6 +549,9 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
     if (est != 0.0) scored.push_back({i, j, est});
     if (est >= pass.effective_threshold) kept.push_back(packed);
   }
+
+  phase_score.close();
+  obs::Span phase_mask("lsh/mask-union", "lsh", &world.counters());
 
   // (7) Replicate the union — O(survivors) bytes, not O(n²/8) — and pick
   // the representation by the storage-parity crossover.
@@ -546,6 +570,9 @@ CandidatePass lsh_candidate_pass(bsp::Comm& world,
     }
     pass.mask = distmat::CandidateMask(std::move(mask));
   }
+
+  phase_mask.close();
+  obs::Span phase_estimates("lsh/estimates", "lsh", &world.counters());
 
   // (8) Estimates to rank 0 as sorted (i < j, value) pairs — O(scored)
   // memory; never-collided pairs stay absent and read as 0.0 (they are
@@ -620,6 +647,9 @@ core::Result sketch_similarity_at_scale(bsp::Comm& world,
     std::vector<std::uint64_t> current = panel_words;
     int current_owner = r;
     for (int step = 0; step < p; ++step) {
+      // Plain span (no drift): the hop interleaves with estimation
+      // compute, so predicted α-β time would not be comparable.
+      const obs::Span hop("sketch-ring/step", "ring", &world.counters());
       const bool last_step = step + 1 == p;
       if (!last_step && config.ring_overlap) {
         world.send<std::uint64_t>((r + 1) % p, kTagSketchRing,
@@ -669,8 +699,8 @@ core::Result sketch_similarity_at_scale(bsp::Comm& world,
     bs.filtered_rows = 0;  // no packing pass: sketches replace the panels
     bs.word_rows = blobs.empty() ? 0 : static_cast<std::int64_t>(blobs.front().size());
     bs.packed_nnz = total_words;  // wire words across all ranks
-    bs.bytes_sent = static_cast<std::int64_t>(result.stages.total_bytes_sent());
-    bs.bytes_received = static_cast<std::int64_t>(result.stages.total_bytes_received());
+    bs.bytes_sent = result.stages.total_bytes_sent();
+    bs.bytes_received = result.stages.total_bytes_received();
     result.batches = {bs};
   }
   return result;

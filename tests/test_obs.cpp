@@ -1,0 +1,284 @@
+// test_obs.cpp — the observability subsystem (src/obs/): JSON
+// writer/parser round-trips, bounded span buffers, span balance across
+// real driver runs, Chrome-trace well-formedness (the emitted file is
+// parsed back), report-vs-PipelineStats exactness, and the postmortem
+// flush of a fault-injected run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/driver.hpp"
+#include "core/sample_source.hpp"
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+namespace sas {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+fs::path temp_file(const std::string& name) {
+  return fs::temp_directory_path() / name;
+}
+
+// ----------------------------------------------------------- JSON layer
+
+TEST(Json, WriterParserRoundTrip) {
+  std::ostringstream out;
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("text", "quote \" backslash \\ newline \n tab \t");
+  w.field("int", std::int64_t{-42});
+  w.field("uint", std::uint64_t{18446744073709551615ull});
+  w.field("pi", 3.25);
+  w.field("yes", true);
+  w.key("null_value").null();
+  w.key("list");
+  w.begin_array().value(1).value("two").value(false).end_array();
+  w.key("nested");
+  w.begin_object().field("k", 7).end_object();
+  w.end_object();
+
+  const obs::JsonValue v = obs::JsonValue::parse(out.str());
+  EXPECT_EQ(v.at("text").str(), "quote \" backslash \\ newline \n tab \t");
+  EXPECT_EQ(v.at("int").number(), -42.0);
+  EXPECT_EQ(v.at("pi").number(), 3.25);
+  EXPECT_TRUE(v.at("yes").boolean());
+  EXPECT_TRUE(v.at("null_value").is_null());
+  ASSERT_EQ(v.at("list").array().size(), 3u);
+  EXPECT_EQ(v.at("list").array()[1].str(), "two");
+  EXPECT_EQ(v.at("nested").at("k").number(), 7.0);
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW((void)v.at("absent"), error::CorruptInput);
+}
+
+TEST(Json, ParserRejectsDamage) {
+  EXPECT_THROW((void)obs::JsonValue::parse(""), error::CorruptInput);
+  EXPECT_THROW((void)obs::JsonValue::parse("{\"a\":1"), error::CorruptInput);
+  EXPECT_THROW((void)obs::JsonValue::parse("{\"a\":1} trailing"),
+               error::CorruptInput);
+  EXPECT_THROW((void)obs::JsonValue::parse("{\"a\":}"), error::CorruptInput);
+  EXPECT_THROW((void)obs::JsonValue::parse("[1,]"), error::CorruptInput);
+  EXPECT_THROW((void)obs::JsonValue::parse("{'a':1}"), error::CorruptInput);
+  EXPECT_THROW((void)obs::JsonValue::parse("nul"), error::CorruptInput);
+  // A valid document parses cleanly through the same entry point.
+  EXPECT_NO_THROW((void)obs::JsonValue::parse(" {\"a\": [1, 2.5, \"\\u0041\"]} "));
+  EXPECT_EQ(obs::JsonValue::parse("\"\\u0041\"").str(), "A");
+}
+
+// ----------------------------------------------------------- span layer
+
+TEST(Obs, BoundedBufferCountsDrops) {
+  obs::Observer observer(1, /*span_capacity=*/4);
+  {
+    const obs::ScopedRankBinding binding(&observer, 0);
+    for (int i = 0; i < 10; ++i) {
+      obs::Span span("s", "test");
+    }
+  }
+  EXPECT_EQ(observer.rank(0).events().size(), 4u);
+  EXPECT_EQ(observer.rank(0).dropped(), 6u);
+  EXPECT_EQ(observer.total_dropped(), 6u);
+  EXPECT_EQ(observer.rank(0).open_depth, 0);
+}
+
+TEST(Obs, UnboundSpansAreNoOps) {
+  ASSERT_EQ(obs::current(), nullptr);
+  obs::Span span("unbound", "test");
+  span.add_bytes(10, 20);
+  span.close();
+  const obs::BatchScope batch(3);
+  // Nothing to observe — the point is that none of this crashes or
+  // leaks state without a bound observer.
+  EXPECT_EQ(obs::current(), nullptr);
+}
+
+TEST(Obs, SpanNestingStampsBatchIndex) {
+  obs::Observer observer(1);
+  {
+    const obs::ScopedRankBinding binding(&observer, 0);
+    {
+      const obs::BatchScope batch(5);
+      obs::Span inner("inner", "test");
+    }
+    obs::Span outside("outside", "test");
+  }
+  const auto& events = observer.rank(0).events();
+  ASSERT_EQ(events.size(), 3u);  // inner, batch, outside (close order)
+  EXPECT_STREQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].batch, 5);
+  EXPECT_STREQ(events[1].name, "batch");
+  EXPECT_EQ(events[1].batch, 5);  // the batch span itself is stamped
+  EXPECT_STREQ(events[2].name, "outside");
+  EXPECT_EQ(events[2].batch, -1);  // restored after the scope
+  EXPECT_EQ(observer.rank(0).open_depth, 0);
+}
+
+// ------------------------------------------- traces from real driver runs
+
+TEST(Obs, TraceParsesBackAndCoversStages) {
+  const core::BernoulliSampleSource source(std::int64_t{1} << 12, 24, 0.01, 7);
+  for (int p : {1, 2, 4}) {
+    core::Config config;
+    config.algorithm = core::Algorithm::kRing1D;
+    config.batch_count = 2;
+    const fs::path trace_path =
+        temp_file("obs_trace_p" + std::to_string(p) + ".json");
+    config.trace_out = trace_path.string();
+
+    obs::Observer observer(p);
+    (void)core::similarity_at_scale_threaded(p, source, config, nullptr,
+                                             &observer);
+
+    // Span balance: every rank closed everything it opened.
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(observer.rank(r).open_depth, 0) << "rank " << r << " at p=" << p;
+      EXPECT_GT(observer.rank(r).events().size(), 0u);
+    }
+
+    const obs::JsonValue trace = obs::JsonValue::parse(slurp(trace_path));
+    const auto& events = trace.at("traceEvents").array();
+    std::set<int> pids;
+    std::map<int, std::set<std::string>> stage_names_by_pid;
+    std::size_t collectives = 0;
+    for (const obs::JsonValue& ev : events) {
+      if (ev.at("ph").str() != "X") continue;
+      const int pid = static_cast<int>(ev.at("pid").number());
+      pids.insert(pid);
+      EXPECT_GE(ev.at("dur").number(), 0.0);
+      if (ev.at("cat").str() == "stage") {
+        stage_names_by_pid[pid].insert(ev.at("name").str());
+      }
+      if (ev.at("cat").str() == "collective") ++collectives;
+    }
+    const std::set<int> expected_pids = [&] {
+      std::set<int> s;
+      for (int r = 0; r < p; ++r) s.insert(r);
+      return s;
+    }();
+    EXPECT_EQ(pids, expected_pids) << "p=" << p;
+    const std::set<std::string> expected_stages = {
+        "ingest", "pack/sketch", "exchange", "multiply", "assemble"};
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(stage_names_by_pid[r], expected_stages)
+          << "rank " << r << " at p=" << p;
+    }
+    if (p > 1) EXPECT_GT(collectives, 0u) << "p=" << p;
+    EXPECT_FALSE(trace.at("otherData").at("aborted").boolean());
+    fs::remove(trace_path);
+  }
+}
+
+TEST(Obs, HybridReportMatchesPipelineStats) {
+  const core::BernoulliSampleSource source(std::int64_t{1} << 12, 24, 0.01, 7);
+  core::Config config;
+  config.estimator = core::Estimator::kHybrid;
+  config.batch_count = 2;
+  const fs::path report_path = temp_file("obs_report_hybrid.json");
+  config.report_json = report_path.string();
+
+  obs::Observer observer(4);
+  std::vector<bsp::CostCounters> counters;
+  const core::Result result =
+      core::similarity_at_scale_threaded(4, source, config, &counters, &observer);
+
+  const obs::JsonValue report = obs::JsonValue::parse(slurp(report_path));
+  EXPECT_EQ(report.at("schema").str(), obs::kReportSchema);
+  EXPECT_EQ(report.at("status").str(), "ok");
+  EXPECT_EQ(report.at("ranks").number(), 4.0);
+  EXPECT_EQ(report.at("estimator").str(), "hybrid");
+
+  // Per-stage rows must match PipelineStats EXACTLY: same reduction,
+  // copied verbatim (uint64 byte counts are below 2^53, so the double
+  // round-trip is exact).
+  const auto& stages = report.at("stages").array();
+  ASSERT_EQ(stages.size(), core::kStageCount);
+  for (std::size_t s = 0; s < core::kStageCount; ++s) {
+    const core::StageStats& expect = result.stages.stages[s];
+    EXPECT_EQ(stages[s].at("name").str(),
+              core::stage_name(static_cast<core::Stage>(s)));
+    EXPECT_DOUBLE_EQ(stages[s].at("seconds").number(), expect.seconds);
+    EXPECT_EQ(static_cast<std::uint64_t>(stages[s].at("bytes_sent").number()),
+              expect.bytes_sent);
+    EXPECT_EQ(static_cast<std::uint64_t>(stages[s].at("bytes_received").number()),
+              expect.bytes_received);
+    EXPECT_EQ(static_cast<std::uint64_t>(stages[s].at("messages").number()),
+              expect.messages);
+  }
+  EXPECT_GT(result.stages[core::Stage::kExchange].bytes_sent, 0u);
+
+  const auto& batches = report.at("batches").array();
+  ASSERT_EQ(batches.size(), result.batches.size());
+  for (std::size_t b = 0; b < batches.size(); ++b) {
+    EXPECT_EQ(static_cast<std::uint64_t>(batches[b].at("bytes_sent").number()),
+              result.batches[b].bytes_sent);
+  }
+
+  // Drift table: collectives ran, predictions were booked.
+  const auto& drift = report.at("drift").array();
+  EXPECT_FALSE(drift.empty());
+  for (const obs::JsonValue& row : drift) {
+    EXPECT_GT(row.at("samples").number(), 0.0);
+    EXPECT_GT(row.at("predicted_seconds").number(), 0.0);
+    EXPECT_GE(row.at("measured_seconds").number(), 0.0);
+  }
+
+  const auto& metrics = report.at("metrics").array();
+  ASSERT_EQ(metrics.size(), 4u);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(metrics[static_cast<std::size_t>(r)].at("rank").number(), r);
+    EXPECT_GT(metrics[static_cast<std::size_t>(r)].at("spans").number(), 0.0);
+  }
+  // Per-rank counters mirror what Runtime::run returned.
+  ASSERT_EQ(counters.size(), 4u);
+  EXPECT_EQ(static_cast<std::uint64_t>(metrics[1].at("bytes_sent").number()),
+            counters[1].bytes_sent);
+  fs::remove(report_path);
+}
+
+TEST(Obs, FaultInjectedRunStillFlushesArtifacts) {
+  const core::BernoulliSampleSource source(std::int64_t{1} << 12, 24, 0.01, 7);
+  core::Config config;
+  config.algorithm = core::Algorithm::kRing1D;
+  config.batch_count = 2;
+  config.fault_plan = "rank=1:op=6:throw";
+  const fs::path trace_path = temp_file("obs_trace_fault.json");
+  const fs::path report_path = temp_file("obs_report_fault.json");
+  config.trace_out = trace_path.string();
+  config.report_json = report_path.string();
+
+  EXPECT_THROW(
+      (void)core::similarity_at_scale_threaded(4, source, config), std::exception);
+
+  // Both artifacts exist and parse; the trace carries the postmortem.
+  const obs::JsonValue trace = obs::JsonValue::parse(slurp(trace_path));
+  EXPECT_TRUE(trace.at("otherData").at("aborted").boolean());
+  EXPECT_FALSE(trace.at("otherData").at("abort_message").str().empty());
+  EXPECT_FALSE(trace.at("traceEvents").array().empty());
+
+  const obs::JsonValue report = obs::JsonValue::parse(slurp(report_path));
+  EXPECT_EQ(report.at("status").str(), "aborted");
+  EXPECT_FALSE(report.at("abort_message").str().empty());
+  fs::remove(trace_path);
+  fs::remove(report_path);
+}
+
+}  // namespace
+}  // namespace sas

@@ -85,6 +85,7 @@ int usage() {
                "           [--dense-output]\n"
                "           [--checkpoint DIR] [--resume] [--watchdog-ms N]\n"
                "           [--fault-plan SPEC]\n"
+               "           [--trace-out run.json] [--report-json report.json]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
                "[--reads] [--coverage 20] [--error 0.003] [--seed 1] [--out-dir .]\n"
@@ -97,7 +98,17 @@ int usage() {
                "  --fault-plan SPEC  deterministic fault injection for testing:\n"
                "                     'rank=R:op=K:throw|flip[=BYTE]|delay=MS' (';'-joined)\n"
                "exit codes: 0 ok, 1 generic error, 2 bad config/usage,\n"
-               "            3 corrupt input, 4 rank failure, 5 watchdog timeout\n");
+               "            3 corrupt input, 4 rank failure, 5 watchdog timeout\n"
+               "\n"
+               "observability (gas dist):\n"
+               "  --trace-out F      merge every rank's spans (stages, batches,\n"
+               "                     collectives, checkpoint ops, LSH phases) into a\n"
+               "                     Chrome trace-event JSON loadable in Perfetto;\n"
+               "                     aborted runs flush a postmortem timeline\n"
+               "  --report-json F    machine-readable run report: per-stage/per-batch\n"
+               "                     byte+time tables, per-rank BSP counters and\n"
+               "                     histograms, and per-primitive cost-model drift\n"
+               "                     (alpha-beta predicted vs measured seconds)\n");
   return 2;
 }
 
@@ -329,6 +340,11 @@ int cmd_dist(const ArgParser& args) {
     std::fprintf(stderr, "gas dist: --watchdog-ms must be >= 0\n");
     return 2;
   }
+
+  // Observability artifacts (see "observability" in the usage text); the
+  // driver writes both on success AND on abort (postmortem timeline).
+  options.core.trace_out = args.get_string("trace-out", "");
+  options.core.report_json = args.get_string("report-json", "");
 
   std::vector<std::string> paths(args.positional().begin() + 1, args.positional().end());
   const genome::KmerFileSource source(k, paths);
