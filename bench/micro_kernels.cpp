@@ -165,6 +165,49 @@ void BM_DenseStream2x2(benchmark::State& state) {
 }
 BENCHMARK(BM_DenseStream2x2)->Arg(64)->Arg(512);
 
+/// Scalar vs AVX512 gather/scatter accumulate — the sparse tile loop's
+/// inner kernel (spgemm.hpp "Kernel strategy" item 3). Same segment
+/// shape for both rows, so items/sec compares directly; the dispatch
+/// row resolves to the vectorized TU where the host has AVX512VPOPCNTDQ
+/// and to the scalar inline kernel elsewhere. Arg = segment length
+/// (columns hit per word-row).
+void BM_ScatterScalar(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<std::int64_t> cols(count);
+  for (std::size_t i = 0; i < count; ++i) cols[i] = static_cast<std::int64_t>(i);
+  for (std::size_t i = count; i > 1; --i) std::swap(cols[i - 1], cols[rng.uniform(i)]);
+  std::vector<std::uint64_t> vals(count);
+  for (auto& v : vals) v = rng();
+  std::vector<std::int64_t> acc(count, 0);
+  for (auto _ : state) {
+    sas::popcount_and_scatter(rng(), cols.data(), vals.data(), count, acc.data());
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ScatterScalar)->Arg(64)->Arg(1024);
+
+void BM_ScatterVector(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  Rng rng(21);
+  std::vector<std::int64_t> cols(count);
+  for (std::size_t i = 0; i < count; ++i) cols[i] = static_cast<std::int64_t>(i);
+  for (std::size_t i = count; i > 1; --i) std::swap(cols[i - 1], cols[rng.uniform(i)]);
+  std::vector<std::uint64_t> vals(count);
+  for (auto& v : vals) v = rng();
+  std::vector<std::int64_t> acc(count, 0);
+  for (auto _ : state) {
+    sas::popcount_and_scatter_dispatch(rng(), cols.data(), vals.data(), count,
+                                       acc.data());
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_ScatterVector)->Arg(64)->Arg(1024);
+
 /// CsrPanel construction — the once-per-received-panel cost the tiled
 /// kernel amortizes (it replaces per-step triplet run re-derivation).
 void BM_CsrPanelBuild(benchmark::State& state) {
@@ -268,6 +311,94 @@ int run_tracing_overhead_gate() {
   return overhead >= 0.03 ? 1 : 0;
 }
 
+/// Vectorized-scatter speed gate (ROADMAP "Raw speed"): where the host
+/// compiled the AVX512 scatter TU, the dispatched kernel must beat the
+/// scalar inline kernel by >= 1.2x on a production-shaped segment
+/// (min-of-N, interleaved). On hosts without AVX512VPOPCNTDQ the
+/// dispatch IS the scalar kernel — the gate prints a skip and passes
+/// (skip-not-fail: the parity tests still cover the delegation path).
+int run_scatter_speed_gate() {
+  if (!sas::popcount_scatter_vectorized()) {
+    std::printf(
+        "scatter speed gate: SKIP (no AVX512VPOPCNTDQ at build time; "
+        "dispatch delegates to the scalar kernel)\n");
+    return 0;
+  }
+  constexpr std::size_t kCount = 1024;
+  constexpr int kReps = 2048;
+  constexpr int kTrials = 15;
+  Rng rng(33);
+  std::vector<std::int64_t> cols(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) cols[i] = static_cast<std::int64_t>(i);
+  for (std::size_t i = kCount; i > 1; --i) std::swap(cols[i - 1], cols[rng.uniform(i)]);
+  std::vector<std::uint64_t> vals(kCount);
+  for (auto& v : vals) v = rng();
+  std::vector<std::uint64_t> words(kReps);
+  for (auto& w : words) w = rng();
+  std::vector<std::int64_t> acc(kCount, 0);
+
+  // Volatile pointer: keeps the scalar kernel an out-of-line call like
+  // the dispatch entry point (fair comparison), and stops GCC's full
+  // unroll of the inlined tail loop (which trips a bogus
+  // -Waggressive-loop-optimizations diagnostic at -O3).
+  void (*volatile scalar_kernel)(std::uint64_t, const std::int64_t*,
+                                 const std::uint64_t*, std::size_t,
+                                 std::int64_t*) noexcept = sas::popcount_and_scatter;
+
+  // Warm both paths before timing: the first AVX512 burst can carry a
+  // frequency-license transition that would otherwise land in trial 0.
+  for (int rep = 0; rep < kReps; ++rep) {
+    scalar_kernel(words[static_cast<std::size_t>(rep)], cols.data(), vals.data(),
+                  kCount, acc.data());
+    sas::popcount_and_scatter_dispatch(words[static_cast<std::size_t>(rep)],
+                                       cols.data(), vals.data(), kCount, acc.data());
+  }
+
+  const auto measure_speedup = [&] {
+    double best_scalar = 1e300;
+    double best_vector = 1e300;
+    for (int t = 0; t < kTrials; ++t) {
+      {
+        sas::Timer timer;
+        for (int rep = 0; rep < kReps; ++rep) {
+          scalar_kernel(words[static_cast<std::size_t>(rep)], cols.data(), vals.data(),
+                        kCount, acc.data());
+        }
+        best_scalar = std::min(best_scalar, timer.seconds());
+      }
+      {
+        sas::Timer timer;
+        for (int rep = 0; rep < kReps; ++rep) {
+          sas::popcount_and_scatter_dispatch(words[static_cast<std::size_t>(rep)],
+                                             cols.data(), vals.data(), kCount,
+                                             acc.data());
+        }
+        best_vector = std::min(best_vector, timer.seconds());
+      }
+    }
+    std::printf(
+        "scatter speed gate (%zu cols x %d reps, min of %d): scalar %.3f us, "
+        "vector %.3f us, speedup %.2fx (gate >= 1.2x)\n",
+        kCount, kReps, kTrials, best_scalar * 1e6, best_vector * 1e6,
+        best_scalar / best_vector);
+    return best_scalar / best_vector;
+  };
+  // Shared/virtualized CI hosts jitter enough to smear a real ~1.3x
+  // kernel speedup across the gate line; steal time and frequency
+  // transitions only ever depress one side of a round. Up to three
+  // measurement rounds, any clean round passes.
+  constexpr int kRounds = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    if (measure_speedup() >= 1.2) {
+      benchmark::DoNotOptimize(acc.data());
+      return 0;
+    }
+  }
+  benchmark::DoNotOptimize(acc.data());
+  std::printf("scatter speed gate: FAIL (< 1.2x in all %d rounds)\n", kRounds);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -275,5 +406,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return run_tracing_overhead_gate();
+  // Both gates always run; either failing fails the binary.
+  const int tracing = run_tracing_overhead_gate();
+  const int scatter = run_scatter_speed_gate();
+  return tracing != 0 || scatter != 0 ? 1 : 0;
 }

@@ -393,6 +393,62 @@ int main(int argc, char** argv) {
               "assemblies; assemble bytes, assemble+filter bytes, and rank-0 resident\n"
               "output strictly below the PR 4 baseline.\n");
 
+  // ---- mask-first packing: pruned columns are never packed ---------------
+  // Corpus with genuine prunables: 4 families x 2 members plus 8 singleton
+  // genomes (no relative above the threshold). The hybrid pipeline defers
+  // pack_batch until after the candidate pass, so the singletons' columns
+  // are dropped BEFORE the zero-row filter union — pack/sketch-stage bytes
+  // must come in strictly below the exact pipeline's, which packs every
+  // column. (The family corpus above can't show this: every sample there
+  // has a surviving partner, so its mask is all-ones.)
+  std::printf("\nMask-first packing: pack bytes with prunable columns "
+              "(4 families x 2 + 8 singletons, 8 ranks, threshold 0.1)\n\n");
+  std::vector<genome::KmerSample> mf_corpus;
+  Rng mf_rng(77);
+  for (int f = 0; f < 4; ++f) {
+    const std::string ancestor = genome::random_genome(6000, mf_rng);
+    for (int m = 0; m < 2; ++m) {
+      const std::string individual =
+          m == 0 ? ancestor : genome::mutate_point(ancestor, 0.02, mf_rng);
+      mf_corpus.push_back(genome::build_sample(
+          "mf" + std::to_string(f) + "m" + std::to_string(m), {{"g", "", individual}},
+          codec));
+    }
+  }
+  for (int s = 0; s < 8; ++s) {
+    mf_corpus.push_back(
+        genome::build_sample("mfsingle" + std::to_string(s),
+                             {{"g", "", genome::random_genome(6000, mf_rng)}}, codec));
+  }
+  const genome::KmerSampleSource mf_source(k, std::move(mf_corpus));
+  const std::int64_t mfn = mf_source.sample_count();
+  const RunResult mf_exact = run_driver(8, mf_source, family_exact_cfg);
+  const RunResult mf_hybrid = run_driver(8, mf_source, hybrid_cfg);
+  std::int64_t mf_parity_violations = 0;
+  for (std::int64_t i = 0; i < mfn; ++i) {
+    for (std::int64_t j = i + 1; j < mfn; ++j) {
+      if (!mf_hybrid.result.candidates.test(i, j)) continue;
+      if (mf_hybrid.result.similarity_at(i, j) !=
+          mf_exact.result.similarity.similarity(i, j)) {
+        ++mf_parity_violations;
+      }
+    }
+  }
+  const bool mf_pack_ok = filter_bytes(mf_hybrid) < filter_bytes(mf_exact);
+  const bool mf_ok = mf_parity_violations == 0 && mf_pack_ok;
+  ok = ok && mf_ok;
+  TextTable mf_table({"pipeline", "pack/filter bytes", "parity", "gate"});
+  mf_table.add_row({"exact (packs every column)", std::to_string(filter_bytes(mf_exact)),
+                    "-", "-"});
+  mf_table.add_row({"hybrid (mask-first pack)", std::to_string(filter_bytes(mf_hybrid)),
+                    mf_parity_violations == 0 ? "bitwise" : "FAIL",
+                    mf_ok ? "PASS" : "FAIL"});
+  mf_table.print();
+  append_result_bytes_json("minhash_accuracy", "maskfirst_exact", mf_exact.result);
+  append_result_bytes_json("minhash_accuracy", "maskfirst_hybrid", mf_hybrid.result);
+  std::printf("\nmask-first gate: hybrid pack/sketch bytes strictly below exact — the\n"
+              "pruned columns never reach the zero-row filter union or the packer.\n");
+
   // ---- LSH-banded candidate pass vs all-pairs allgather ------------------
   // Larger family corpus (24 families x 2 members, 8 ranks): the regime
   // past the all-pairs pass's comfort zone. The banded pass must match

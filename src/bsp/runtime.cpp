@@ -59,6 +59,7 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
   auto state = std::make_shared<detail::SharedState>(nranks);
   state->watchdog = effective_watchdog(options.watchdog);
   state->fault_plan = options.fault_plan;
+  if (options.nodes > 1) state->set_node_topology(options.nodes);
   std::vector<CostCounters> counters(static_cast<std::size_t>(nranks));
   std::vector<FaultSlot> fault_slots(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) fault_slots[static_cast<std::size_t>(r)].world_rank = r;

@@ -20,6 +20,7 @@
 #include "distmat/redistribute.hpp"
 #include "distmat/spgemm.hpp"
 #include "sketch/exchange.hpp"
+#include "util/numa.hpp"
 #include "util/timer.hpp"
 
 namespace sas::core {
@@ -125,6 +126,17 @@ Layout make_layout(bsp::Comm& world, const Config& config, std::int64_t n) {
       }
       break;
   }
+  // Multi-socket hosts: re-fault the accumulator panel's pages across the
+  // sockets that will run the multiply workers (block partition matching
+  // numa::node_for_worker). The panel is freshly value-initialized here,
+  // so the first-touch pass preserves its all-zero contents. Single-node
+  // hosts and serial runs fall straight through.
+  if (config.numa_aware && config.kernel_threads > 1 && layout.b_block.has_value() &&
+      !layout.b_block->values.empty()) {
+    numa::first_touch_partitioned(layout.b_block->values.data(),
+                                  layout.b_block->values.size() * sizeof(std::int64_t),
+                                  config.kernel_threads);
+  }
   return layout;
 }
 
@@ -145,6 +157,7 @@ void exchange_and_multiply(bsp::Comm& world, Layout& layout, const Config& confi
   distmat::CsrAtaOptions kernel_options;
   kernel_options.threads = config.kernel_threads;
   kernel_options.dense_crossover = config.dense_crossover;
+  kernel_options.numa_aware = config.numa_aware;
   kernel_options.prune = prune;
 
   switch (config.algorithm) {
@@ -488,10 +501,12 @@ Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
 
 /// The hybrid pipeline (sketch-prune → exact-rescore):
 ///
-///   1. ONE pass over the inputs: each batch's reads feed both the
-///      bitmask packer and the streaming sketch builders; the packed
-///      batches are cached for the rescore loop (O(nnz/p) per rank — the
-///      same order as the rank's share of the input).
+///   1. ONE pass over the inputs: each batch's reads feed the streaming
+///      sketch builders and are cached raw for the rescore loop
+///      (O(nnz/p) per rank — the same order as the rank's share of the
+///      input). Packing is deferred: the candidate mask is not known
+///      yet, and packing first would spend filter-union traffic and
+///      triplet work on columns the mask is about to drop.
 ///   2. The sketch exchange scores all pairs and thresholds them into
 ///      the replicated candidate mask (Ĵ ≥ prune_threshold − slack).
 ///   3. Rescore: columns with no surviving pair are dropped before
@@ -521,7 +536,7 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
   }
 
   const int batches = static_cast<int>(config.batch_count);
-  std::vector<PackedBatch> cache;
+  std::vector<BatchReads> cache;
   cache.reserve(static_cast<std::size_t>(batches));
   for (int l = 0; l < batches; ++l) {
     const BlockRange rows = distmat::block_range(m, batches, l);
@@ -530,12 +545,13 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
       auto stage = recorder.scope(Stage::kIngest);
       reads = read_batch(r, p, source, rows);
     }
-    auto stage = recorder.scope(Stage::kPackSketch);
-    for (std::size_t s = 0; s < reads.samples.size(); ++s) {
-      sketcher.absorb(s, std::span<const std::int64_t>(reads.values[s]));
+    {
+      auto stage = recorder.scope(Stage::kPackSketch);
+      for (std::size_t s = 0; s < reads.samples.size(); ++s) {
+        sketcher.absorb(s, std::span<const std::int64_t>(reads.values[s]));
+      }
     }
-    cache.push_back(pack_batch(world, reads, rows, config.bit_width,
-                               config.use_zero_row_filter, config.compress_filter));
+    cache.push_back(std::move(reads));
   }
 
   // (2) Candidate mask from the sketch exchange. Scoring time is sketch
@@ -564,14 +580,34 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
     const bsp::CostCounters batch_start = world.counters();
     Timer timer;
 
-    PackedBatch packed = std::move(cache[static_cast<std::size_t>(l)]);
-    // Column dropping: a sample with no surviving pair never enters the
-    // network (redistribution, exchange, broadcasts all shrink). Its â
-    // stays 0 and its diagonal falls back to the J(∅, ∅) = 1 convention;
-    // off-diagonal entries are filled from the sketch estimates.
-    std::erase_if(packed.triplets, [&](const Triplet<std::uint64_t>& t) {
-      return active[static_cast<std::size_t>(t.col)] == 0;
-    });
+    // Mask-first packing: drop samples with no surviving pair BEFORE the
+    // pack, so the zero-row filter union and the triplet build never see
+    // them — a column the candidate pass pruned costs zero pack work and
+    // zero filter-union bytes (the old scheme packed everything, then
+    // erased pruned triplets after the fact). Dropped samples' â stays 0,
+    // their diagonal falls back to the J(∅, ∅) = 1 convention, and
+    // off-diagonal entries are filled from the sketch estimates. Rows
+    // observed only in pruned samples now leave the filter too; they
+    // contributed only to pruned pairs, so surviving pairs are unchanged.
+    const BlockRange rows = distmat::block_range(m, batches, l);
+    BatchReads reads = std::move(cache[static_cast<std::size_t>(l)]);
+    PackedBatch packed;
+    {
+      auto stage = recorder.scope(Stage::kPackSketch);
+      std::size_t keep = 0;
+      for (std::size_t s = 0; s < reads.samples.size(); ++s) {
+        if (active[static_cast<std::size_t>(reads.samples[s])] == 0) continue;
+        if (keep != s) {
+          reads.samples[keep] = reads.samples[s];
+          reads.values[keep] = std::move(reads.values[s]);
+        }
+        ++keep;
+      }
+      reads.samples.resize(keep);
+      reads.values.resize(keep);
+      packed = pack_batch(world, reads, rows, config.bit_width,
+                          config.use_zero_row_filter, config.compress_filter);
+    }
     const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
     const std::int64_t filtered_rows = packed.filtered_rows;
     const std::int64_t word_rows = packed.word_rows;
@@ -721,6 +757,7 @@ Result similarity_at_scale_threaded(int nranks, const SampleSource& source,
   bsp::RuntimeOptions options;
   options.watchdog = std::chrono::milliseconds(config.watchdog_ms);
   options.observer = observer;
+  options.nodes = config.nodes;
   if (!config.fault_plan.empty()) {
     options.fault_plan =
         std::make_shared<const bsp::FaultPlan>(bsp::FaultPlan::parse(config.fault_plan));

@@ -8,6 +8,7 @@
 
 #include "distmat/crossover.hpp"
 #include "obs/trace.hpp"
+#include "util/numa.hpp"
 #include "util/popcount.hpp"
 
 namespace sas::distmat {
@@ -161,18 +162,22 @@ RangeResult accumulate_column_range(const CsrPanel& L, const CsrPanel& N,
           static_cast<std::uint64_t>(count) * static_cast<std::uint64_t>(le - la);
       // Register-block four L entries per pass: each (col, mask) of the
       // N segment is loaded once and scattered into four output rows.
+      // The _dispatch entries resolve to the AVX512 gather/scatter body
+      // where the per-TU VPOPCNTQ flag is live (see popcount_scatter.cpp)
+      // and to the inline scalar kernels otherwise.
       std::int64_t a = la;
       for (; a + 4 <= le; a += 4) {
         auto* const acc0 = out.row_data(l_col_base + lcols[a]) + n_col_base;
         auto* const acc1 = out.row_data(l_col_base + lcols[a + 1]) + n_col_base;
         auto* const acc2 = out.row_data(l_col_base + lcols[a + 2]) + n_col_base;
         auto* const acc3 = out.row_data(l_col_base + lcols[a + 3]) + n_col_base;
-        popcount_and_scatter_4(lvals[a], lvals[a + 1], lvals[a + 2], lvals[a + 3],
-                               ncols + b, nvals + b, count, acc0, acc1, acc2, acc3);
+        popcount_and_scatter_4_dispatch(lvals[a], lvals[a + 1], lvals[a + 2],
+                                        lvals[a + 3], ncols + b, nvals + b, count, acc0,
+                                        acc1, acc2, acc3);
       }
       for (; a < le; ++a) {
         std::int64_t* const acc = out.row_data(l_col_base + lcols[a]) + n_col_base;
-        popcount_and_scatter(lvals[a], ncols + b, nvals + b, count, acc);
+        popcount_and_scatter_dispatch(lvals[a], ncols + b, nvals + b, count, acc);
       }
     }
   }
@@ -330,6 +335,7 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
         const BlockRange js = block_range(N.cols, threads, t);
         if (js.size() <= 0) continue;
         workers.emplace_back([&, js, t] {
+          if (options.numa_aware) numa::pin_to_node(numa::node_for_worker(t, threads));
           worker_flops[static_cast<std::size_t>(t)] =
               dense_accumulate_range(ld, L.cols, nd, js.begin, js.end, l_col_base,
                                      n_col_base, out, prune);
@@ -353,7 +359,10 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
     // Tiles are disjoint output-column ranges; hand each worker a
     // contiguous run of whole tiles so no accumulator slot is shared.
     // Worker threads are unbound (no rank observer); their tile tallies
-    // return by value and are folded in here, on the rank thread.
+    // return by value and are folded in here, on the rank thread. The
+    // worker→tile block assignment matches numa::node_for_worker, so a
+    // pinned worker scatters into the panel slice its socket first-touched
+    // (see the driver's multiply stage).
     std::vector<std::thread> workers;
     std::vector<RangeResult> worker_results(static_cast<std::size_t>(threads));
     workers.reserve(static_cast<std::size_t>(threads));
@@ -363,6 +372,7 @@ void csr_popcount_ata_accumulate(const CsrPanel& L, const CsrPanel& N,
       const std::int64_t col_end = std::min(N.cols, tiles.end * tile_cols);
       if (col_begin >= col_end) continue;
       workers.emplace_back([&, col_begin, col_end, t] {
+        if (options.numa_aware) numa::pin_to_node(numa::node_for_worker(t, threads));
         worker_results[static_cast<std::size_t>(t)] =
             accumulate_column_range(L, N, rows, l_col_base, n_col_base, col_begin,
                                     col_end, tile_cols, out, prune);

@@ -39,18 +39,23 @@
 //      untiled, large n thrashes every level of cache). Per-row cursors
 //      advance monotonically through each CSR row, so tiling adds no
 //      re-scan cost.
-//   3. Unrolled popcount inner loops. The innermost operations are
-//      popcount_and_scatter / popcount_and_scatter_4 (util/popcount.hpp):
-//      4-way unrolled word loops over the contiguous mask array with
-//      __restrict accumulators — independent POPCNT chains, and the
-//      4-row form loads each (col, mask) pair once for four output rows —
-//      instead of the strict load-popcnt-add dependence the interleaved
-//      24-byte triplet layout forced on the compiler.
+//   3. Vectorized popcount scatter. The innermost operations are the
+//      dispatched popcount_and_scatter(_4) entries (util/popcount.hpp →
+//      util/popcount_scatter.cpp): on AVX512 hosts each pass gathers
+//      eight accumulator slots by the CSR column indices, adds eight
+//      VPOPCNTQ results, and scatters them back — conflict-free because
+//      CSR canonical form keeps the indices of a row segment unique —
+//      and the 4-row form loads each (col, mask) pair once for four
+//      output rows. Hosts without AVX512 (or with the GCC 12 VPOPCNTQ
+//      mis-fold and no runtime-probe escape) fall back to the 4-way
+//      unrolled scalar loops with independent POPCNT chains. The
+//      crossover calibrator times the *dispatched* entry, so the
+//      sparse/dense threshold below tracks whichever variant runs.
 //   4. Density-adaptive dense-block path. Scatter accumulation is
-//      limited to ~1 store per madd; when the panel fill product clears
-//      the measured sparse/dense crossover, both panels are densified
-//      into column-major bit vectors and every output cell becomes one
-//      store-free streaming popcount dot product
+//      limited by store throughput even vectorized; when the panel fill
+//      product clears the measured sparse/dense crossover, both panels
+//      are densified into column-major bit vectors and every output cell
+//      becomes one store-free streaming popcount dot product
 //      (popcount_and_sum_stream), which runs at vector popcount
 //      throughput. This is the Joubert et al. (CoMet) formulation,
 //      engaged exactly where it wins.
@@ -58,7 +63,12 @@
 // Large output blocks can additionally be threaded inside a rank
 // (CsrAtaOptions::threads): column tiles are disjoint output ranges, so
 // threads partition the tile space with no synchronization beyond a
-// final flop-counter sum.
+// final flop-counter sum. On multi-socket hosts (CsrAtaOptions::
+// numa_aware, on by default) each worker is pinned to the socket that
+// block-owns its share of the tile space (util/numa.hpp), and the driver
+// first-touches the accumulator panel with the same partition, so every
+// scatter store lands in socket-local memory. Single-socket hosts detect
+// one node and skip all placement — behavior is bit-identical either way.
 //
 // The ring schedule is double-buffered: the send of the currently held
 // panel is posted *before* the local multiply (bsp sends are buffered
@@ -111,6 +121,11 @@ struct CsrAtaOptions {
   /// micro-calibration (distmat/crossover.hpp); a positive value pins
   /// the threshold (ablations, recorded-run reproduction).
   double dense_crossover = 0.0;
+  /// Pin multiply workers to NUMA nodes (block assignment of workers to
+  /// sockets; see util/numa.hpp). No-op on single-node hosts, when
+  /// threads == 1, or when affinity calls fail — results are identical
+  /// with or without placement, only locality changes.
+  bool numa_aware = true;
   /// Candidate-pair mask of the hybrid estimator (global sample
   /// coordinates; see pair_mask.hpp). When set, whole blocks and output-
   /// column tiles whose pair set is fully pruned are skipped, and the

@@ -1,0 +1,157 @@
+#include "util/numa.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+namespace sas::numa {
+
+namespace {
+
+/// Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids. Malformed input
+/// yields an empty list, which the caller treats as "node absent".
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    const auto dash = token.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(std::stoi(token));
+      } else {
+        const int lo = std::stoi(token.substr(0, dash));
+        const int hi = std::stoi(token.substr(dash + 1));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (...) {
+      return {};
+    }
+  }
+  return cpus;
+}
+
+Topology detect() {
+  Topology topo;
+#if defined(__linux__)
+  for (int id = 0;; ++id) {
+    std::ifstream in("/sys/devices/system/node/node" + std::to_string(id) +
+                     "/cpulist");
+    if (!in) break;
+    std::string line;
+    std::getline(in, line);
+    std::vector<int> cpus = parse_cpulist(line);
+    // Memory-only nodes (no CPUs) can't host workers; skip them but keep
+    // scanning — node ids need not be contiguous with them present.
+    if (!cpus.empty()) {
+      topo.nodes.push_back(Node{id, std::move(cpus)});
+    }
+  }
+#endif
+  if (topo.nodes.empty()) {
+    // Fallback: one node covering every CPU the process may use.
+    Node all;
+    all.id = 0;
+    const unsigned n = std::max(1u, std::thread::hardware_concurrency());
+    all.cpus.resize(n);
+    for (unsigned c = 0; c < n; ++c) all.cpus[c] = static_cast<int>(c);
+    topo.nodes.push_back(std::move(all));
+  }
+  return topo;
+}
+
+}  // namespace
+
+const Topology& topology() {
+  static const Topology topo = detect();
+  return topo;
+}
+
+int node_count() { return topology().node_count(); }
+
+int node_for_worker(int worker, int workers) {
+  const int nodes = node_count();
+  if (nodes <= 1 || workers <= 0) return 0;
+  if (worker < 0) return 0;
+  if (worker >= workers) return nodes - 1;
+  return static_cast<int>((static_cast<std::int64_t>(worker) * nodes) / workers);
+}
+
+bool pin_to_node(int node) {
+#if defined(__linux__)
+  const Topology& topo = topology();
+  if (!topo.multi_node()) return false;
+  if (node < 0 || node >= topo.node_count()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int cpu : topo.nodes[static_cast<std::size_t>(node)].cpus) {
+    if (cpu >= 0 && cpu < CPU_SETSIZE) CPU_SET(cpu, &set);
+  }
+  if (CPU_COUNT(&set) == 0) return false;
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)node;
+  return false;
+#endif
+}
+
+void first_touch_partitioned(void* data, std::size_t bytes, int workers) {
+#if defined(__linux__)
+  if (!topology().multi_node() || workers <= 1 || data == nullptr) return;
+  const long page_long = sysconf(_SC_PAGESIZE);
+  if (page_long <= 0) return;
+  const auto page = static_cast<std::size_t>(page_long);
+  // Page-align the interior of the buffer; anything sharing a page with
+  // neighbouring allocations stays where the allocator put it.
+  const auto base = reinterpret_cast<std::uintptr_t>(data);
+  const std::uintptr_t lo = (base + page - 1) & ~(page - 1);
+  const std::uintptr_t hi = (base + bytes) & ~(page - 1);
+  if (hi <= lo || hi - lo < 4 * page) return;
+  // The vector's value-initialization already faulted every page on the
+  // allocating thread's node. For anonymous zero memory MADV_DONTNEED
+  // drops those pages; the next touch re-faults them as zeros on the
+  // toucher's node — which turns post-allocation placement back into a
+  // true first-touch decision. Contents are all-zero before and after.
+  if (madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_DONTNEED) != 0) return;
+  std::vector<std::thread> touchers;
+  touchers.reserve(static_cast<std::size_t>(workers));
+  const std::size_t span = hi - lo;
+  for (int w = 0; w < workers; ++w) {
+    const std::uintptr_t begin =
+        lo + ((span * static_cast<std::size_t>(w) / static_cast<std::size_t>(workers)) &
+              ~(page - 1));
+    const std::uintptr_t end =
+        w + 1 == workers
+            ? hi
+            : lo + ((span * static_cast<std::size_t>(w + 1) /
+                     static_cast<std::size_t>(workers)) &
+                    ~(page - 1));
+    if (end <= begin) continue;
+    touchers.emplace_back([w, workers, begin, end, page] {
+      pin_to_node(node_for_worker(w, workers));
+      for (std::uintptr_t p = begin; p < end; p += page) {
+        *reinterpret_cast<volatile char*>(p) = 0;
+      }
+    });
+  }
+  for (auto& t : touchers) t.join();
+#else
+  (void)data;
+  (void)bytes;
+  (void)workers;
+#endif
+}
+
+}  // namespace sas::numa

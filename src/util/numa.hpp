@@ -1,0 +1,73 @@
+// numa.hpp — minimal NUMA topology detection and thread placement.
+//
+// The SpGEMM multiply stage shards its accumulator panel over
+// CsrAtaOptions::threads workers; on multi-socket hosts the win from that
+// sharding evaporates if workers migrate across sockets or if the panel's
+// pages all live on the socket that happened to zero them. This header
+// gives the kernel just enough mechanism to fix both:
+//
+//   * topology()        — nodes and their CPU lists, parsed once from
+//                         /sys/devices/system/node/node*/cpulist;
+//   * pin_to_node()     — bind the calling thread to one node's CPUs;
+//   * node_for_worker() — the block assignment of workers to nodes that
+//                         the kernel and the first-touch pass share;
+//   * first_touch_partitioned() — re-fault an accumulator panel so each
+//                         page lands on the node of the worker that will
+//                         write it (see the .cpp for the MADV_DONTNEED
+//                         trick that makes this possible post-allocation).
+//
+// Everything degrades gracefully: on single-node hosts, non-Linux builds,
+// or when sysfs/affinity calls fail, the helpers report one node and
+// become no-ops — callers never need a platform #ifdef. No libnuma; the
+// implementation is sysfs + pthread_setaffinity_np only.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sas::numa {
+
+struct Node {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+struct Topology {
+  std::vector<Node> nodes;
+
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(nodes.size());
+  }
+  [[nodiscard]] bool multi_node() const noexcept { return nodes.size() > 1; }
+};
+
+/// Host topology, detected once and memoized (thread-safe). Always has at
+/// least one node; the fallback node covers every online CPU.
+[[nodiscard]] const Topology& topology();
+
+/// Convenience: topology().node_count().
+[[nodiscard]] int node_count();
+
+/// Block assignment of `workers` workers to the detected nodes: worker w
+/// goes to node floor(w * nodes / workers), so consecutive workers share
+/// a socket (they also share accumulator panel ranges — see
+/// first_touch_partitioned). Returns 0 on single-node hosts.
+[[nodiscard]] int node_for_worker(int worker, int workers);
+
+/// Pin the calling thread to the CPUs of `node`. Returns false (and
+/// leaves affinity untouched) when the node is out of range, the host is
+/// single-node, or the platform call fails — callers treat false as
+/// "placement unavailable", not an error.
+bool pin_to_node(int node);
+
+/// First-touch an accumulator panel for a partitioned write pattern:
+/// worker w will own the contiguous byte slice [w*bytes/workers,
+/// (w+1)*bytes/workers), so fault each slice's pages from a thread pinned
+/// to node_for_worker(w, workers). The buffer must be anonymous zeroed
+/// memory whose current contents are disposable as zeros (a freshly
+/// value-initialized std::vector qualifies); contents remain all-zero on
+/// return. No-op on single-node hosts, non-Linux builds, or buffers
+/// smaller than a few pages.
+void first_touch_partitioned(void* data, std::size_t bytes, int workers);
+
+}  // namespace sas::numa

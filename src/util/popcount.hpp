@@ -118,6 +118,24 @@ void popcount_and_sum_stream_2x2(const std::uint64_t* x0, const std::uint64_t* x
                                  const std::uint64_t* y0, const std::uint64_t* y1,
                                  std::size_t len, std::uint64_t out[4]) noexcept;
 
+/// Out-of-line scatter-accumulate with the same contract as
+/// popcount_and_scatter, defined in util/popcount_scatter.cpp — the
+/// second runtime-data-only TU compiled with -mavx512vpopcntdq where the
+/// probe allows it (see popcount_and_sum_stream). There the loop runs as
+/// 8-lane AVX512 gather / VPOPCNTQ / scatter passes: CSR column indices
+/// are unique within a row segment, so the eight scattered slots of one
+/// pass never conflict. Elsewhere it falls back to the inline scalar
+/// loop above. The SpGEMM scatter path and the crossover calibrator both
+/// call THIS entry point, so the calibrated sparse/dense threshold
+/// always reflects the scatter variant that actually runs.
+void popcount_and_scatter_dispatch(std::uint64_t word, const std::int64_t* cols,
+                                   const std::uint64_t* vals, std::size_t count,
+                                   std::int64_t* acc) noexcept;
+
+/// True when popcount_and_scatter_dispatch (and the 4-row form) was
+/// compiled with the AVX512 gather/scatter + VPOPCNTQ path.
+[[nodiscard]] bool popcount_scatter_vectorized() noexcept;
+
 /// 4-row register-blocked variant: four L-side words scatter against the
 /// same CSR row segment, updating four distinct accumulator rows:
 ///   accR[cols[k]] += popcount(wordR ∧ vals[k])   for R in 0..3.
@@ -143,5 +161,17 @@ inline void popcount_and_scatter_4(std::uint64_t word0, std::uint64_t word1,
     acc3[c] += std::popcount(word3 & v);
   }
 }
+
+/// Out-of-line 4-row scatter with the same contract as
+/// popcount_and_scatter_4; lives in util/popcount_scatter.cpp alongside
+/// popcount_and_scatter_dispatch (see that declaration for the dispatch
+/// story). The AVX512 body loads each (cols, vals) pair once per eight
+/// columns and reuses it across all four accumulator rows.
+void popcount_and_scatter_4_dispatch(std::uint64_t word0, std::uint64_t word1,
+                                     std::uint64_t word2, std::uint64_t word3,
+                                     const std::int64_t* cols, const std::uint64_t* vals,
+                                     std::size_t count, std::int64_t* acc0,
+                                     std::int64_t* acc1, std::int64_t* acc2,
+                                     std::int64_t* acc3) noexcept;
 
 }  // namespace sas

@@ -1,0 +1,146 @@
+// popcount_scatter.cpp — runtime-data-only TU for the SpGEMM scatter
+// kernels, the second file (after popcount_stream.cpp) that the build may
+// compile with -mavx512vpopcntdq even when the project-wide probe had to
+// retreat to -mno-avx512vpopcntdq (GCC 12 mis-folds the *constant*
+// VPOPCNTQ pattern; every input here is runtime data, so the per-TU flag
+// is safe — see the CMakeLists probe).
+//
+// The vector body turns the Gustavson scatter
+//   acc[cols[k]] += popcount(word ∧ vals[k])
+// into 8-lane AVX512 passes: load eight column indices, gather the eight
+// accumulator slots, VPOPCNTQ the eight masked values, add, scatter back.
+// CSR canonical form guarantees the eight indices of one pass are
+// distinct, so no conflict detection is needed — the scatter never lands
+// two lanes on the same slot. Tails (< 8 columns) and non-AVX512 builds
+// delegate to the inline scalar kernels in popcount.hpp, which also
+// serves as the parity oracle for the property tests.
+#include "util/popcount.hpp"
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(__AVX512VPOPCNTDQ__) && defined(__AVX512F__)
+#include <immintrin.h>
+#define SAS_SCATTER_AVX512 1
+#else
+#define SAS_SCATTER_AVX512 0
+#endif
+
+namespace sas {
+
+#if SAS_SCATTER_AVX512
+
+// GCC's _mm512_i64gather_epi64 wrapper passes an intentionally undefined
+// source vector to the builtin, which -Wmaybe-uninitialized flags at -O3;
+// the masked-off lanes are never read, so the warning is a false positive.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace {
+
+// One 8-lane gather/popcnt/scatter pass: acc[cols[0..7]] += popcount(word & vals[0..7]).
+inline void scatter_pass8(__m512i word8, const std::int64_t* cols,
+                          const std::uint64_t* vals, std::int64_t* acc) noexcept {
+  const __m512i idx = _mm512_loadu_si512(cols);
+  const __m512i v = _mm512_loadu_si512(vals);
+  const __m512i slots = _mm512_i64gather_epi64(idx, acc, 8);
+  const __m512i counts = _mm512_popcnt_epi64(_mm512_and_si512(word8, v));
+  _mm512_i64scatter_epi64(acc, idx, _mm512_add_epi64(slots, counts), 8);
+}
+
+}  // namespace
+
+void popcount_and_scatter_dispatch(std::uint64_t word, const std::int64_t* cols,
+                                   const std::uint64_t* vals, std::size_t count,
+                                   std::int64_t* acc) noexcept {
+  const __m512i word8 = _mm512_set1_epi64(static_cast<long long>(word));
+  std::size_t k = 0;
+  // 2×8 unroll with both gathers issued before either scatter: the
+  // gather→add→scatter chain is latency-bound, and the 16 indices of one
+  // iteration are distinct (CSR canonical form), so the second gather
+  // overlaps the first chain instead of waiting behind its scatter.
+  for (; k + 16 <= count; k += 16) {
+    const __m512i idx0 = _mm512_loadu_si512(cols + k);
+    const __m512i idx1 = _mm512_loadu_si512(cols + k + 8);
+    const __m512i v0 = _mm512_loadu_si512(vals + k);
+    const __m512i v1 = _mm512_loadu_si512(vals + k + 8);
+    const __m512i s0 = _mm512_i64gather_epi64(idx0, acc, 8);
+    const __m512i s1 = _mm512_i64gather_epi64(idx1, acc, 8);
+    const __m512i c0 = _mm512_popcnt_epi64(_mm512_and_si512(word8, v0));
+    const __m512i c1 = _mm512_popcnt_epi64(_mm512_and_si512(word8, v1));
+    _mm512_i64scatter_epi64(acc, idx0, _mm512_add_epi64(s0, c0), 8);
+    _mm512_i64scatter_epi64(acc, idx1, _mm512_add_epi64(s1, c1), 8);
+  }
+  for (; k + 8 <= count; k += 8) {
+    scatter_pass8(word8, cols + k, vals + k, acc);
+  }
+  if (k < count) {
+    popcount_and_scatter(word, cols + k, vals + k, count - k, acc);
+  }
+}
+
+void popcount_and_scatter_4_dispatch(std::uint64_t word0, std::uint64_t word1,
+                                     std::uint64_t word2, std::uint64_t word3,
+                                     const std::int64_t* cols, const std::uint64_t* vals,
+                                     std::size_t count, std::int64_t* acc0,
+                                     std::int64_t* acc1, std::int64_t* acc2,
+                                     std::int64_t* acc3) noexcept {
+  const __m512i w0 = _mm512_set1_epi64(static_cast<long long>(word0));
+  const __m512i w1 = _mm512_set1_epi64(static_cast<long long>(word1));
+  const __m512i w2 = _mm512_set1_epi64(static_cast<long long>(word2));
+  const __m512i w3 = _mm512_set1_epi64(static_cast<long long>(word3));
+  std::size_t k = 0;
+  for (; k + 8 <= count; k += 8) {
+    // Load (cols, vals) once and reuse across the four accumulator rows —
+    // same load-traffic saving as the scalar 4-row kernel, now 8 wide.
+    const __m512i idx = _mm512_loadu_si512(cols + k);
+    const __m512i v = _mm512_loadu_si512(vals + k);
+    // All four gathers issue before any scatter: the rows' slots are in
+    // four distinct accumulator arrays, so the chains are independent and
+    // the gather latencies overlap instead of serializing behind stores.
+    const __m512i s0 = _mm512_i64gather_epi64(idx, acc0, 8);
+    const __m512i s1 = _mm512_i64gather_epi64(idx, acc1, 8);
+    const __m512i s2 = _mm512_i64gather_epi64(idx, acc2, 8);
+    const __m512i s3 = _mm512_i64gather_epi64(idx, acc3, 8);
+    _mm512_i64scatter_epi64(
+        acc0, idx, _mm512_add_epi64(s0, _mm512_popcnt_epi64(_mm512_and_si512(w0, v))), 8);
+    _mm512_i64scatter_epi64(
+        acc1, idx, _mm512_add_epi64(s1, _mm512_popcnt_epi64(_mm512_and_si512(w1, v))), 8);
+    _mm512_i64scatter_epi64(
+        acc2, idx, _mm512_add_epi64(s2, _mm512_popcnt_epi64(_mm512_and_si512(w2, v))), 8);
+    _mm512_i64scatter_epi64(
+        acc3, idx, _mm512_add_epi64(s3, _mm512_popcnt_epi64(_mm512_and_si512(w3, v))), 8);
+  }
+  if (k < count) {
+    popcount_and_scatter_4(word0, word1, word2, word3, cols + k, vals + k, count - k,
+                           acc0, acc1, acc2, acc3);
+  }
+}
+
+bool popcount_scatter_vectorized() noexcept { return true; }
+
+#pragma GCC diagnostic pop
+
+#else  // !SAS_SCATTER_AVX512
+
+void popcount_and_scatter_dispatch(std::uint64_t word, const std::int64_t* cols,
+                                   const std::uint64_t* vals, std::size_t count,
+                                   std::int64_t* acc) noexcept {
+  popcount_and_scatter(word, cols, vals, count, acc);
+}
+
+void popcount_and_scatter_4_dispatch(std::uint64_t word0, std::uint64_t word1,
+                                     std::uint64_t word2, std::uint64_t word3,
+                                     const std::int64_t* cols, const std::uint64_t* vals,
+                                     std::size_t count, std::int64_t* acc0,
+                                     std::int64_t* acc1, std::int64_t* acc2,
+                                     std::int64_t* acc3) noexcept {
+  popcount_and_scatter_4(word0, word1, word2, word3, cols, vals, count, acc0, acc1, acc2,
+                         acc3);
+}
+
+bool popcount_scatter_vectorized() noexcept { return false; }
+
+#endif  // SAS_SCATTER_AVX512
+
+}  // namespace sas

@@ -76,6 +76,7 @@ int usage() {
                "           [--sparse-similarity-out out.sasp]\n"
                "           [--top N | --threshold J] [--algorithm summa|ring|serial]\n"
                "           [--replication 1] [--bits 64] [--no-filter]\n"
+               "           [--nodes 1] [--no-numa]\n"
                "           [--estimator exact|hll|minhash|bottomk|hybrid]\n"
                "           [--sketch-size 1024] [--hll-precision 12]\n"
                "           [--minhash-bits 16] [--sketch-seed 1445]\n"
@@ -97,6 +98,12 @@ int usage() {
                "                     waits longer than N ms in a BSP primitive\n"
                "  --fault-plan SPEC  deterministic fault injection for testing:\n"
                "                     'rank=R:op=K:throw|flip[=BYTE]|delay=MS' (';'-joined)\n"
+               "raw-speed knobs (gas dist):\n"
+               "  --nodes N          simulate N nodes: hierarchical two-tier\n"
+               "                     collectives (bitwise-identical results) with\n"
+               "                     intra/inter traffic costed separately\n"
+               "  --no-numa          disable NUMA worker pinning + first-touch\n"
+               "                     placement of the multiply stage\n"
                "exit codes: 0 ok, 1 generic error, 2 bad config/usage,\n"
                "            3 corrupt input, 4 rank failure, 5 watchdog timeout\n"
                "\n"
@@ -241,6 +248,14 @@ int cmd_dist(const ArgParser& args) {
   options.core.bit_width = static_cast<int>(args.get_int("bits", 64));
   options.core.replication = static_cast<int>(args.get_int("replication", 1));
   options.core.use_zero_row_filter = !args.get_bool("no-filter", false);
+  // Two-tier topology: group ranks into simulated nodes so the
+  // collectives run hierarchically and traffic is costed per tier.
+  options.core.nodes = static_cast<int>(args.get_int("nodes", 1));
+  if (options.core.nodes < 1) {
+    std::fprintf(stderr, "gas dist: --nodes must be >= 1\n");
+    return 2;
+  }
+  options.core.numa_aware = !args.get_bool("no-numa", false);
   const std::string algorithm = args.get_string("algorithm", "summa");
   if (algorithm == "ring") {
     options.core.algorithm = core::Algorithm::kRing1D;
