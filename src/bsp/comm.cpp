@@ -1,7 +1,10 @@
 #include "bsp/comm.hpp"
 
 #include <algorithm>
+#include <string>
 #include <tuple>
+
+#include "util/error.hpp"
 
 namespace sas::bsp {
 
@@ -52,13 +55,27 @@ void SharedState::set_node_map(std::vector<int> map) {
 void Comm::barrier() {
   const obs::CollectiveScope obs_scope(obs::Primitive::kBarrier, *counters_);
   counters_->supersteps += 1;
+  proto_record(ProtoOp::kBarrier, 0, 0, 0);
   detail::SharedState& st = *state_;
   std::unique_lock<std::mutex> lock(st.barrier_mutex);
   const std::uint64_t generation = st.barrier_generation;
   if (++st.barrier_arrived == st.size) {
+    // Protocol cross-check by the last-arriving rank: every peer is
+    // blocked at THIS barrier and its ledger write happened-before its
+    // barrier_mutex acquisition, so the read is ordered and quiescent.
+    // On divergence the barrier is released first (peers proceed and
+    // unwind through the normal abort cascade once this throw trips the
+    // token) and the checking rank throws with both ledgers named.
+    std::string diverged;
+    if (st.verify_protocol) {
+      diverged = describe_ledger_divergence(
+          std::span<const ProtocolLedger>(st.ledgers), st.label,
+          "barrier (superstep " + std::to_string(st.barrier_generation) + ")");
+    }
     st.barrier_arrived = 0;
     ++st.barrier_generation;
     st.barrier_cv.notify_all();
+    if (!diverged.empty()) throw error::ProtocolError(diverged);
   } else {
     wait_or_abort(
         st.barrier_cv, lock,
@@ -68,6 +85,9 @@ void Comm::barrier() {
 }
 
 Comm Comm::split(int color, int key) {
+  // Colors and keys legitimately differ per rank, so the ledger entry
+  // carries the call only; the internal allgather is recorded separately.
+  proto_record(ProtoOp::kSplit, 0, 0, 0);
   // Exchange (color, key) so every rank can compute every group locally,
   // mirroring the communication MPI_Comm_split performs.
   struct Entry {
@@ -106,6 +126,25 @@ Comm Comm::split(int color, int key) {
       child->abort = st.abort;
       child->watchdog = st.watchdog;
       child->fault_plan = st.fault_plan;
+      // Verifier inheritance: the child ledgers its own collective
+      // sequence (sub-communicators legitimately diverge from each
+      // other — symmetry is per communicator) and registers with the
+      // world's registry so the run-exit sweep reaches it.
+      child->verify_protocol = st.verify_protocol;
+      child->protocol_registry = st.protocol_registry;
+      if (st.verify_protocol) {
+        child->ledgers.resize(static_cast<std::size_t>(group_size));
+        // Append-built (GCC 12 -Wrestrict FP on char* + string&&, PR 105651).
+        std::string label = "split child (color=";
+        label += std::to_string(color);
+        label += ", parent generation=";
+        label += std::to_string(split_sequence_);
+        label += ")";
+        child->label = std::move(label);
+        if (st.protocol_registry != nullptr) {
+          st.protocol_registry->register_child(child);
+        }
+      }
       // Children inherit the parent's node placement (child rank i sits
       // wherever its parent rank sits), so e.g. the SUMMA row/column
       // communicators keep running hierarchical broadcasts. Ids are

@@ -28,6 +28,7 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -35,6 +36,7 @@
 #include "bsp/cost_model.hpp"
 #include "bsp/fault.hpp"
 #include "bsp/mailbox.hpp"
+#include "bsp/protocol.hpp"
 #include "obs/trace.hpp"
 
 namespace sas::bsp {
@@ -91,6 +93,17 @@ struct SharedState {
   std::condition_variable split_cv;
   std::map<std::pair<std::uint64_t, int>, std::shared_ptr<SharedState>> split_children;
   std::map<std::pair<std::uint64_t, int>, int> split_remaining;
+
+  // Debug-build protocol verifier (bsp/protocol.hpp). When armed, every
+  // collective appends to this communicator's per-rank ledgers, which are
+  // cross-checked at barriers and at run exit. Split children inherit the
+  // flag and the world-owned registry so the exit sweep reaches their
+  // ledgers and mailboxes too. Disarmed: one branch per collective.
+  bool verify_protocol = false;
+  std::vector<ProtocolLedger> ledgers;           ///< one per rank, owner-written
+  ProtocolRegistry* protocol_registry = nullptr; ///< world's; null when disarmed
+  std::shared_ptr<ProtocolRegistry> owned_registry;  ///< non-null on world only
+  std::string label = "world communicator";      ///< for verifier reports
 };
 
 }  // namespace detail
@@ -242,6 +255,7 @@ class Comm {
   template <typename T>
   void broadcast(std::vector<T>& data, int root) {
     const int p = size();
+    proto_record(ProtoOp::kBroadcast, root, sizeof(T), 0);
     if (p == 1) return;
     const obs::CollectiveScope obs_scope(obs::Primitive::kBroadcast, *counters_);
     if (hierarchical()) {
@@ -275,6 +289,7 @@ class Comm {
   template <typename T, typename Op>
   void reduce(std::vector<T>& data, Op op, int root) {
     const int p = size();
+    proto_record(ProtoOp::kReduce, root, sizeof(T), data.size());
     const obs::CollectiveScope obs_scope(obs::Primitive::kReduce, *counters_);
     const int vrank = virtual_rank(root);
     int top = 1;
@@ -301,6 +316,7 @@ class Comm {
   /// bit-identical for the integer/bitwise/min-max ops the pipelines use.
   template <typename T, typename Op>
   void allreduce(std::vector<T>& data, Op op) {
+    proto_record(ProtoOp::kAllreduce, 0, sizeof(T), data.size());
     // Outermost scope: the internal reduce + broadcast emit nested spans
     // but only this one books cost-model drift (obs/trace.hpp).
     const obs::CollectiveScope obs_scope(obs::Primitive::kAllreduce, *counters_);
@@ -324,6 +340,8 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> gather_v(std::span<const T> mine, int root) {
     const int p = size();
+    // shape 0: per-rank block lengths may legitimately differ.
+    proto_record(ProtoOp::kGather, root, sizeof(T), 0);
     const obs::CollectiveScope obs_scope(obs::Primitive::kGather, *counters_);
     std::vector<std::vector<T>> blocks;
     if (rank_ == root) {
@@ -348,6 +366,7 @@ class Comm {
   template <typename T>
   [[nodiscard]] std::vector<std::vector<T>> allgather_v(std::span<const T> mine) {
     const int p = size();
+    proto_record(ProtoOp::kAllgather, 0, sizeof(T), 0);
     const obs::CollectiveScope obs_scope(obs::Primitive::kAllgather, *counters_);
     if (hierarchical()) return hier_allgather_v(mine);
     std::vector<std::vector<T>> blocks(static_cast<std::size_t>(p));
@@ -382,6 +401,7 @@ class Comm {
   [[nodiscard]] std::vector<T> scatter_v(const std::vector<std::vector<T>>& blocks,
                                          int root) {
     const int p = size();
+    proto_record(ProtoOp::kScatter, root, sizeof(T), 0);
     const obs::CollectiveScope obs_scope(obs::Primitive::kScatter, *counters_);
     if (rank_ == root) {
       if (static_cast<int>(blocks.size()) != p) {
@@ -403,6 +423,7 @@ class Comm {
   [[nodiscard]] std::vector<std::vector<T>> alltoall_v(
       const std::vector<std::vector<T>>& outgoing) {
     const int p = size();
+    proto_record(ProtoOp::kAlltoall, 0, sizeof(T), outgoing.size());
     const obs::CollectiveScope obs_scope(obs::Primitive::kAlltoall, *counters_);
     if (static_cast<int>(outgoing.size()) != p) {
       throw std::invalid_argument("bsp::Comm::alltoall_v: need one block per rank");
@@ -440,6 +461,7 @@ class Comm {
       return std::span<const T>(v.data() + block_begin(b),
                                 static_cast<std::size_t>(block_begin(b + 1) - block_begin(b)));
     };
+    proto_record(ProtoOp::kReduceScatter, 0, sizeof(T), data.size());
     if (p == 1) return data;
     const obs::CollectiveScope obs_scope(obs::Primitive::kReduceScatter,
                                          *counters_);
@@ -471,6 +493,7 @@ class Comm {
   template <typename T, typename Op>
   [[nodiscard]] T scan(T value, Op op) {
     const int p = size();
+    proto_record(ProtoOp::kScan, 0, sizeof(T), 1);
     const obs::CollectiveScope obs_scope(obs::Primitive::kScan, *counters_);
     T inclusive = value;
     for (int offset = 1; offset < p; offset <<= 1) {
@@ -488,6 +511,7 @@ class Comm {
   template <typename T, typename Op>
   [[nodiscard]] T exscan(T value, Op op, T identity) {
     const int p = size();
+    proto_record(ProtoOp::kExscan, 0, sizeof(T), 1);
     const obs::CollectiveScope obs_scope(obs::Primitive::kScan, *counters_);
     T inclusive = value;
     T exclusive = identity;
@@ -859,6 +883,17 @@ class Comm {
 
   [[nodiscard]] WaitPolicy wait_policy() const noexcept {
     return WaitPolicy{state_->abort.get(), state_->watchdog, rank_};
+  }
+
+  /// Protocol-verifier hook at the top of every collective: append the
+  /// call's fingerprint to this rank's ledger (bsp/protocol.hpp). The
+  /// ledger is only read at synchronization points that order this write
+  /// (barrier mutex, thread join). No-op unless verification is armed.
+  void proto_record(ProtoOp op, int tag, std::uint32_t elem_size,
+                    std::uint64_t shape) noexcept {
+    if (!state_->verify_protocol) return;
+    state_->ledgers[static_cast<std::size_t>(rank_)].record(op, tag, elem_size,
+                                                            shape);
   }
 
   /// Fault-injection hook on every counted point-to-point op (and so on

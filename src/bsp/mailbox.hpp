@@ -54,8 +54,31 @@ class Mailbox {
     return payload;
   }
 
+  /// One undelivered (source, tag) queue: sent but never received.
+  struct Pending {
+    int source = 0;
+    int tag = 0;
+    std::size_t count = 0;  ///< messages still queued
+    std::size_t bytes = 0;  ///< their total payload size
+  };
+
+  /// Snapshot of every non-empty queue, (source, tag) ascending. Used by
+  /// the protocol verifier's run-exit leak sweep (bsp/protocol.hpp);
+  /// an unreceived message at exit means a send/recv pairing bug.
+  [[nodiscard]] std::vector<Pending> pending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<Pending> out;
+    for (const auto& [key, queue] : queues_) {
+      if (queue.empty()) continue;
+      Pending p{key.first, key.second, queue.size(), 0};
+      for (const Message& m : queue) p.bytes += m.size();
+      out.push_back(p);
+    }
+    return out;
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<std::pair<int, int>, std::deque<Message>> queues_;
 };

@@ -25,6 +25,15 @@ std::chrono::milliseconds effective_watchdog(std::chrono::milliseconds requested
   return std::chrono::milliseconds{0};
 }
 
+/// Explicit option wins; otherwise SAS_VERIFY_PROTOCOL (CI arms it with
+/// "1"; empty or "0" means off).
+bool effective_verify_protocol(bool requested) {
+  if (requested) return true;
+  const char* env = std::getenv("SAS_VERIFY_PROTOCOL");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+}
+
 /// Postmortem note: record the run's failure (and the blocked-site
 /// snapshot, when available) into the observer so the flushed trace
 /// explains what the timeline was doing when it died.
@@ -60,6 +69,12 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
   state->watchdog = effective_watchdog(options.watchdog);
   state->fault_plan = options.fault_plan;
   if (options.nodes > 1) state->set_node_topology(options.nodes);
+  if (effective_verify_protocol(options.verify_protocol)) {
+    state->verify_protocol = true;
+    state->ledgers.resize(static_cast<std::size_t>(nranks));
+    state->owned_registry = std::make_shared<ProtocolRegistry>();
+    state->protocol_registry = state->owned_registry.get();
+  }
   std::vector<CostCounters> counters(static_cast<std::size_t>(nranks));
   std::vector<FaultSlot> fault_slots(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) fault_slots[static_cast<std::size_t>(r)].world_rank = r;
@@ -78,6 +93,7 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
       note_abort(options.observer, annotated, state->abort->blocked_at_trip());
       std::rethrow_exception(annotated);
     }
+    if (state->verify_protocol) verify_protocol_at_exit(*state);
     return counters;
   }
 
@@ -109,6 +125,10 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
                state->abort->blocked_at_trip());
     std::rethrow_exception(state->abort->cause());
   }
+  // Run-exit protocol sweep (clean runs only: an aborted run leaks
+  // messages by design). The joins above order every rank's ledger and
+  // mailbox writes before this read.
+  if (state->verify_protocol) verify_protocol_at_exit(*state);
   return counters;
 }
 

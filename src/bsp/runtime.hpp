@@ -42,6 +42,16 @@ struct RuntimeOptions {
   /// Deterministic fault-injection plan (tests); null = none.
   std::shared_ptr<const FaultPlan> fault_plan;
 
+  /// Debug-build BSP protocol verifier (bsp/protocol.hpp): every rank
+  /// ledgers each collective's (op, tag, element size, shape); ledgers
+  /// are cross-checked at barriers and at run exit, and unreceived
+  /// point-to-point messages at exit become error::ProtocolError — a
+  /// diverging rank fails immediately with named ledger entries instead
+  /// of a watchdog timeout. false falls back to the SAS_VERIFY_PROTOCOL
+  /// environment variable (CI arms it); verification never changes
+  /// results, only adds the checks.
+  bool verify_protocol = false;
+
   /// Simulated node count for the hierarchical two-tier collectives:
   /// ranks are grouped into `nodes` contiguous blocks (comm.hpp), sends
   /// inside a block are costed on the intra tier, and broadcast /

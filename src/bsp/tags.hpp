@@ -1,0 +1,41 @@
+// tags.hpp — central registry of user-level BSP message tags.
+//
+// comm.hpp reserves the negative tag space for internal collective
+// traffic (InternalTag); user tags must be non-negative. This header is
+// the ONE place non-negative tags are minted: every send/recv call site
+// outside the bsp layer names a constant from here, so two subsystems
+// can never collide on a tag and the whole tag space is auditable at a
+// glance. Enforced by tools/sas_lint.py rule R2 — a numeric literal in
+// the tag position of a send/recv call site anywhere in src/ fails lint.
+//
+// Allocation policy: each subsystem owns a decade-aligned block. Keep
+// values unique across the file (tags only ever match symmetrically
+// between a send and its recv, so renumbering is behavior-neutral, but
+// unique values make mailbox dumps and verifier leak reports unambiguous).
+#pragma once
+
+namespace sas::bsp::tags {
+
+// -- distmat/spgemm.cpp ------------------------------------------------
+// 200–299: SUMMA A^T·A. One tag per k-stage so a stage's panel cannot be
+// confused with the next stage's under the FIFO (source, tag) matching.
+inline constexpr int kSummaTransposeBase = 200;
+/// Tag of SUMMA transpose stage k (k < 100 in any realistic grid).
+[[nodiscard]] inline constexpr int summa_transpose(int k) {
+  return kSummaTransposeBase + k;
+}
+
+// 300–309: 1-D ring A^T·A — the rotating panel hop.
+inline constexpr int kSpgemmRing = 300;
+
+// -- distmat/dist_filter.cpp -------------------------------------------
+// 310–319: hierarchical pairwise-union stages of the zero-row filter.
+inline constexpr int kPairUnionUp = 310;     ///< member → node leader
+inline constexpr int kPairUnionDown = 311;   ///< node leader → member
+inline constexpr int kPairUnionLeader = 312; ///< leader ↔ leader ring
+
+// -- sketch/exchange.cpp -----------------------------------------------
+// 320–329: sketch-panel ring of the distributed estimator exchange.
+inline constexpr int kSketchRing = 320;
+
+}  // namespace sas::bsp::tags

@@ -25,10 +25,20 @@ constexpr std::uint32_t kVersion = 1;
 /// tmp + rename.
 class Writer {
  public:
+  // GCC 12's -O3 inliner trips -Wstringop-overflow false positives on
+  // any vector<char> grow path here (range insert and resize alike —
+  // bogus constant sizes invented across the inlined realloc, GCC
+  // PR 106199 family), so the diagnostic is silenced for this one
+  // function instead of contorting the code further.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
   void raw(const void* data, std::size_t size) {
-    const auto* bytes = static_cast<const char*>(data);
-    buffer_.insert(buffer_.end(), bytes, bytes + size);
+    if (size == 0) return;
+    const std::size_t old_size = buffer_.size();
+    buffer_.resize(old_size + size);
+    std::memcpy(buffer_.data() + old_size, data, size);
   }
+#pragma GCC diagnostic pop
   template <typename T>
   void value(T v) {
     raw(&v, sizeof(T));

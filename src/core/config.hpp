@@ -201,6 +201,14 @@ struct Config {
   /// test/CI hook — never set in production runs.
   std::string fault_plan;
 
+  /// Arm the BSP protocol verifier (bsp/protocol.hpp; gas dist
+  /// --verify-protocol): per-rank collective ledgers cross-checked at
+  /// barriers and run exit, unreceived sends reported as
+  /// error::ProtocolError. false defers to the SAS_VERIFY_PROTOCOL
+  /// environment variable (CI arms it). Results are unchanged — the
+  /// verifier only adds checks.
+  bool verify_protocol = false;
+
   /// Directory for per-batch checkpoints (core/checkpoint.hpp). Empty
   /// disables checkpointing. Only the batched pipelines (kExact,
   /// kHybrid) support it.

@@ -758,6 +758,7 @@ Result similarity_at_scale_threaded(int nranks, const SampleSource& source,
   options.watchdog = std::chrono::milliseconds(config.watchdog_ms);
   options.observer = observer;
   options.nodes = config.nodes;
+  options.verify_protocol = config.verify_protocol;
   if (!config.fault_plan.empty()) {
     options.fault_plan =
         std::make_shared<const bsp::FaultPlan>(bsp::FaultPlan::parse(config.fault_plan));

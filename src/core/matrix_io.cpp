@@ -141,7 +141,7 @@ void write_similarity_binary(std::ostream& out, const std::vector<std::string>& 
   write_raw<std::uint64_t>(out, static_cast<std::uint64_t>(matrix.size()));
   write_name_block(out, names);
   write_array(out, matrix.values());
-  if (!out) throw std::runtime_error("similarity I/O: write failed");
+  if (!out) throw error::ConfigError("similarity I/O: write failed");
 }
 
 NamedSimilarity read_similarity_binary(std::istream& in) {
@@ -170,13 +170,13 @@ void write_similarity_binary_file(const std::string& path,
                                   const std::vector<std::string>& names,
                                   const SimilarityMatrix& matrix) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write similarity file: " + path);
+  if (!out) throw error::ConfigError("cannot write similarity file: " + path);
   write_similarity_binary(out, names, matrix);
 }
 
 NamedSimilarity read_similarity_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open similarity file: " + path);
+  if (!in) throw error::ConfigError("cannot open similarity file: " + path);
   return read_similarity_binary(in);
 }
 
@@ -196,7 +196,7 @@ void write_sparse_similarity_binary(std::ostream& out,
   write_raw<std::uint64_t>(out,
                            static_cast<std::uint64_t>(sparse.union_cardinalities().size()));
   write_array(out, sparse.union_cardinalities());
-  if (!out) throw std::runtime_error("similarity I/O: write failed");
+  if (!out) throw error::ConfigError("similarity I/O: write failed");
 }
 
 NamedSparseSimilarity read_sparse_similarity_binary(std::istream& in) {
@@ -242,13 +242,13 @@ void write_sparse_similarity_binary_file(const std::string& path,
                                          const std::vector<std::string>& names,
                                          const SparseSimilarity& sparse) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write similarity file: " + path);
+  if (!out) throw error::ConfigError("cannot write similarity file: " + path);
   write_sparse_similarity_binary(out, names, sparse);
 }
 
 NamedSparseSimilarity read_sparse_similarity_binary_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw std::runtime_error("cannot open similarity file: " + path);
+  if (!in) throw error::ConfigError("cannot open similarity file: " + path);
   return read_sparse_similarity_binary(in);
 }
 

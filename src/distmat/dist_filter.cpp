@@ -5,6 +5,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "bsp/tags.hpp"
 #include "distmat/block.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -294,11 +295,11 @@ void allreduce_pair_mask(bsp::Comm& comm, PairMask& mask) {
 
 namespace {
 
-/// User-tag block of the hierarchical pair-union exchange (spgemm.cpp
-/// reserves 200/300 for its schedules).
-constexpr int kTagPairUnionUp = 310;
-constexpr int kTagPairUnionDown = 311;
-constexpr int kTagPairUnionLeader = 312;
+/// User-tag block of the hierarchical pair-union exchange (bsp/tags.hpp
+/// is the central registry; spgemm owns 200/300 for its schedules).
+constexpr int kTagPairUnionUp = bsp::tags::kPairUnionUp;
+constexpr int kTagPairUnionDown = bsp::tags::kPairUnionDown;
+constexpr int kTagPairUnionLeader = bsp::tags::kPairUnionLeader;
 
 void sort_unique(std::vector<std::uint64_t>& keys) {
   std::sort(keys.begin(), keys.end());

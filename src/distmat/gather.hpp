@@ -16,6 +16,10 @@
 //     i < j convention so disjoint blocks emit disjoint triplets); rank 0
 //     merges the sorted pair lists. Bytes and rank-0 memory are
 //     O(survivors), not O(n²).
+//
+// Tag audit (bsp/tags.hpp): both forms are built on gather_v, which runs
+// on comm.hpp's reserved internal tags — no user tag is minted here. New
+// point-to-point traffic must take its tag from bsp::tags.
 #pragma once
 
 #include <algorithm>

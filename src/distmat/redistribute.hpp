@@ -5,6 +5,10 @@
 // and merged there under the semiring's combine operation. This is the
 // communication pattern behind the paper's `write()` calls (§IV-A): bulk,
 // collective, and accumulation-based so repeated coordinates are legal.
+//
+// Tag audit (bsp/tags.hpp): this header is collective-only — alltoall_v
+// runs on comm.hpp's reserved internal tags, so no user tag is minted
+// here. New point-to-point traffic must take its tag from bsp::tags.
 #pragma once
 
 #include <functional>

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "bsp/tags.hpp"
 #include "distmat/crossover.hpp"
 #include "obs/trace.hpp"
 #include "util/numa.hpp"
@@ -409,7 +410,7 @@ void ring_ata_accumulate(bsp::Comm& comm, std::int64_t n, const SparseBlock& my_
                          const CsrAtaOptions& options) {
   const int p = comm.size();
   const int r = comm.rank();
-  constexpr int kTagRing = 300;
+  constexpr int kTagRing = bsp::tags::kSpgemmRing;
 
   if (b_panel.col_range.begin != 0 || b_panel.col_range.end != n) {
     throw std::invalid_argument("ring_ata_accumulate: b_panel must span all n columns");
@@ -467,6 +468,7 @@ void targeted_ata_accumulate(bsp::Comm& comm, std::int64_t n,
                              const CsrAtaOptions& options) {
   const int p = comm.size();
   const int r = comm.rank();
+  const obs::Span stage_span("targeted-ata", "multiply", &comm.counters());
   if (b_panel.col_range.begin != 0 || b_panel.col_range.end != n) {
     throw std::invalid_argument(
         "targeted_ata_accumulate: b_panel must span all n columns");
@@ -523,7 +525,6 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
     throw std::logic_error("summa_ata_accumulate: called by an inactive rank");
   }
   const int s = grid.side();
-  constexpr int kTagTranspose = 200;
 
   // With replication (c > 1), each layer sums into a scratch partial that
   // is reduced onto layer 0 at the end of the batch (paper §III-C: "one
@@ -572,7 +573,8 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
     if (grid.grid_row() == k && my_cols_active) {
       const int dest = grid.world_rank_of(grid.layer(), grid.grid_col(), k);
       grid.world().send<Triplet<std::uint64_t>>(
-          dest, kTagTranspose + k, std::span<const Triplet<std::uint64_t>>(my_block.entries));
+          dest, bsp::tags::summa_transpose(k),
+          std::span<const Triplet<std::uint64_t>>(my_block.entries));
     }
   };
   post_transpose(0);
@@ -585,7 +587,8 @@ void summa_ata_accumulate(ProcGrid& grid, const SparseBlock& my_block,
     std::vector<Triplet<std::uint64_t>> lbuf;
     if (grid.grid_col() == k && my_rows_active) {
       const int source = grid.world_rank_of(grid.layer(), k, grid.grid_row());
-      lbuf = grid.world().recv<Triplet<std::uint64_t>>(source, kTagTranspose + k);
+      lbuf = grid.world().recv<Triplet<std::uint64_t>>(source,
+                                                       bsp::tags::summa_transpose(k));
     }
     // (2) L-side broadcast along the grid row (root = grid column k).
     // All ranks of one grid row share the same output-row block, so the

@@ -3,6 +3,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace sas::genome {
 
 namespace {
@@ -24,7 +26,7 @@ void split_header(const std::string& line, SequenceRecord& record) {
 
 std::ifstream open_or_throw(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open sequence file: " + path);
+  if (!in) throw error::ConfigError("cannot open sequence file: " + path);
   return in;
 }
 
@@ -43,7 +45,7 @@ std::vector<SequenceRecord> read_fasta(std::istream& in) {
       have_record = true;
     } else {
       if (!have_record) {
-        throw std::runtime_error("read_fasta: sequence data before first header");
+        throw error::CorruptInput("read_fasta: sequence data before first header");
       }
       records.back().sequence += line;
     }
@@ -65,19 +67,19 @@ std::vector<SequenceRecord> read_fastq(std::istream& in) {
   while (std::getline(in, header)) {
     strip_cr(header);
     if (header.empty()) continue;
-    if (header[0] != '@') throw std::runtime_error("read_fastq: expected '@' header");
+    if (header[0] != '@') throw error::CorruptInput("read_fastq: expected '@' header");
     if (!std::getline(in, sequence) || !std::getline(in, plus) ||
         !std::getline(in, quality)) {
-      throw std::runtime_error("read_fastq: truncated record");
+      throw error::CorruptInput("read_fastq: truncated record");
     }
     strip_cr(sequence);
     strip_cr(plus);
     strip_cr(quality);
     if (plus.empty() || plus[0] != '+') {
-      throw std::runtime_error("read_fastq: expected '+' separator");
+      throw error::CorruptInput("read_fastq: expected '+' separator");
     }
     if (quality.size() != sequence.size()) {
-      throw std::runtime_error("read_fastq: quality/sequence length mismatch");
+      throw error::CorruptInput("read_fastq: quality/sequence length mismatch");
     }
     SequenceRecord record;
     split_header(header, record);
@@ -109,7 +111,7 @@ void write_fasta(std::ostream& out, const std::vector<SequenceRecord>& records,
 void write_fasta_file(const std::string& path,
                       const std::vector<SequenceRecord>& records, int width) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write FASTA file: " + path);
+  if (!out) throw error::ConfigError("cannot write FASTA file: " + path);
   write_fasta(out, records, width);
 }
 

@@ -5,6 +5,8 @@
 #include <istream>
 #include <stdexcept>
 
+#include "util/error.hpp"
+
 namespace sas::genome {
 
 void write_phylip(std::ostream& out, const std::vector<std::string>& names,
@@ -27,24 +29,24 @@ void write_phylip(std::ostream& out, const std::vector<std::string>& names,
 void write_phylip_file(const std::string& path, const std::vector<std::string>& names,
                        const std::vector<double>& distances, std::int64_t n) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write PHYLIP file: " + path);
+  if (!out) throw error::ConfigError("cannot write PHYLIP file: " + path);
   write_phylip(out, names, distances, n);
 }
 
 PhylipMatrix read_phylip(std::istream& in) {
   PhylipMatrix matrix;
   if (!(in >> matrix.n) || matrix.n < 1) {
-    throw std::runtime_error("read_phylip: bad sample count");
+    throw error::CorruptInput("read_phylip: bad sample count");
   }
   matrix.names.resize(static_cast<std::size_t>(matrix.n));
   matrix.distances.resize(static_cast<std::size_t>(matrix.n * matrix.n));
   for (std::int64_t i = 0; i < matrix.n; ++i) {
     if (!(in >> matrix.names[static_cast<std::size_t>(i)])) {
-      throw std::runtime_error("read_phylip: truncated name row");
+      throw error::CorruptInput("read_phylip: truncated name row");
     }
     for (std::int64_t j = 0; j < matrix.n; ++j) {
       if (!(in >> matrix.distances[static_cast<std::size_t>(i * matrix.n + j)])) {
-        throw std::runtime_error("read_phylip: truncated distance row");
+        throw error::CorruptInput("read_phylip: truncated distance row");
       }
     }
   }

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "util/error.hpp"
+
 namespace sas::genome {
 
 KmerSample build_sample(const std::string& name,
@@ -58,14 +60,14 @@ double jaccard_of_samples(const KmerSample& a, const KmerSample& b) {
 
 void write_sample_file(const std::string& path, const KmerSample& sample) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot write sample file: " + path);
+  if (!out) throw error::ConfigError("cannot write sample file: " + path);
   out << "# " << sample.name << '\n';
   for (std::uint64_t code : sample.kmers) out << code << '\n';
 }
 
 KmerSample read_sample_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open sample file: " + path);
+  if (!in) throw error::ConfigError("cannot open sample file: " + path);
   KmerSample sample;
   std::string line;
   while (std::getline(in, line)) {
@@ -79,7 +81,7 @@ KmerSample read_sample_file(const std::string& path) {
     sample.kmers.push_back(std::stoull(line));
   }
   if (!std::is_sorted(sample.kmers.begin(), sample.kmers.end())) {
-    throw std::runtime_error("sample file is not sorted: " + path);
+    throw error::CorruptInput("sample file is not sorted: " + path);
   }
   return sample;
 }

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "bsp/tags.hpp"
 #include "core/packing.hpp"
 #include "distmat/block.hpp"
 #include "distmat/dense_block.hpp"
@@ -291,6 +292,8 @@ CandidatePass all_pairs_candidate_pass(
     double effective_threshold) {
   const int p = world.size();
   const int r = world.rank();
+  const obs::Span stage_span("allpairs-candidates", "sketch",
+                             &world.counters());
 
   // Every rank needs every blob (the mask prunes rank-local columns and
   // tiles), so the exchange is a ring allgather of the wire panels —
@@ -613,7 +616,7 @@ core::Result sketch_similarity_at_scale(bsp::Comm& world,
   const std::int64_t n = source.sample_count();
   const int p = world.size();
   const int r = world.rank();
-  constexpr int kTagSketchRing = 310;
+  constexpr int kTagSketchRing = bsp::tags::kSketchRing;
 
   world.barrier();
   Timer timer;

@@ -5,9 +5,9 @@
 #include <stdexcept>
 
 #include "sketch/bottomk.hpp"
-#include "util/error.hpp"
 #include "sketch/hyperloglog.hpp"
 #include "sketch/one_perm_minhash.hpp"
+#include "util/error.hpp"
 
 namespace sas::sketch {
 
@@ -53,10 +53,10 @@ double estimate_jaccard_wire(std::span<const std::uint64_t> a,
 
 void write_wire_file(const std::string& path, std::span<const std::uint64_t> wire) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("write_wire_file: cannot open " + path);
+  if (!out) throw error::ConfigError("write_wire_file: cannot open " + path);
   out.write(reinterpret_cast<const char*>(wire.data()),
             static_cast<std::streamsize>(wire.size_bytes()));
-  if (!out) throw std::runtime_error("write_wire_file: short write to " + path);
+  if (!out) throw error::ConfigError("write_wire_file: short write to " + path);
 }
 
 std::vector<std::uint64_t> read_wire_file(const std::string& path) {

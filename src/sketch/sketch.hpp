@@ -116,7 +116,7 @@ inline constexpr std::size_t kWireHeaderWords = 3;       // tag, params, seed
 // inputs; the sketch pipelines load them instead of re-sketching when the
 // header matches the run's configuration.
 
-/// Write `wire` to `path` (truncating). Throws std::runtime_error on I/O
+/// Write `wire` to `path` (truncating). Throws error::ConfigError on I/O
 /// failure.
 void write_wire_file(const std::string& path, std::span<const std::uint64_t> wire);
 

@@ -12,6 +12,10 @@
 //                        truncated stream, out-of-bounds length/offset)
 //   4  kRankFailure      a BSP rank threw; the run was aborted
 //   5  kWatchdogTimeout  a blocking BSP primitive exceeded its deadline
+//   6  kProtocol         the BSP protocol verifier (SAS_VERIFY_PROTOCOL;
+//                        bsp/protocol.hpp) caught a broken communication
+//                        contract: a divergent collective sequence or an
+//                        unreceived point-to-point message
 //
 // Rank threads additionally carry *where* they failed: a thread-local
 // stack of context labels ("stage=multiply", "batch 3") maintained by the
@@ -32,6 +36,7 @@ enum class Code : int {
   kCorruptInput = 3,
   kRankFailure = 4,
   kWatchdogTimeout = 5,
+  kProtocol = 6,
 };
 
 /// Base of the taxonomy. Derives from std::runtime_error so existing
@@ -63,6 +68,12 @@ class WatchdogTimeout : public Error {
  public:
   explicit WatchdogTimeout(const std::string& message)
       : Error(Code::kWatchdogTimeout, message) {}
+};
+
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& message)
+      : Error(Code::kProtocol, message) {}
 };
 
 /// Process exit code for a caught exception: an Error carries its Code;

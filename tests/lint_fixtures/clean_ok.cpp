@@ -1,0 +1,13 @@
+// Clean fixture: exercises the shapes the rules look at, written the way
+// the tree is supposed to write them -- named registry tags, taxonomy
+// errors, a span-opening stage body. Must produce zero findings.
+// Never compiled -- sas_lint.py --self-test only.
+
+void well_behaved_exchange(sas::bsp::Comm& comm, int peer) {
+  const obs::Span stage_span("fixture-stage", "fixture", &comm.counters());
+  comm.send_value<int>(peer, sas::bsp::tags::kSpgemmRing, 42);
+  const auto reply = comm.recv<int>(peer, sas::bsp::tags::kSpgemmRing);
+  if (reply.empty()) {
+    throw sas::error::CorruptInput("fixture: peer sent an empty reply");
+  }
+}

@@ -1,0 +1,9 @@
+// Seeded R1 fixture: AVX512 intrinsics outside the two
+// -mavx512vpopcntdq TUs. Never compiled -- sas_lint.py --self-test only.
+
+void leaks_avx512_into_a_generic_tu(unsigned long long* data) {
+  __m512i accumulator = _mm512_setzero_si512();
+  accumulator = _mm512_popcnt_epi64(accumulator);
+  (void)data;
+  (void)accumulator;
+}

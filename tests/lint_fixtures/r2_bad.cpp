@@ -1,0 +1,10 @@
+// Seeded R2 fixture: numeric message-tag literals at send/recv call
+// sites and a tag constant minted outside bsp/tags.hpp. Never compiled.
+
+void exchanges_on_raw_tags(sas::bsp::Comm& comm, int peer) {
+  constexpr int kTagRogue = 7;
+  comm.send_value<int>(peer, 300, 42);
+  const auto reply = comm.recv<int>(peer, 301);
+  (void)kTagRogue;
+  (void)reply;
+}

@@ -1,0 +1,9 @@
+// Seeded R3 fixture: untyped throw and process abort in library code.
+// Never compiled -- sas_lint.py --self-test only.
+
+void fails_without_the_taxonomy(bool broken) {
+  if (broken) {
+    throw std::runtime_error("untyped failure loses the exit code");
+  }
+  abort();
+}

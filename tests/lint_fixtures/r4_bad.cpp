@@ -1,0 +1,8 @@
+// Seeded R4 fixture: a stage entry point whose body never opens an
+// observability span. Never compiled -- sas_lint.py --self-test only.
+
+void ring_ata_accumulate(int panels, int batches) {
+  for (int b = 0; b < batches; ++b) {
+    (void)panels;
+  }
+}

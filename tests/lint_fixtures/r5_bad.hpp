@@ -1,0 +1,8 @@
+// Seeded R5 fixture: no `#pragma once`, and the header does not compile
+// standalone (std::vector used without including <vector>).
+
+namespace lint_fixture {
+
+inline std::vector<int> not_self_sufficient() { return {}; }
+
+}  // namespace lint_fixture

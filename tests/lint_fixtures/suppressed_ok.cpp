@@ -1,0 +1,8 @@
+// Suppression fixture: a real R3 violation masked by an allow()
+// annotation. The self-test asserts it produces zero active findings and
+// exactly counted suppressions. Never compiled.
+
+void deliberately_untyped() {
+  // sas-lint: allow(R3 fixture exercises the suppression syntax)
+  throw std::runtime_error("masked by the annotation above");
+}

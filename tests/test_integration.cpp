@@ -358,10 +358,13 @@ TEST_F(GasCli, UsageErrorsExitWithConfigCode) {
   EXPECT_EQ(run_command(dist("--fault-plan rank=0:op=zero:throw")).exit_code, 2);
 }
 
-TEST_F(GasCli, MissingInputExitsWithGenericCode) {
+TEST_F(GasCli, MissingInputExitsWithConfigCode) {
+  // A nonexistent input path is a usage error, not an unclassified
+  // failure: loaders throw error::ConfigError since the typed-error
+  // migration (lint rule R3), so the CLI reports the config code.
   const auto result =
       run_command(bin_ + " dist /nonexistent/a.kmers /nonexistent/b.kmers --k 11");
-  EXPECT_EQ(result.exit_code, 1) << result.output;
+  EXPECT_EQ(result.exit_code, 2) << result.output;
 }
 
 TEST_F(GasCli, CorruptPersistedSketchExitsWithCorruptCode) {

@@ -85,7 +85,7 @@ int usage() {
                "           [--candidate-mode auto|allpairs|lsh] [--lsh-bands 0]\n"
                "           [--dense-output]\n"
                "           [--checkpoint DIR] [--resume] [--watchdog-ms N]\n"
-               "           [--fault-plan SPEC]\n"
+               "           [--fault-plan SPEC] [--verify-protocol]\n"
                "           [--trace-out run.json] [--report-json report.json]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
@@ -98,6 +98,14 @@ int usage() {
                "                     waits longer than N ms in a BSP primitive\n"
                "  --fault-plan SPEC  deterministic fault injection for testing:\n"
                "                     'rank=R:op=K:throw|flip[=BYTE]|delay=MS' (';'-joined)\n"
+               "  --verify-protocol  arm the BSP protocol verifier: per-rank ledgers\n"
+               "                     of every collective's (op, tag, elem, shape),\n"
+               "                     cross-checked at barriers and run exit; a rank\n"
+               "                     diverging from the collective sequence or leaving\n"
+               "                     a send unreceived fails immediately with the\n"
+               "                     ledger entries named (exit code 6). Also armed\n"
+               "                     by the SAS_VERIFY_PROTOCOL env var (CI does);\n"
+               "                     results are unchanged, checks only\n"
                "raw-speed knobs (gas dist):\n"
                "  --nodes N          simulate N nodes: hierarchical two-tier\n"
                "                     collectives (bitwise-identical results) with\n"
@@ -105,7 +113,8 @@ int usage() {
                "  --no-numa          disable NUMA worker pinning + first-touch\n"
                "                     placement of the multiply stage\n"
                "exit codes: 0 ok, 1 generic error, 2 bad config/usage,\n"
-               "            3 corrupt input, 4 rank failure, 5 watchdog timeout\n"
+               "            3 corrupt input, 4 rank failure, 5 watchdog timeout,\n"
+               "            6 protocol violation (--verify-protocol)\n"
                "\n"
                "observability (gas dist):\n"
                "  --trace-out F      merge every rank's spans (stages, batches,\n"
@@ -347,6 +356,7 @@ int cmd_dist(const ArgParser& args) {
   options.core.resume = args.get_bool("resume", false);
   options.core.watchdog_ms = args.get_int("watchdog-ms", 0);
   options.core.fault_plan = args.get_string("fault-plan", "");
+  options.core.verify_protocol = args.get_bool("verify-protocol", false);
   if (options.core.resume && options.core.checkpoint_dir.empty()) {
     std::fprintf(stderr, "gas dist: --resume needs --checkpoint DIR\n");
     return 2;
