@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_algorithm.dir/bench/ablation_algorithm.cpp.o"
+  "CMakeFiles/bench_ablation_algorithm.dir/bench/ablation_algorithm.cpp.o.d"
+  "bench_ablation_algorithm"
+  "bench_ablation_algorithm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitmask.dir/bench/ablation_bitmask.cpp.o"
+  "CMakeFiles/bench_ablation_bitmask.dir/bench/ablation_bitmask.cpp.o.d"
+  "bench_ablation_bitmask"
+  "bench_ablation_bitmask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitmask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_model_validation.dir/bench/comm_model_validation.cpp.o"
+  "CMakeFiles/bench_comm_model_validation.dir/bench/comm_model_validation.cpp.o.d"
+  "bench_comm_model_validation"
+  "bench_comm_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2b_bigsi_strong.dir/bench/fig2b_bigsi_strong.cpp.o"
+  "CMakeFiles/bench_fig2b_bigsi_strong.dir/bench/fig2b_bigsi_strong.cpp.o.d"
+  "bench_fig2b_bigsi_strong"
+  "bench_fig2b_bigsi_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2b_bigsi_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2d_bigsi_batch.dir/bench/fig2d_bigsi_batch.cpp.o"
+  "CMakeFiles/bench_fig2d_bigsi_batch.dir/bench/fig2d_bigsi_batch.cpp.o.d"
+  "bench_fig2d_bigsi_batch"
+  "bench_fig2d_bigsi_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2d_bigsi_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

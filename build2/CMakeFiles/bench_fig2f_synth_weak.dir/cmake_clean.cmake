@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2f_synth_weak.dir/bench/fig2f_synth_weak.cpp.o"
+  "CMakeFiles/bench_fig2f_synth_weak.dir/bench/fig2f_synth_weak.cpp.o.d"
+  "bench_fig2f_synth_weak"
+  "bench_fig2f_synth_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2f_synth_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minhash_accuracy.dir/bench/minhash_accuracy.cpp.o"
+  "CMakeFiles/bench_minhash_accuracy.dir/bench/minhash_accuracy.cpp.o.d"
+  "bench_minhash_accuracy"
+  "bench_minhash_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minhash_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_minhash_accuracy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_document_similarity.dir/examples/document_similarity.cpp.o"
+  "CMakeFiles/example_document_similarity.dir/examples/document_similarity.cpp.o.d"
+  "example_document_similarity"
+  "example_document_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_document_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_genome_phylogeny.dir/examples/genome_phylogeny.cpp.o"
+  "CMakeFiles/example_genome_phylogeny.dir/examples/genome_phylogeny.cpp.o.d"
+  "example_genome_phylogeny"
+  "example_genome_phylogeny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_genome_phylogeny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_genome_phylogeny.
+# This may be replaced when dependencies are built.

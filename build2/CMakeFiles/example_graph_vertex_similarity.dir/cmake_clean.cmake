@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_graph_vertex_similarity.dir/examples/graph_vertex_similarity.cpp.o"
+  "CMakeFiles/example_graph_vertex_similarity.dir/examples/graph_vertex_similarity.cpp.o.d"
+  "example_graph_vertex_similarity"
+  "example_graph_vertex_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_graph_vertex_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

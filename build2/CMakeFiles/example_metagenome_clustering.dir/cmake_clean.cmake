@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_metagenome_clustering.dir/examples/metagenome_clustering.cpp.o"
+  "CMakeFiles/example_metagenome_clustering.dir/examples/metagenome_clustering.cpp.o.d"
+  "example_metagenome_clustering"
+  "example_metagenome_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_metagenome_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_metagenome_clustering.
+# This may be replaced when dependencies are built.

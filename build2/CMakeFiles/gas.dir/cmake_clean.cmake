@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gas.dir/tools/gas.cpp.o"
+  "CMakeFiles/gas.dir/tools/gas.cpp.o.d"
+  "gas"
+  "gas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/clustering.cpp" "CMakeFiles/sas_core.dir/src/analysis/clustering.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/analysis/clustering.cpp.o.d"
+  "/root/repo/src/analysis/neighbor_joining.cpp" "CMakeFiles/sas_core.dir/src/analysis/neighbor_joining.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/analysis/neighbor_joining.cpp.o.d"
+  "/root/repo/src/analysis/phylo_tree.cpp" "CMakeFiles/sas_core.dir/src/analysis/phylo_tree.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/analysis/phylo_tree.cpp.o.d"
+  "/root/repo/src/analysis/similar_pairs.cpp" "CMakeFiles/sas_core.dir/src/analysis/similar_pairs.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/analysis/similar_pairs.cpp.o.d"
+  "/root/repo/src/analysis/upgma.cpp" "CMakeFiles/sas_core.dir/src/analysis/upgma.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/analysis/upgma.cpp.o.d"
+  "/root/repo/src/baselines/exact_pairwise.cpp" "CMakeFiles/sas_core.dir/src/baselines/exact_pairwise.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/baselines/exact_pairwise.cpp.o.d"
+  "/root/repo/src/baselines/mapreduce_jaccard.cpp" "CMakeFiles/sas_core.dir/src/baselines/mapreduce_jaccard.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/baselines/mapreduce_jaccard.cpp.o.d"
+  "/root/repo/src/bsp/comm.cpp" "CMakeFiles/sas_core.dir/src/bsp/comm.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/bsp/comm.cpp.o.d"
+  "/root/repo/src/bsp/fault.cpp" "CMakeFiles/sas_core.dir/src/bsp/fault.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/bsp/fault.cpp.o.d"
+  "/root/repo/src/bsp/protocol.cpp" "CMakeFiles/sas_core.dir/src/bsp/protocol.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/bsp/protocol.cpp.o.d"
+  "/root/repo/src/bsp/runtime.cpp" "CMakeFiles/sas_core.dir/src/bsp/runtime.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/bsp/runtime.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "CMakeFiles/sas_core.dir/src/core/checkpoint.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/driver.cpp" "CMakeFiles/sas_core.dir/src/core/driver.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/core/driver.cpp.o.d"
+  "/root/repo/src/core/matrix_io.cpp" "CMakeFiles/sas_core.dir/src/core/matrix_io.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/core/matrix_io.cpp.o.d"
+  "/root/repo/src/core/packing.cpp" "CMakeFiles/sas_core.dir/src/core/packing.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/core/packing.cpp.o.d"
+  "/root/repo/src/core/sample_source.cpp" "CMakeFiles/sas_core.dir/src/core/sample_source.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/core/sample_source.cpp.o.d"
+  "/root/repo/src/core/similarity_matrix.cpp" "CMakeFiles/sas_core.dir/src/core/similarity_matrix.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/core/similarity_matrix.cpp.o.d"
+  "/root/repo/src/distmat/crossover.cpp" "CMakeFiles/sas_core.dir/src/distmat/crossover.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/distmat/crossover.cpp.o.d"
+  "/root/repo/src/distmat/dist_filter.cpp" "CMakeFiles/sas_core.dir/src/distmat/dist_filter.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/distmat/dist_filter.cpp.o.d"
+  "/root/repo/src/distmat/proc_grid.cpp" "CMakeFiles/sas_core.dir/src/distmat/proc_grid.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/distmat/proc_grid.cpp.o.d"
+  "/root/repo/src/distmat/spgemm.cpp" "CMakeFiles/sas_core.dir/src/distmat/spgemm.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/distmat/spgemm.cpp.o.d"
+  "/root/repo/src/genome/fasta.cpp" "CMakeFiles/sas_core.dir/src/genome/fasta.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/fasta.cpp.o.d"
+  "/root/repo/src/genome/genome_at_scale.cpp" "CMakeFiles/sas_core.dir/src/genome/genome_at_scale.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/genome_at_scale.cpp.o.d"
+  "/root/repo/src/genome/kmer.cpp" "CMakeFiles/sas_core.dir/src/genome/kmer.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/kmer.cpp.o.d"
+  "/root/repo/src/genome/kmer_source.cpp" "CMakeFiles/sas_core.dir/src/genome/kmer_source.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/kmer_source.cpp.o.d"
+  "/root/repo/src/genome/kmer_spectrum.cpp" "CMakeFiles/sas_core.dir/src/genome/kmer_spectrum.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/kmer_spectrum.cpp.o.d"
+  "/root/repo/src/genome/phylip.cpp" "CMakeFiles/sas_core.dir/src/genome/phylip.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/phylip.cpp.o.d"
+  "/root/repo/src/genome/sample.cpp" "CMakeFiles/sas_core.dir/src/genome/sample.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/sample.cpp.o.d"
+  "/root/repo/src/genome/synthetic.cpp" "CMakeFiles/sas_core.dir/src/genome/synthetic.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/genome/synthetic.cpp.o.d"
+  "/root/repo/src/obs/json.cpp" "CMakeFiles/sas_core.dir/src/obs/json.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/obs/json.cpp.o.d"
+  "/root/repo/src/obs/report.cpp" "CMakeFiles/sas_core.dir/src/obs/report.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/obs/report.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "CMakeFiles/sas_core.dir/src/obs/trace.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/obs/trace.cpp.o.d"
+  "/root/repo/src/sketch/bottomk.cpp" "CMakeFiles/sas_core.dir/src/sketch/bottomk.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/sketch/bottomk.cpp.o.d"
+  "/root/repo/src/sketch/exchange.cpp" "CMakeFiles/sas_core.dir/src/sketch/exchange.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/sketch/exchange.cpp.o.d"
+  "/root/repo/src/sketch/hyperloglog.cpp" "CMakeFiles/sas_core.dir/src/sketch/hyperloglog.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/sketch/hyperloglog.cpp.o.d"
+  "/root/repo/src/sketch/one_perm_minhash.cpp" "CMakeFiles/sas_core.dir/src/sketch/one_perm_minhash.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/sketch/one_perm_minhash.cpp.o.d"
+  "/root/repo/src/sketch/sketch.cpp" "CMakeFiles/sas_core.dir/src/sketch/sketch.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/sketch/sketch.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "CMakeFiles/sas_core.dir/src/util/args.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/util/args.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "CMakeFiles/sas_core.dir/src/util/error.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/util/error.cpp.o.d"
+  "/root/repo/src/util/numa.cpp" "CMakeFiles/sas_core.dir/src/util/numa.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/util/numa.cpp.o.d"
+  "/root/repo/src/util/popcount_scatter.cpp" "CMakeFiles/sas_core.dir/src/util/popcount_scatter.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/util/popcount_scatter.cpp.o.d"
+  "/root/repo/src/util/popcount_stream.cpp" "CMakeFiles/sas_core.dir/src/util/popcount_stream.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/util/popcount_stream.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/sas_core.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/sas_core.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsas_core.a"
+)

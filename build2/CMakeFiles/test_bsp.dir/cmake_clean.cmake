@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsp.dir/tests/test_bsp.cpp.o"
+  "CMakeFiles/test_bsp.dir/tests/test_bsp.cpp.o.d"
+  "test_bsp"
+  "test_bsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

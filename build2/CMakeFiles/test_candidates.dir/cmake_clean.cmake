@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_candidates.dir/tests/test_candidates.cpp.o"
+  "CMakeFiles/test_candidates.dir/tests/test_candidates.cpp.o.d"
+  "test_candidates"
+  "test_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corruption.dir/tests/test_corruption.cpp.o"
+  "CMakeFiles/test_corruption.dir/tests/test_corruption.cpp.o.d"
+  "test_corruption"
+  "test_corruption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raw_speed.dir/tests/test_raw_speed.cpp.o"
+  "CMakeFiles/test_raw_speed.dir/tests/test_raw_speed.cpp.o.d"
+  "test_raw_speed"
+  "test_raw_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raw_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

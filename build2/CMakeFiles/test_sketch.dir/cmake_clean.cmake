@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sketch.dir/tests/test_sketch.cpp.o"
+  "CMakeFiles/test_sketch.dir/tests/test_sketch.cpp.o.d"
+  "test_sketch"
+  "test_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_smoke_driver.dir/tests/test_smoke_driver.cpp.o"
+  "CMakeFiles/test_smoke_driver.dir/tests/test_smoke_driver.cpp.o.d"
+  "test_smoke_driver"
+  "test_smoke_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_smoke_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_output.dir/tests/test_sparse_output.cpp.o"
+  "CMakeFiles/test_sparse_output.dir/tests/test_sparse_output.cpp.o.d"
+  "test_sparse_output"
+  "test_sparse_output.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_output.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spgemm_kernels.dir/tests/test_spgemm_kernels.cpp.o"
+  "CMakeFiles/test_spgemm_kernels.dir/tests/test_spgemm_kernels.cpp.o.d"
+  "test_spgemm_kernels"
+  "test_spgemm_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spgemm_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
