@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""CI chaos-job assertions over the in-run recovery artifacts.
+
+Two modes, matching the two recovery outcomes the chaos job exercises:
+
+  check_recovery.py recovered <trace.json> <report.json> <result.tsv> <baseline.tsv>
+
+    A seeded transient fault plan whose faults heal within the retry
+    budget: the run must complete CLEAN (report status "ok") with at
+    least one replay recorded, the trace must carry the recovery spans
+    ("recover" + "retry", category "recovery") and the recovery.retries
+    counter, and the result TSV must be byte-identical to the fault-free
+    baseline — replays are bitwise, not approximately, equal.
+
+  check_recovery.py degraded <report.json> <manifest.json>
+
+    The same plan made permanent under --quarantine: the run must
+    complete DEGRADED (exit 9 is asserted by the workflow), the report
+    must name the quarantined batches, and the sas-quarantine-v1
+    manifest must agree with the report batch-for-batch.
+
+Exits nonzero with a diagnostic on the first violated assertion.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_recovery: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+
+
+def check_recovered(trace_path, report_path, result_path, baseline_path):
+    trace = load_json(trace_path)
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{trace_path}: no traceEvents")
+    recovery_spans = {}
+    for ev in events:
+        if ev.get("ph") == "X" and ev.get("cat") == "recovery":
+            recovery_spans[ev["name"]] = recovery_spans.get(ev["name"], 0) + 1
+    if recovery_spans.get("recover", 0) == 0:
+        fail(f"{trace_path}: no 'recover' rendezvous span "
+             f"(recovery spans seen: {recovery_spans})")
+    if recovery_spans.get("retry", 0) == 0:
+        fail(f"{trace_path}: no 'retry' span — the plan never fired or the "
+             f"replay never ran (recovery spans seen: {recovery_spans})")
+
+    report = load_json(report_path)
+    if report.get("status") != "ok":
+        fail(f"{report_path}: status is {report.get('status')!r} — a healed "
+             "transient run must complete clean")
+    if report.get("retries", 0) <= 0:
+        fail(f"{report_path}: retries is {report.get('retries')!r}, expected > 0")
+    if report.get("quarantined"):
+        fail(f"{report_path}: unexpected quarantined batches on a healed run")
+    counter_total = 0
+    for row in report.get("metrics", []):
+        counter_total += row.get("counters", {}).get("recovery.retries", 0)
+    if counter_total <= 0:
+        fail(f"{report_path}: no rank recorded the recovery.retries counter")
+
+    with open(result_path, "rb") as f:
+        result = f.read()
+    with open(baseline_path, "rb") as f:
+        baseline = f.read()
+    if not baseline:
+        fail(f"{baseline_path}: baseline result is empty")
+    if result != baseline:
+        fail(f"{result_path}: recovered result differs from the fault-free "
+             f"baseline ({len(result)} vs {len(baseline)} bytes) — replays "
+             "must be bitwise-identical")
+    print(f"recovered ok: {report['retries']} replay(s), spans {recovery_spans}, "
+          f"result matches baseline ({len(result)} bytes)")
+
+
+def check_degraded(report_path, manifest_path):
+    report = load_json(report_path)
+    if report.get("status") != "degraded":
+        fail(f"{report_path}: status is {report.get('status')!r}, expected "
+             "'degraded'")
+    quarantined = report.get("quarantined")
+    if not quarantined:
+        fail(f"{report_path}: degraded status but no quarantined batches named")
+    for row in quarantined:
+        if not (0 <= row["row_begin"] < row["row_end"]):
+            fail(f"{report_path}: degenerate quarantined row range {row}")
+        if row["attempts"] < 1 or not row.get("reason"):
+            fail(f"{report_path}: quarantined batch lacks attempts/reason: {row}")
+
+    manifest = load_json(manifest_path)
+    if manifest.get("schema") != "sas-quarantine-v1":
+        fail(f"{manifest_path}: schema is {manifest.get('schema')!r}, expected "
+             "'sas-quarantine-v1'")
+    if manifest.get("quarantined_batches") != len(manifest.get("batches", [])):
+        fail(f"{manifest_path}: quarantined_batches count disagrees with the "
+             "batches table")
+    report_batches = sorted(row["batch"] for row in quarantined)
+    manifest_batches = sorted(row["batch"] for row in manifest.get("batches", []))
+    if report_batches != manifest_batches:
+        fail(f"report names batches {report_batches} but the manifest names "
+             f"{manifest_batches}")
+    print(f"degraded ok: batches {manifest_batches} quarantined, "
+          f"{manifest.get('retries', 0)} replay(s) before giving up")
+
+
+def main():
+    if len(sys.argv) >= 2 and sys.argv[1] == "recovered" and len(sys.argv) == 6:
+        check_recovered(*sys.argv[2:6])
+    elif len(sys.argv) >= 2 and sys.argv[1] == "degraded" and len(sys.argv) == 4:
+        check_degraded(*sys.argv[2:4])
+    else:
+        fail("usage: check_recovery.py recovered <trace.json> <report.json> "
+             "<result.tsv> <baseline.tsv> | degraded <report.json> "
+             "<manifest.json>")
+    print("check_recovery: ok")
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,7 @@
 #include <string>
 #include <tuple>
 
+#include "bsp/tags.hpp"
 #include "util/error.hpp"
 
 namespace sas::bsp {
@@ -82,6 +83,127 @@ void Comm::barrier() {
         [&st, generation] { return st.barrier_generation != generation; },
         wait_policy(), "rank " + std::to_string(rank_) + " in barrier");
   }
+}
+
+namespace {
+
+/// Classify the tripped token's cause for the verdict. Falls back to
+/// permanent/"unknown exception" — an unclassifiable failure must never
+/// be retried as if it were transient.
+void classify_cause(const std::exception_ptr& cause, RecoveryOutcome& out) {
+  out.transient = false;
+  out.message = "unknown exception";
+  if (cause == nullptr) return;
+  try {
+    std::rethrow_exception(cause);
+  } catch (const error::Error& e) {
+    out.transient = e.transient();
+    out.message = e.what();
+  } catch (const std::exception& e) {
+    out.message = e.what();
+  } catch (...) {  // sas-lint: allow(R7 classification fallback: the permanent default IS the typed translation)
+  }
+}
+
+}  // namespace
+
+RecoveryOutcome Comm::recover(std::int64_t batch, std::uint64_t attempt,
+                              std::uint64_t max_retries, bool quarantine) {
+  detail::SharedState& st = *state_;
+  const obs::Span span("recover", "recovery", counters_);
+  RecoveryOutcome out;
+
+  std::unique_lock<std::mutex> lock(st.recovery_mutex);
+  const std::uint64_t generation = st.recovery_generation;
+  if (st.recovery_arrived == 0) {
+    st.recovery_batch = batch;
+    st.recovery_batch_mismatch = false;
+  } else if (st.recovery_batch != batch) {
+    // Ranks disagree on which batch failed (a straddle across a batch
+    // boundary); rolling back across boundaries is unsupported, so the
+    // verdict can only be abort.
+    st.recovery_batch_mismatch = true;
+  }
+  ++st.recovery_arrived;
+  st.recovery_cv.notify_all();
+
+  // Wait until this generation is released, claiming the coordinator
+  // role if this rank is the one that observes the rendezvous complete
+  // (all surviving ranks arrived; defections count as arrivals that can
+  // never happen). Deliberately NOT wait_or_abort: the token is tripped
+  // by construction here, and the rendezvous is how it gets reset.
+  st.recovery_cv.wait(lock, [&] {
+    if (st.recovery_generation != generation) return true;
+    if (st.recovery_claimed) return false;
+    return st.recovery_arrived + st.recovery_defected >= st.size;
+  });
+
+  if (st.recovery_generation == generation) {
+    // Coordinator. Peers are quiescent in the wait above (they hold no
+    // locks and issue no sends until released), so shared structures can
+    // be reset safely — the same quiescence argument the barrier's
+    // ledger cross-check rests on.
+    st.recovery_claimed = true;
+    classify_cause(st.abort->cause(), out);
+    out.source_rank = st.abort->source_rank();
+    out.cause = st.abort->cause();
+    out.healable = !st.recovery_batch_mismatch && st.recovery_defected == 0;
+    out.retry = out.healable && out.transient && attempt < max_retries;
+    // A healable failure also re-arms when the caller will quarantine the
+    // batch and continue — the run's remaining batches need a clean
+    // world just as a replay does.
+    out.rearmed = out.retry || (out.healable && quarantine);
+    st.recovery_outcome = out;
+    if (out.rearmed) {
+      // Re-arm the world for the replay: stale messages from the aborted
+      // attempt vanish, ledgers restart from a symmetric resync marker,
+      // children of the aborted attempt are forgotten, and a barrier
+      // increment a rank left behind when it unwound is wiped.
+      for (Mailbox& mb : st.mailboxes) mb.clear();
+      if (st.verify_protocol) {
+        for (ProtocolLedger& ledger : st.ledgers) {
+          ledger = ProtocolLedger{};
+          ledger.record(ProtoOp::kBarrier, tags::kRecoveryResync, 0, attempt);
+        }
+        if (st.protocol_registry != nullptr) st.protocol_registry->clear();
+      }
+      {
+        std::lock_guard<std::mutex> barrier_lock(st.barrier_mutex);
+        st.barrier_arrived = 0;
+      }
+      {
+        std::lock_guard<std::mutex> split_lock(st.split_mutex);
+        st.split_children.clear();
+        st.split_remaining.clear();
+      }
+      st.abort->reset();
+    }
+    ++st.recovery_epoch;
+    st.recovery_arrived = 0;
+    st.recovery_batch = -1;
+    st.recovery_claimed = false;
+    ++st.recovery_generation;
+    st.recovery_cv.notify_all();
+  } else {
+    // Released by the coordinator; copy its verdict (the abort token may
+    // already be reset, so the shared outcome is the one source of
+    // truth for the cause classification too).
+    out = st.recovery_outcome;
+  }
+
+  if (out.rearmed) {
+    // Per-rank continue bookkeeping, each rank touching only its own
+    // state: split slots restart in a fresh epoch-unique range (peer
+    // split_sequence_ values diverged when they unwound at different
+    // points). On retry the fault slot also advances to the next attempt
+    // so `until=A` specs can heal deterministically; a quarantine skip
+    // keeps the attempt so the unhealed fault stays spent (fired counts
+    // only reset when the attempt changes) instead of re-firing into
+    // every later batch.
+    split_sequence_ = st.recovery_epoch << 32;
+    if (out.retry && fault_ != nullptr) fault_->attempt = attempt + 1;
+  }
+  return out;
 }
 
 Comm Comm::split(int color, int key) {

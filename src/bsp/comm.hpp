@@ -38,8 +38,21 @@
 #include "bsp/mailbox.hpp"
 #include "bsp/protocol.hpp"
 #include "obs/trace.hpp"
+#include "util/membudget.hpp"
 
 namespace sas::bsp {
+
+/// Verdict of a recovery rendezvous (Comm::recover), identical on every
+/// rank of the same generation.
+struct RecoveryOutcome {
+  bool retry = false;      ///< replay the batch (state was reset for it)
+  bool healable = false;   ///< ranks agreed on the batch and none defected
+  bool transient = false;  ///< the cause carried Severity::kTransient
+  bool rearmed = false;    ///< shared state was reset — the run may go on
+  int source_rank = -1;    ///< rank whose failure tripped the token
+  std::string message;     ///< the cause's what() (quarantine manifests)
+  std::exception_ptr cause;
+};
 
 namespace detail {
 
@@ -86,6 +99,33 @@ struct SharedState {
   std::condition_variable barrier_cv;
   int barrier_arrived = 0;
   std::uint64_t barrier_generation = 0;
+
+  // Recovery rendezvous (Comm::recover): after an abort, every rank
+  // unwinds to its batch boundary and arrives here; the last arrival
+  // coordinates the verdict (retry vs give up), resets the abort/
+  // protocol/mailbox state for a replay, and releases the others. A rank
+  // whose thread exits WITHOUT reaching the rendezvous (the failure
+  // escaped the batch loop) is counted defected by Runtime so arrivals
+  // never wait for a thread that is already gone.
+  std::mutex recovery_mutex;
+  std::condition_variable recovery_cv;
+  int recovery_arrived = 0;
+  int recovery_defected = 0;
+  bool recovery_claimed = false;       ///< a coordinator is working
+  std::uint64_t recovery_generation = 0;
+  std::uint64_t recovery_epoch = 0;    ///< completed rendezvous count
+  std::int64_t recovery_batch = -1;    ///< batch of the first arrival
+  bool recovery_batch_mismatch = false;
+  RecoveryOutcome recovery_outcome;    ///< current generation's verdict
+
+  /// Runtime calls this when a rank's thread is about to exit while the
+  /// run is aborted: the rank can no longer join a rendezvous, and any
+  /// peers already waiting there must learn that and give up.
+  void note_recovery_defection() {
+    std::lock_guard<std::mutex> lock(recovery_mutex);
+    ++recovery_defected;
+    recovery_cv.notify_all();
+  }
 
   // Registry used by split(): the first member of each (generation, color)
   // group allocates the child state; the last member erases the entry.
@@ -174,6 +214,31 @@ class Comm {
   /// Global synchronization; counts one BSP superstep.
   void barrier();
 
+  // ---- in-run recovery -----------------------------------------------
+
+  /// Trip the run's abort token with `cause` so blocked peers unwind.
+  /// First trip wins; the recovery layer calls this when a rank's batch
+  /// body throws locally (peers learn of the failure through the token).
+  void abort_with(std::exception_ptr cause) {
+    state_->abort->trip(rank_, std::move(cause));
+  }
+
+  /// Recovery rendezvous: call on the WORLD communicator, on every rank,
+  /// after the abort cascade unwound the batch to its boundary. Blocks
+  /// until all surviving ranks arrive, then returns the shared verdict.
+  /// Retry requires the cause to be transient, `attempt` < `max_retries`,
+  /// every rank to name the same `batch`, and no rank to have defected
+  /// (healable). When the verdict is retry — or the failure is healable
+  /// and `quarantine` says the caller will skip the batch and go on — the
+  /// shared state is re-armed (`rearmed`): abort token reset, mailboxes
+  /// purged, protocol ledgers resynchronized at tags::kRecoveryResync,
+  /// split registries cleared. On retry this rank's fault-injection slot
+  /// additionally advances to `attempt` + 1 so `until=A` specs heal; a
+  /// quarantine skip keeps the attempt (an unhealed fault must not
+  /// re-fire into every later batch).
+  [[nodiscard]] RecoveryOutcome recover(std::int64_t batch, std::uint64_t attempt,
+                                        std::uint64_t max_retries, bool quarantine);
+
   // ---- point-to-point ----------------------------------------------------
 
   /// Buffered send of a trivially copyable span. Never blocks.
@@ -183,6 +248,11 @@ class Comm {
   void send(int dest, int tag, std::span<const T> data) {
     static_assert(std::is_trivially_copyable_v<T>);
     check_rank(dest);
+    // Memory-budget guardrail on the staging copy: under a per-rank
+    // budget (util/membudget.hpp) an over-limit payload fails as a typed
+    // error::ResourceExhausted at the allocation site. Transient charge —
+    // the mailbox's resident copy is the receiver's cost to bear.
+    const util::ScopedCharge charge(data.size_bytes(), "send payload staging");
     Mailbox::Message payload(data.size_bytes());
     if (!data.empty()) std::memcpy(payload.data(), data.data(), data.size_bytes());
     fault_point(&payload);
@@ -231,6 +301,8 @@ class Comm {
     if (payload.size() % sizeof(T) != 0) {
       throw std::logic_error("bsp::Comm::recv: payload size not a multiple of element size");
     }
+    // Budget the unpack copy (see send(): typed failure, not an OOM kill).
+    const util::ScopedCharge charge(payload.size(), "recv payload unpack");
     std::vector<T> data(payload.size() / sizeof(T));
     if (!data.empty()) std::memcpy(data.data(), payload.data(), payload.size());
     return data;

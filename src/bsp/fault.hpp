@@ -56,6 +56,21 @@ class FaultInjected : public error::Error {
  public:
   explicit FaultInjected(const std::string& message)
       : Error(error::Code::kRankFailure, message) {}
+
+ protected:
+  FaultInjected(error::Code code, const std::string& message,
+                error::Severity severity)
+      : Error(code, message, severity) {}
+};
+
+/// Thrown at the injection point of a `throw_transient` action: carries
+/// error::Severity::kTransient so the recovery layer retries the batch
+/// instead of aborting the run.
+class TransientFaultInjected : public FaultInjected {
+ public:
+  explicit TransientFaultInjected(const std::string& message)
+      : FaultInjected(error::Code::kTransient, message,
+                      error::Severity::kTransient) {}
 };
 
 /// Cross-rank abort state. First trip wins; later trips (the cascade of
@@ -99,6 +114,18 @@ class AbortToken {
   [[nodiscard]] std::string blocked_at_trip() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return blocked_at_trip_;
+  }
+
+  /// Re-arm the token after a recovery rendezvous agreed to replay the
+  /// failed batch. Call only while every rank is quiescent at the
+  /// rendezvous (bsp/comm.cpp Comm::recover) — a reset racing a live
+  /// collective would let a rank miss the abort it is unwinding from.
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cause_ = nullptr;
+    source_rank_ = -1;
+    blocked_at_trip_.clear();
+    tripped.store(false, std::memory_order_release);
   }
 
   void register_blocked(std::string site) {
@@ -195,37 +222,57 @@ void wait_or_abort(std::condition_variable& cv, std::unique_lock<std::mutex>& lo
 // ---- deterministic fault injection ---------------------------------------
 
 enum class FaultKind {
-  kThrow,  ///< throw FaultInjected at the op
-  kFlip,   ///< XOR one payload byte with 0xff (wire validation must catch)
-  kDelay,  ///< sleep `param` milliseconds (watchdog fodder)
+  kThrow,           ///< throw FaultInjected at the op
+  kThrowTransient,  ///< throw TransientFaultInjected (recovery retries it)
+  kFlip,            ///< XOR one payload byte with 0xff (wire validation must catch)
+  kDelay,           ///< sleep `param` milliseconds (watchdog fodder)
 };
 
-/// One trigger: fires once, on `rank`'s first counted op whose index is
-/// >= `op` (">=" rather than "==" so a plan outliving a refactor that
-/// shaves a few ops still fires).
+/// One trigger, firing on `rank`'s counted ops whose index is >= `op`
+/// (">=" rather than "==" so a plan outliving a refactor that shaves a
+/// few ops still fires). `count` repeats the action on that many
+/// qualifying ops — per replay attempt for kThrowTransient, total for
+/// the permanent kinds. A kThrowTransient action fires only while the
+/// rank's replay attempt is < `until_attempt`, then succeeds, which is
+/// what makes recovery deterministically testable: until=A heals on
+/// attempt A, the default (never succeed) exercises retry exhaustion.
 struct FaultAction {
   FaultKind kind = FaultKind::kThrow;
   int rank = 0;
   std::uint64_t op = 0;
   std::uint64_t param = 0;  ///< kFlip: byte offset; kDelay: milliseconds
+  std::uint64_t count = 1;
+  std::uint64_t until_attempt = ~std::uint64_t{0};
 };
 
-/// Per-world-rank injection state: the op counter and which actions have
-/// fired. Carried by Comm alongside the cost counters so split-child
-/// traffic keeps counting against the world rank.
+/// Per-world-rank injection state: the op counter, the current replay
+/// attempt (bumped by the recovery layer), and per-action firing counts.
+/// Carried by Comm alongside the cost counters so split-child traffic
+/// keeps counting against the world rank.
 struct FaultSlot {
   int world_rank = 0;
   std::uint64_t ops = 0;
-  std::vector<std::uint8_t> fired;
+  std::uint64_t attempt = 0;
+  std::vector<std::uint64_t> fired;        ///< firings in the current epoch
+  std::vector<std::uint64_t> fired_epoch;  ///< attempt the count belongs to
 };
 
-/// A parsed fault plan. Spec grammar (';'-separated actions):
+/// A parsed fault plan. Spec grammar (';'-separated actions, each a
+/// ':'-separated field list):
 ///
-///   rank=R:op=K:throw          throw FaultInjected at op K
-///   rank=R:op=K:flip[=OFF]     flip payload byte OFF (default 0)
-///   rank=R:op=K:delay=MS       sleep MS milliseconds
+///   rank=R:op=K:throw                    throw FaultInjected at op K
+///   rank=R:op=K:throw_transient          transient fault (recoverable)
+///   rank=R:op=K:flip[=OFF]               flip payload byte OFF (default 0)
+///   rank=R:op=K:delay=MS                 sleep MS milliseconds
 ///
-/// e.g. --fault-plan "rank=1:op=8:throw;rank=0:op=3:delay=50".
+/// optionally followed by modifier fields in any order:
+///
+///   :count=N     fire on N qualifying ops (default 1); per replay
+///                attempt for throw_transient, total otherwise
+///   :until=A     throw_transient only: fire while the replay attempt is
+///                < A, then succeed (default: never succeed)
+///
+/// e.g. --fault-plan "rank=1:op=8:throw_transient:until=2;rank=0:op=3:delay=50".
 class FaultPlan {
  public:
   std::vector<FaultAction> actions;
@@ -237,6 +284,12 @@ class FaultPlan {
   /// matrix's generator.
   [[nodiscard]] static FaultPlan random_throw(std::uint64_t seed, int nranks,
                                               std::uint64_t max_op);
+
+  /// Seeded single-transient plan: like random_throw but recoverable,
+  /// healing at replay attempt `until`.
+  [[nodiscard]] static FaultPlan random_transient(std::uint64_t seed, int nranks,
+                                                  std::uint64_t max_op,
+                                                  std::uint64_t until);
 
   /// Advance `slot`'s op counter and fire any matching actions.
   /// `payload` is the message being sent/received (nullptr when the op

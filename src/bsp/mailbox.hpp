@@ -54,6 +54,14 @@ class Mailbox {
     return payload;
   }
 
+  /// Drop every queued message. Recovery only: a batch replay must not
+  /// see stale messages from the aborted attempt, so the rendezvous
+  /// purges all mailboxes while every rank is quiescent (Comm::recover).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queues_.clear();
+  }
+
   /// One undelivered (source, tag) queue: sent but never received.
   struct Pending {
     int source = 0;

@@ -131,6 +131,17 @@ class ProtocolRegistry {
     return children_;
   }
 
+  /// Drop every registered child. Recovery only: children created during
+  /// an aborted batch attempt hold divergent ledgers and leaked
+  /// mailboxes by design, so the rendezvous forgets them (children of
+  /// completed batches were already verified consistent at the barriers
+  /// they ran through; the run-exit sweep loses only their mailbox-leak
+  /// coverage).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    children_.clear();
+  }
+
  private:
   mutable std::mutex mutex_;
   std::vector<std::shared_ptr<detail::SharedState>> children_;

@@ -45,7 +45,7 @@ void note_abort(obs::Observer* observer, const std::exception_ptr& cause,
     std::rethrow_exception(cause);
   } catch (const std::exception& e) {
     message = e.what();
-  } catch (...) {
+  } catch (...) {  // sas-lint: allow(R7 postmortem label fallback: the "unknown error" default IS the translation)
   }
   observer->note_abort(message, blocked_sites);
 }
@@ -106,9 +106,18 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
         Comm comm(state, r, &counters[static_cast<std::size_t>(r)],
                   &fault_slots[static_cast<std::size_t>(r)]);
         fn(comm);
+        // Exiting while the run is aborted (however unlikely on a clean
+        // return) still counts as a defection: a recovery rendezvous
+        // must never wait for a thread that is gone.
+        if (state->abort->tripped.load(std::memory_order_acquire)) {
+          state->note_recovery_defection();
+        }
       } catch (const RankAborted&) {
         // A peer failed first; its annotated error is already in the
-        // token. Unwind quietly.
+        // token. Unwind quietly — but tell any recovery rendezvous this
+        // rank is gone (the failure escaped the driver's batch loop, so
+        // this rank can no longer participate in a replay).
+        state->note_recovery_defection();
       } catch (...) {
         // Annotate on THIS thread — the context stack is thread-local to
         // the failing rank. Losing the trip race (two ranks failing
@@ -116,6 +125,7 @@ std::vector<CostCounters> Runtime::run(int nranks, const std::function<void(Comm
         // reported.
         state->abort->trip(r,
                            error::annotate_rank_error(std::current_exception(), r));
+        state->note_recovery_defection();
       }
     });
   }

@@ -38,4 +38,13 @@ inline constexpr int kPairUnionLeader = 312; ///< leader ↔ leader ring
 // 320–329: sketch-panel ring of the distributed estimator exchange.
 inline constexpr int kSketchRing = 320;
 
+// -- bsp/comm.cpp (recovery rendezvous) --------------------------------
+// 330–339: in-run recovery. The rendezvous itself synchronizes on shared
+// state, not messages, but its resync point is stamped into every rank's
+// fresh protocol ledger under this tag so the verifier's divergence
+// reports show exactly where a replay re-synchronized — and so a ledger
+// that diverges *across* a recovery names the recovery, not a phantom
+// collective.
+inline constexpr int kRecoveryResync = 330;
+
 }  // namespace sas::bsp::tags

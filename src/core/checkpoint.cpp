@@ -1,6 +1,10 @@
 #include "core/checkpoint.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <bit>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -19,6 +23,68 @@ namespace {
 constexpr char kManifestMagic[4] = {'S', 'A', 'S', 'C'};
 constexpr char kRankMagic[4] = {'S', 'A', 'S', 'R'};
 constexpr std::uint32_t kVersion = 1;
+
+/// Out-of-space family: a save failing this way is a capacity problem
+/// the driver can degrade around, not a configuration bug.
+[[nodiscard]] bool is_out_of_space(int err) noexcept {
+  return err == ENOSPC || err == EDQUOT;
+}
+
+[[noreturn]] void throw_write_error(const std::string& path, int err) {
+  const std::string message =
+      "checkpoint: cannot write " + path + ": " + std::strerror(err);
+  if (is_out_of_space(err)) throw error::ResourceExhausted(message);
+  throw error::ConfigError(message);
+}
+
+/// Write `bytes` to `path` and fsync before returning. A short write or
+/// any I/O failure unlinks the partial file and throws the typed error
+/// (ResourceExhausted for the disk-full family). "Returned" therefore
+/// means the file's CONTENT is durable; the caller still owns making its
+/// NAME durable (rename + directory fsync).
+void write_file_durable(const std::string& path, const std::vector<char>& bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_write_error(path, errno);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ::ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(path.c_str());
+      throw_write_error(path, err);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw_write_error(path, err);
+  }
+  if (::close(fd) != 0) {
+    const int err = errno;
+    ::unlink(path.c_str());
+    throw_write_error(path, err);
+  }
+}
+
+/// Fsync the directory containing `path` so a completed rename survives
+/// a crash. Filesystems that cannot fsync a directory (EINVAL/ENOTSUP)
+/// are tolerated — they have no stronger primitive to offer.
+void fsync_parent_dir(const std::string& path) {
+  fs::path dir = fs::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_write_error(dir.string(), errno);
+  if (::fsync(fd) != 0 && errno != EINVAL && errno != ENOTSUP) {
+    const int err = errno;
+    ::close(fd);
+    throw_write_error(dir.string(), err);
+  }
+  ::close(fd);
+}
 
 /// In-memory serializer: the whole file is built in a buffer so the
 /// trailing CRC covers every preceding byte and the write is one atomic
@@ -52,26 +118,41 @@ class Writer {
   [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
 
   void commit(const std::string& path) {
-    const std::uint32_t crc = crc32(buffer_.data(), buffer_.size());
-    raw(&crc, sizeof(crc));
+    seal();
     const std::string tmp = path + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) throw error::ConfigError("checkpoint: cannot write " + tmp);
-      out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-      out.flush();
-      if (!out) throw error::ConfigError("checkpoint: short write to " + tmp);
-    }
+    write_file_durable(tmp, buffer_);
     std::error_code ec;
     fs::rename(tmp, path, ec);
     if (ec) {
+      std::error_code ignored;
+      fs::remove(tmp, ignored);
       throw error::ConfigError("checkpoint: cannot commit " + path + ": " +
                                ec.message());
     }
+    // The rename is atomic but not durable until the directory entry is
+    // flushed; without this a crash could resurrect the OLD file after
+    // save_manifest already declared the new one saved.
+    fsync_parent_dir(path);
+  }
+
+  /// Seal the buffer (append the trailing CRC) and move it out. The
+  /// in-memory BatchSnapshot keeps the checkpoint wire format without
+  /// touching disk this way.
+  [[nodiscard]] std::vector<char> take() {
+    seal();
+    return std::move(buffer_);
   }
 
  private:
+  void seal() {
+    if (sealed_) return;
+    const std::uint32_t crc = crc32(buffer_.data(), buffer_.size());
+    raw(&crc, sizeof(crc));
+    sealed_ = true;
+  }
+
   std::vector<char> buffer_;
+  bool sealed_ = false;
 };
 
 /// Bounds-checked cursor over a fully read, CRC-verified file.
@@ -200,6 +281,19 @@ Checkpoint::Checkpoint(std::string dir, std::uint64_t fingerprint)
     throw error::ConfigError("checkpoint: cannot create directory " + dir_ + ": " +
                              ec.message());
   }
+  // Sweep .tmp partials a killed run left mid-commit: they were never
+  // renamed, so nothing references them, and on a disk pushed to ENOSPC
+  // they are exactly the bytes standing between the next save and
+  // success. Best-effort — a sweep failure is not worth failing startup.
+  fs::directory_iterator it(dir_, ec);
+  if (!ec) {
+    for (const auto& entry : it) {
+      if (entry.path().extension() == ".tmp") {
+        std::error_code ignored;
+        fs::remove(entry.path(), ignored);
+      }
+    }
+  }
 }
 
 namespace {
@@ -208,6 +302,44 @@ std::string rank_state_path(const std::string& dir, int rank, std::int64_t compl
          ".sasc";
 }
 }  // namespace
+
+void BatchSnapshot::capture(std::int64_t completed,
+                            const distmat::DenseBlock<std::int64_t>* block,
+                            std::span<const std::int64_t> ahat) {
+  Writer w;
+  w.value<std::int64_t>(completed);
+  w.value<std::uint8_t>(block != nullptr ? 1 : 0);
+  if (block != nullptr) w.array(block->values);
+  w.array(std::vector<std::int64_t>(ahat.begin(), ahat.end()));
+  buffer_ = w.take();
+}
+
+void BatchSnapshot::restore(std::int64_t completed,
+                            distmat::DenseBlock<std::int64_t>* block,
+                            std::vector<std::int64_t>& ahat) const {
+  const std::string where = "<in-memory batch snapshot>";
+  Reader reader(buffer_, where);
+  if (reader.value<std::int64_t>() != completed) {
+    throw std::logic_error("BatchSnapshot: restore batch disagrees with capture");
+  }
+  const bool has_block = reader.value<std::uint8_t>() != 0;
+  if (has_block != (block != nullptr)) {
+    throw std::logic_error("BatchSnapshot: block presence changed between capture and restore");
+  }
+  if (block != nullptr) {
+    auto values = reader.array<std::int64_t>();
+    if (values.size() != block->values.size()) {
+      throw std::logic_error("BatchSnapshot: block shape changed between capture and restore");
+    }
+    block->values = std::move(values);
+  }
+  auto restored = reader.array<std::int64_t>();
+  if (restored.size() != ahat.size()) {
+    throw std::logic_error("BatchSnapshot: â length changed between capture and restore");
+  }
+  ahat = std::move(restored);
+  reader.expect_end();
+}
 
 void Checkpoint::save_rank(int rank, std::int64_t completed,
                            const distmat::DenseBlock<std::int64_t>* block,

@@ -12,7 +12,14 @@
 //                                    vector after k completed batches
 //
 // Every file ends with a CRC-32 of its preceding bytes and is written
-// atomically (tmp + rename). Rank state is VERSIONED by batch so a kill
+// atomically AND durably: the bytes land in a .tmp sibling, which is
+// fsync'd before the rename and whose parent directory is fsync'd after
+// it, so "saved" means on-disk even across a power cut. A disk-full
+// failure (ENOSPC/EDQUOT) during a save throws the typed
+// error::ResourceExhausted — the driver reacts by disabling further
+// checkpointing and finishing in-memory rather than aborting the run.
+// Stale .tmp partials left by a kill mid-commit are swept on the next
+// Checkpoint construction. Rank state is VERSIONED by batch so a kill
 // at any instant leaves a usable checkpoint: ranks save b<k> first, a
 // barrier proves every b<k> durable, rank 0 commits the manifest
 // pointing at k, a second barrier proves the manifest durable, and only
@@ -53,9 +60,34 @@ struct CheckpointManifest {
 [[nodiscard]] std::uint64_t checkpoint_fingerprint(const Config& config, std::int64_t n,
                                                    std::int64_t m, int nranks);
 
+/// In-memory snapshot of one rank's accumulator state at a batch
+/// boundary, serialized with the checkpoint wire format (including the
+/// trailing CRC) but never touching disk. The recovery layer captures
+/// one before each batch and restores it before a replay, so a rolled-
+/// back batch re-accumulates from bitwise-identical state.
+class BatchSnapshot {
+ public:
+  /// Serialize (completed, block, ahat); `block` may be null (ranks that
+  /// own no output block).
+  void capture(std::int64_t completed, const distmat::DenseBlock<std::int64_t>* block,
+               std::span<const std::int64_t> ahat);
+
+  /// Restore a prior capture into `block`/`ahat`. The shapes must match
+  /// the captured ones (they do by construction: same rank, same run).
+  void restore(std::int64_t completed, distmat::DenseBlock<std::int64_t>* block,
+               std::vector<std::int64_t>& ahat) const;
+
+  [[nodiscard]] bool valid() const noexcept { return !buffer_.empty(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<char> buffer_;
+};
+
 class Checkpoint {
  public:
-  /// Creates `dir` if needed (throws error::ConfigError when impossible).
+  /// Creates `dir` if needed (throws error::ConfigError when impossible)
+  /// and sweeps stale .tmp partials left by a kill mid-commit.
   Checkpoint(std::string dir, std::uint64_t fingerprint);
 
   /// Persist rank `rank`'s state after batch `completed` finished, as

@@ -220,6 +220,41 @@ struct Config {
   /// to an uninterrupted run.
   bool resume = false;
 
+  // ---- in-run recovery (ROADMAP "Failure semantics") -------------------
+
+  /// Bounded in-run retries of a failed batch (gas dist --max-retries).
+  /// A batch whose failure is transient (error::Severity::kTransient) is
+  /// rolled back to its in-memory snapshot and replayed up to this many
+  /// times, with exponential backoff between attempts. 0 (the default)
+  /// disables the recovery machinery entirely — failures abort the run
+  /// exactly as before.
+  std::int64_t max_retries = 0;
+
+  /// Base backoff before retry attempt k: retry_backoff_ms · 2^(k−1),
+  /// plus a deterministic seeded jitter of up to 50% (keyed on batch,
+  /// attempt, and rank so replays stay reproducible).
+  std::int64_t retry_backoff_ms = 10;
+
+  /// Degraded completion (gas dist --quarantine): when a batch exhausts
+  /// its retries or fails permanently, quarantine its samples and
+  /// complete the run over the rest instead of aborting. Quarantined
+  /// pairs read 0 in the result; the run report and the quarantine
+  /// manifest (sas-quarantine-v1) name every skipped batch, its sample
+  /// range, and why. gas exits 9 for a degraded-complete run.
+  bool quarantine = false;
+
+  /// Quarantine manifest JSON output path (gas dist
+  /// --quarantine-manifest). Empty writes no manifest file (the run
+  /// report still carries the quarantine table).
+  std::string quarantine_manifest;
+
+  /// Per-rank memory budget in MiB (gas dist --mem-budget-mb) charged by
+  /// the driver's large allocations (panels, packed batches, payload
+  /// staging — util/membudget.hpp). An over-budget allocation throws
+  /// error::ResourceExhausted (exit code 8) before allocating. 0 (the
+  /// default) disables the budget.
+  std::int64_t mem_budget_mb = 0;
+
   // ---- observability (ROADMAP "Observability") -------------------------
 
   /// Chrome trace-event JSON output path (gas dist --trace-out). Every

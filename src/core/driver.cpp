@@ -2,16 +2,20 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <functional>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "bsp/runtime.hpp"
 #include "core/checkpoint.hpp"
 #include "core/packing.hpp"
+#include "obs/json.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "distmat/dist_filter.hpp"
@@ -20,7 +24,10 @@
 #include "distmat/redistribute.hpp"
 #include "distmat/spgemm.hpp"
 #include "sketch/exchange.hpp"
+#include "util/hashing.hpp"
+#include "util/membudget.hpp"
 #include "util/numa.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace sas::core {
@@ -102,15 +109,26 @@ Layout make_layout(bsp::Comm& world, const Config& config, std::int64_t n) {
   Layout layout;
   const int p = world.size();
   layout.active_ranks = p;
+  // Budget the accumulator panel BEFORE allocating it — the single
+  // largest long-lived allocation a rank makes. No-op without
+  // --mem-budget-mb (util/membudget.hpp).
+  const auto charge_panel = [](BlockRange rows, BlockRange cols) {
+    util::charge_mem(static_cast<std::uint64_t>(rows.size()) *
+                         static_cast<std::uint64_t>(cols.size()) *
+                         sizeof(std::int64_t),
+                     "accumulator panel");
+  };
   switch (config.algorithm) {
     case Algorithm::kSerial:
       layout.active_ranks = 1;
       if (world.rank() == 0) {
+        charge_panel({0, n}, {0, n});
         layout.b_block.emplace(BlockRange{0, n}, BlockRange{0, n});
         layout.my_cols = {0, n};
       }
       break;
     case Algorithm::kRing1D:
+      charge_panel(distmat::block_range(n, p, world.rank()), {0, n});
       layout.b_block.emplace(distmat::block_range(n, p, world.rank()), BlockRange{0, n});
       layout.my_cols = layout.b_block->row_range;
       break;
@@ -118,6 +136,9 @@ Layout make_layout(bsp::Comm& world, const Config& config, std::int64_t n) {
       layout.grid.emplace(world, config.replication);
       layout.active_ranks = layout.grid->active_ranks();
       if (layout.grid->active()) {
+        charge_panel(
+            distmat::block_range(n, layout.grid->side(), layout.grid->grid_row()),
+            distmat::block_range(n, layout.grid->side(), layout.grid->grid_col()));
         layout.b_block.emplace(
             distmat::block_range(n, layout.grid->side(), layout.grid->grid_row()),
             distmat::block_range(n, layout.grid->side(), layout.grid->grid_col()));
@@ -400,22 +421,203 @@ CheckpointState init_checkpoint(bsp::Comm& world, Layout& layout, const Config& 
 }
 
 /// Persist batch `completed`'s state: every rank saves its versioned
-/// b<completed> file, a barrier proves them all durable, rank 0 commits
-/// the manifest, a second barrier proves THAT durable, and only then is
-/// the obsolete b<completed-1> state deleted. A kill at any point leaves
-/// the manifest pointing at a fully durable set of rank files.
-void checkpoint_batch(bsp::Comm& world, const Checkpoint& ckpt, const Layout& layout,
-                      std::int64_t completed, const std::vector<std::int64_t>& ahat,
-                      const std::vector<BatchStats>& stats) {
+/// b<completed> file, a min-vote allreduce proves them all durable (and
+/// doubles as the barrier the protocol needs), rank 0 commits the
+/// manifest, a broadcast of the vote proves THAT durable, and only then
+/// is the obsolete b<completed-1> state deleted. A kill at any point
+/// leaves the manifest pointing at a fully durable set of rank files.
+///
+/// Returns false when any rank's save hit the disk-full family
+/// (error::ResourceExhausted): the run goes on, but the caller must stop
+/// checkpointing — a half-saved batch set is never referenced by a
+/// manifest, so the last fully committed checkpoint stays valid. Any
+/// other save failure still throws (it is a config/permission bug, not a
+/// capacity condition).
+[[nodiscard]] bool checkpoint_batch(bsp::Comm& world, const Checkpoint& ckpt,
+                                    const Layout& layout, std::int64_t completed,
+                                    const std::vector<std::int64_t>& ahat,
+                                    const std::vector<BatchStats>& stats) {
   const obs::Span span("checkpoint", "checkpoint", &world.counters());
   const distmat::DenseBlock<std::int64_t>* block =
       layout.b_block.has_value() ? &*layout.b_block : nullptr;
-  ckpt.save_rank(world.rank(), completed, block,
-                 std::span<const std::int64_t>(ahat));
-  world.barrier();
-  if (world.rank() == 0) ckpt.save_manifest({completed, stats});
-  world.barrier();
+  int ok = 1;
+  try {
+    ckpt.save_rank(world.rank(), completed, block,
+                   std::span<const std::int64_t>(ahat));
+  } catch (const error::ResourceExhausted& e) {
+    std::cerr << "checkpoint: rank " << world.rank() << ": " << e.what() << "\n";
+    ok = 0;
+  }
+  ok = world.allreduce_value<int>(ok, [](int a, int b) { return a < b ? a : b; });
+  if (ok == 1 && world.rank() == 0) {
+    try {
+      ckpt.save_manifest({completed, stats});
+    } catch (const error::ResourceExhausted& e) {
+      std::cerr << "checkpoint: rank 0: " << e.what() << "\n";
+      ok = 0;
+    }
+  }
+  ok = world.broadcast_value<int>(ok, 0);
+  if (ok == 0) {
+    if (world.rank() == 0) {
+      std::cerr << "checkpoint: disk full — checkpointing disabled for the rest "
+                   "of the run (the last committed checkpoint stays valid)\n";
+    }
+    return false;
+  }
   ckpt.remove_rank(world.rank(), completed - 1);
+  return true;
+}
+
+// ---- in-run recovery (ROADMAP "Failure semantics") ---------------------
+
+/// Per-rank recovery configuration + bookkeeping for one pipeline run.
+/// The verdicts driving `retries`/`quarantined` come out of the shared
+/// rendezvous, so every rank accumulates identical records; rank 0's
+/// reach the Result.
+struct RecoveryState {
+  bool armed = false;            ///< any recovery feature on?
+  std::uint64_t max_retries = 0;
+  std::int64_t backoff_ms = 0;
+  bool quarantine = false;
+  std::int64_t retries = 0;
+  std::vector<QuarantinedBatch> quarantined;
+};
+
+RecoveryState make_recovery_state(const Config& config) {
+  RecoveryState rs;
+  rs.armed = config.max_retries > 0 || config.quarantine;
+  rs.max_retries = config.max_retries > 0
+                       ? static_cast<std::uint64_t>(config.max_retries)
+                       : 0;
+  rs.backoff_ms = config.retry_backoff_ms;
+  rs.quarantine = config.quarantine;
+  return rs;
+}
+
+/// Deterministic exponential backoff before replay `attempt` (1-based):
+/// base · 2^(attempt−1), scaled by a seeded jitter in [1.0, 1.5) keyed
+/// on (batch, attempt, rank) — reproducible across runs, decorrelated
+/// across ranks so replays do not stampede in lockstep.
+std::chrono::milliseconds retry_backoff(std::int64_t base_ms, std::int64_t batch,
+                                        std::uint64_t attempt, int rank) {
+  if (base_ms <= 0) return std::chrono::milliseconds{0};
+  const std::uint64_t shift = attempt > 6 ? 6 : attempt - 1;  // cap at 64×base
+  Rng rng(hash_combine(
+      hash_combine(hash_combine(hash_bytes("sas-retry-jitter"),
+                                static_cast<std::uint64_t>(batch)),
+                   attempt),
+      static_cast<std::uint64_t>(rank)));
+  const double jitter = 1.0 + 0.5 * rng.uniform_real();
+  const double ms = static_cast<double>(base_ms << shift) * jitter;
+  return std::chrono::milliseconds(static_cast<std::int64_t>(ms));
+}
+
+/// Run one batch body under the recovery contract. Disarmed (`rs.armed`
+/// false — the default config) this is exactly `body()`: zero behavioral
+/// change. Armed:
+///
+///   1. Snapshot the rank's accumulator state (B block + â) in memory
+///      and mark the stats vector, so a failed attempt can roll back to
+///      the batch boundary bitwise.
+///   2. Run the body. A local throw trips the abort token (annotated) so
+///      peers unwind; a RankAborted means a peer failed first.
+///   3. All ranks meet at the recovery rendezvous, which produces one
+///      shared verdict. retry → roll back, back off (exponential +
+///      seeded jitter), replay. Healable-but-spent under quarantine →
+///      roll back, record the batch as quarantined, continue with the
+///      next batch. Otherwise → rethrow: the local failer rethrows its
+///      raw exception (Runtime annotates it once, same as today), peers
+///      throw RankAborted (Runtime swallows those and reports the
+///      token's cause) — byte-identical failure reporting to the
+///      disarmed path.
+///
+/// Returns true when the batch completed (possibly after replays), false
+/// when it was quarantined.
+bool run_batch_with_recovery(bsp::Comm& world, RecoveryState& rs, Layout& layout,
+                             std::int64_t batch, BlockRange rows,
+                             std::vector<std::int64_t>& ahat,
+                             std::vector<BatchStats>& stats,
+                             const std::function<void()>& body) {
+  if (!rs.armed) {
+    body();
+    return true;
+  }
+
+  BatchSnapshot snapshot;
+  {
+    const distmat::DenseBlock<std::int64_t>* block =
+        layout.b_block.has_value() ? &*layout.b_block : nullptr;
+    snapshot.capture(batch, block, ahat);
+  }
+  const std::size_t stats_mark = stats.size();
+  const auto rollback = [&] {
+    distmat::DenseBlock<std::int64_t>* block =
+        layout.b_block.has_value() ? &*layout.b_block : nullptr;
+    snapshot.restore(batch, block, ahat);
+    stats.resize(stats_mark);
+  };
+
+  for (std::uint64_t attempt = 0;; ++attempt) {
+    std::exception_ptr raw;  // THIS rank's failure, un-annotated
+    try {
+      body();
+      return true;
+    } catch (const bsp::RankAborted&) {
+      // A peer failed first; the token carries its annotated cause.
+    } catch (...) {
+      raw = std::current_exception();
+      world.abort_with(error::annotate_rank_error(raw, world.rank()));
+    }
+
+    const bsp::RecoveryOutcome verdict =
+        world.recover(batch, attempt, rs.max_retries, rs.quarantine);
+
+    if (verdict.retry) {
+      const obs::Span span("retry", "recovery", &world.counters());
+      rollback();
+      ++rs.retries;
+      const std::chrono::milliseconds backoff =
+          retry_backoff(rs.backoff_ms, batch, attempt + 1, world.rank());
+      if (obs::RankObserver* o = obs::current()) {
+        o->add_counter("recovery.retries", 1);
+        o->add_counter("recovery.backoff_ms",
+                       static_cast<std::uint64_t>(backoff.count()));
+      }
+      if (backoff.count() > 0) {
+        const obs::Span backoff_span("backoff", "recovery", &world.counters());
+        std::this_thread::sleep_for(backoff);
+      }
+      continue;
+    }
+
+    if (rs.quarantine && verdict.healable) {
+      const obs::Span span("quarantine", "recovery", &world.counters());
+      rollback();
+      QuarantinedBatch q;
+      q.batch = batch;
+      q.row_begin = rows.begin;
+      q.row_end = rows.end;
+      q.attempts = static_cast<std::int64_t>(attempt) + 1;
+      q.reason = verdict.message;
+      rs.quarantined.push_back(std::move(q));
+      if (obs::RankObserver* o = obs::current()) {
+        o->add_counter("recovery.quarantined", 1);
+      }
+      return false;
+    }
+
+    // Unhealable (defections / batch disagreement) or recovery declined:
+    // reproduce the disarmed failure path exactly.
+    if (raw != nullptr) std::rethrow_exception(raw);
+    if (verdict.cause != nullptr && world.rank() == verdict.source_rank) {
+      // p=1 edge: the failure tripped the token on this rank without a
+      // local catch (cannot happen — local throws set `raw` — but kept
+      // for safety).
+      std::rethrow_exception(verdict.cause);
+    }
+    throw bsp::RankAborted();
+  }
 }
 
 /// Per-batch instrumentation shared by the exact and hybrid loops: the
@@ -463,40 +665,60 @@ Result run_exact_pipeline(bsp::Comm& world, const SampleSource& source,
   std::vector<std::int64_t> ahat(static_cast<std::size_t>(n), 0);
   CheckpointState cs = init_checkpoint(world, layout, config, n, m, ahat);
   std::vector<BatchStats> stats = std::move(cs.stats);
+  RecoveryState rs = make_recovery_state(config);
 
   const int batches = static_cast<int>(config.batch_count);
   for (int l = 0; l < batches; ++l) {
     if (l < cs.start_batch) continue;  // restored from the checkpoint
-    const error::Context batch_context("batch " + std::to_string(l));
-    const obs::BatchScope batch_scope(l);
     const BlockRange rows = distmat::block_range(m, batches, l);
-    world.barrier();
-    const bsp::CostCounters batch_start = world.counters();
-    Timer timer;
+    // The recovery wrapper replays the WHOLE body — opening barrier,
+    // counter snapshot, timer, stage scopes — so a replayed batch's
+    // BatchStats bytes are identical to a fault-free run's.
+    run_batch_with_recovery(world, rs, layout, l, rows, ahat, stats, [&] {
+      const error::Context batch_context("batch " + std::to_string(l));
+      const obs::BatchScope batch_scope(l);
+      world.barrier();
+      const bsp::CostCounters batch_start = world.counters();
+      Timer timer;
 
-    BatchReads reads;
-    {
-      auto stage = recorder.scope(Stage::kIngest);
-      reads = read_batch(world.rank(), world.size(), source, rows);
-    }
-    PackedBatch packed;
-    {
-      auto stage = recorder.scope(Stage::kPackSketch);
-      packed = pack_batch(world, reads, rows, config.bit_width,
-                          config.use_zero_row_filter, config.compress_filter);
-    }
-    const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
-    const std::int64_t filtered_rows = packed.filtered_rows;
-    const std::int64_t word_rows = packed.word_rows;
+      BatchReads reads;
+      {
+        auto stage = recorder.scope(Stage::kIngest);
+        reads = read_batch(world.rank(), world.size(), source, rows);
+      }
+      PackedBatch packed;
+      {
+        auto stage = recorder.scope(Stage::kPackSketch);
+        packed = pack_batch(world, reads, rows, config.bit_width,
+                            config.use_zero_row_filter, config.compress_filter);
+      }
+      // Budget the packed batch for the exchange/multiply it feeds
+      // (released at body end; no-op without --mem-budget-mb).
+      const util::ScopedCharge packed_charge(
+          packed.triplets.size() * sizeof(Triplet<std::uint64_t>),
+          "packed batch triplets");
+      const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
+      const std::int64_t filtered_rows = packed.filtered_rows;
+      const std::int64_t word_rows = packed.word_rows;
 
-    exchange_and_multiply(world, layout, config, n, std::move(packed), ahat, recorder,
-                          nullptr);
-    record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start, stats);
-    if (cs.ckpt.has_value()) checkpoint_batch(world, *cs.ckpt, layout, l + 1, ahat, stats);
+      exchange_and_multiply(world, layout, config, n, std::move(packed), ahat,
+                            recorder, nullptr);
+      record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start,
+                   stats);
+      if (cs.ckpt.has_value() &&
+          !checkpoint_batch(world, *cs.ckpt, layout, l + 1, ahat, stats)) {
+        cs.ckpt.reset();  // disk full: finish in-memory, keep the last good set
+      }
+    });
   }
 
-  return assemble(world, layout, config, n, ahat, std::move(stats), recorder, nullptr,
-                  nullptr);
+  Result result = assemble(world, layout, config, n, ahat, std::move(stats), recorder,
+                           nullptr, nullptr);
+  if (world.rank() == 0) {
+    result.retries = rs.retries;
+    result.quarantined = std::move(rs.quarantined);
+  }
+  return result;
 }
 
 /// The hybrid pipeline (sketch-prune → exact-rescore):
@@ -572,54 +794,73 @@ Result run_hybrid_pipeline(bsp::Comm& world, const SampleSource& source,
   std::vector<std::int64_t> ahat(static_cast<std::size_t>(n), 0);
   CheckpointState cs = init_checkpoint(world, layout, config, n, m, ahat);
   std::vector<BatchStats> stats = std::move(cs.stats);
+  RecoveryState rs = make_recovery_state(config);
   for (int l = 0; l < batches; ++l) {
     if (l < cs.start_batch) continue;  // restored from the checkpoint
-    const error::Context batch_context("batch " + std::to_string(l));
-    const obs::BatchScope batch_scope(l);
-    world.barrier();
-    const bsp::CostCounters batch_start = world.counters();
-    Timer timer;
-
-    // Mask-first packing: drop samples with no surviving pair BEFORE the
-    // pack, so the zero-row filter union and the triplet build never see
-    // them — a column the candidate pass pruned costs zero pack work and
-    // zero filter-union bytes (the old scheme packed everything, then
-    // erased pruned triplets after the fact). Dropped samples' â stays 0,
-    // their diagonal falls back to the J(∅, ∅) = 1 convention, and
-    // off-diagonal entries are filled from the sketch estimates. Rows
-    // observed only in pruned samples now leave the filter too; they
-    // contributed only to pruned pairs, so surviving pairs are unchanged.
     const BlockRange rows = distmat::block_range(m, batches, l);
-    BatchReads reads = std::move(cache[static_cast<std::size_t>(l)]);
-    PackedBatch packed;
-    {
-      auto stage = recorder.scope(Stage::kPackSketch);
-      std::size_t keep = 0;
-      for (std::size_t s = 0; s < reads.samples.size(); ++s) {
-        if (active[static_cast<std::size_t>(reads.samples[s])] == 0) continue;
-        if (keep != s) {
-          reads.samples[keep] = reads.samples[s];
-          reads.values[keep] = std::move(reads.values[s]);
-        }
-        ++keep;
-      }
-      reads.samples.resize(keep);
-      reads.values.resize(keep);
-      packed = pack_batch(world, reads, rows, config.bit_width,
-                          config.use_zero_row_filter, config.compress_filter);
-    }
-    const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
-    const std::int64_t filtered_rows = packed.filtered_rows;
-    const std::int64_t word_rows = packed.word_rows;
+    // Replays re-run the whole body (see run_exact_pipeline). The cached
+    // reads are consumed destructively on the fast path but must survive
+    // a rollback when recovery is armed, so the armed path copies.
+    run_batch_with_recovery(world, rs, layout, l, rows, ahat, stats, [&] {
+      const error::Context batch_context("batch " + std::to_string(l));
+      const obs::BatchScope batch_scope(l);
+      world.barrier();
+      const bsp::CostCounters batch_start = world.counters();
+      Timer timer;
 
-    exchange_and_multiply(world, layout, config, n, std::move(packed), ahat, recorder,
-                          &candidates.mask);
-    record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start, stats);
-    if (cs.ckpt.has_value()) checkpoint_batch(world, *cs.ckpt, layout, l + 1, ahat, stats);
+      // Mask-first packing: drop samples with no surviving pair BEFORE the
+      // pack, so the zero-row filter union and the triplet build never see
+      // them — a column the candidate pass pruned costs zero pack work and
+      // zero filter-union bytes (the old scheme packed everything, then
+      // erased pruned triplets after the fact). Dropped samples' â stays 0,
+      // their diagonal falls back to the J(∅, ∅) = 1 convention, and
+      // off-diagonal entries are filled from the sketch estimates. Rows
+      // observed only in pruned samples now leave the filter too; they
+      // contributed only to pruned pairs, so surviving pairs are unchanged.
+      BatchReads reads = rs.armed ? cache[static_cast<std::size_t>(l)]
+                                  : std::move(cache[static_cast<std::size_t>(l)]);
+      PackedBatch packed;
+      {
+        auto stage = recorder.scope(Stage::kPackSketch);
+        std::size_t keep = 0;
+        for (std::size_t s = 0; s < reads.samples.size(); ++s) {
+          if (active[static_cast<std::size_t>(reads.samples[s])] == 0) continue;
+          if (keep != s) {
+            reads.samples[keep] = reads.samples[s];
+            reads.values[keep] = std::move(reads.values[s]);
+          }
+          ++keep;
+        }
+        reads.samples.resize(keep);
+        reads.values.resize(keep);
+        packed = pack_batch(world, reads, rows, config.bit_width,
+                            config.use_zero_row_filter, config.compress_filter);
+      }
+      const util::ScopedCharge packed_charge(
+          packed.triplets.size() * sizeof(Triplet<std::uint64_t>),
+          "packed batch triplets");
+      const auto local_nnz = static_cast<std::int64_t>(packed.triplets.size());
+      const std::int64_t filtered_rows = packed.filtered_rows;
+      const std::int64_t word_rows = packed.word_rows;
+
+      exchange_and_multiply(world, layout, config, n, std::move(packed), ahat,
+                            recorder, &candidates.mask);
+      record_batch(world, timer, filtered_rows, word_rows, local_nnz, batch_start,
+                   stats);
+      if (cs.ckpt.has_value() &&
+          !checkpoint_batch(world, *cs.ckpt, layout, l + 1, ahat, stats)) {
+        cs.ckpt.reset();  // disk full: finish in-memory, keep the last good set
+      }
+    });
   }
 
-  return assemble(world, layout, config, n, ahat, std::move(stats), recorder,
-                  &candidates.mask, &candidates.estimates);
+  Result result = assemble(world, layout, config, n, ahat, std::move(stats), recorder,
+                           &candidates.mask, &candidates.estimates);
+  if (world.rank() == 0) {
+    result.retries = rs.retries;
+    result.quarantined = std::move(rs.quarantined);
+  }
+  return result;
 }
 
 /// Caller-error validation, shared by both entry points. The threaded
@@ -635,6 +876,25 @@ void validate_config(const SampleSource& source, const Config& config) {
   }
   if (config.resume && config.checkpoint_dir.empty()) {
     throw error::ConfigError("similarity_at_scale: --resume needs a checkpoint dir");
+  }
+  if (config.max_retries < 0) {
+    throw error::ConfigError("similarity_at_scale: max_retries must be >= 0");
+  }
+  if (config.retry_backoff_ms < 0) {
+    throw error::ConfigError("similarity_at_scale: retry_backoff_ms must be >= 0");
+  }
+  if (config.mem_budget_mb < 0) {
+    throw error::ConfigError("similarity_at_scale: mem_budget_mb must be >= 0");
+  }
+  if ((config.max_retries > 0 || config.quarantine) &&
+      config.estimator != Estimator::kExact && config.estimator != Estimator::kHybrid) {
+    throw error::ConfigError(
+        "similarity_at_scale: in-run recovery (--max-retries/--quarantine) "
+        "requires a batched pipeline (estimator exact or hybrid)");
+  }
+  if (!config.quarantine_manifest.empty() && !config.quarantine) {
+    throw error::ConfigError(
+        "similarity_at_scale: --quarantine-manifest needs --quarantine");
   }
   if (!config.checkpoint_dir.empty() && config.estimator != Estimator::kExact &&
       config.estimator != Estimator::kHybrid) {
@@ -683,6 +943,42 @@ const char* algorithm_name(Algorithm a) {
   return "?";
 }
 
+/// Write the quarantine manifest (`gas dist --quarantine-manifest`):
+/// schema sas-quarantine-v1, one row per abandoned batch with its
+/// attribute row range, attempts consumed, and the abandoning failure's
+/// message. Written by rank 0 after assembly, degraded runs only.
+void write_quarantine_manifest(const std::string& path, const Config& config,
+                               std::int64_t n, const Result& result) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw error::ConfigError("cannot write quarantine manifest: " + path);
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.field("schema", "sas-quarantine-v1");
+  w.field("samples", n);
+  w.field("batch_count", config.batch_count);
+  w.field("quarantined_batches",
+          static_cast<std::int64_t>(result.quarantined.size()));
+  w.field("retries", result.retries);
+  w.key("batches");
+  w.begin_array();
+  for (const QuarantinedBatch& q : result.quarantined) {
+    w.begin_object();
+    w.field("batch", q.batch);
+    w.field("row_begin", q.row_begin);
+    w.field("row_end", q.row_end);
+    w.field("attempts", q.attempts);
+    w.field("reason", q.reason);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+  out.flush();
+  if (!out) {
+    throw error::ConfigError("failed writing quarantine manifest: " + path);
+  }
+}
+
 /// Flush the run's observability artifacts (config.trace_out /
 /// config.report_json). `result` is null on the postmortem path — the
 /// report then carries the abort note but no stage/batch tables (they
@@ -711,6 +1007,11 @@ void write_observability_artifacts(const Config& config, const SampleSource& sou
       input.batches.push_back({static_cast<int>(b), bs.seconds, bs.packed_nnz,
                                bs.bytes_sent, bs.bytes_received});
     }
+    input.retries = result->retries;
+    for (const QuarantinedBatch& q : result->quarantined) {
+      input.quarantined.push_back(
+          {q.batch, q.row_begin, q.row_end, q.attempts, q.reason});
+    }
   }
   input.counters.assign(counters.begin(), counters.end());
   input.observer = &observer;
@@ -725,17 +1026,39 @@ Result similarity_at_scale(bsp::Comm& world, const SampleSource& source,
                            const Config& config) {
   validate_config(source, config);
 
+  // Per-rank memory-budget guardrail: installed for the pipeline body on
+  // this rank's thread, so the driver's large allocations fail as typed
+  // error::ResourceExhausted instead of OOM kills. No-op at budget 0.
+  std::optional<util::ScopedBudget> budget;
+  if (config.mem_budget_mb > 0) {
+    budget.emplace(static_cast<std::uint64_t>(config.mem_budget_mb) * 1024 * 1024);
+  }
+
+  Result result;
   switch (config.estimator) {
     case Estimator::kExact:
-      return run_exact_pipeline(world, source, config);
+      result = run_exact_pipeline(world, source, config);
+      break;
     case Estimator::kHybrid:
-      return run_hybrid_pipeline(world, source, config);
+      result = run_hybrid_pipeline(world, source, config);
+      break;
     default:
       // Pure sketch estimators swap the SpGEMM pipeline for the sketch-
       // exchange ring (fixed-size panels, documented error bounds — see
       // sketch/sketch.hpp for the tradeoff guide).
-      return sketch::sketch_similarity_at_scale(world, source, config);
+      result = sketch::sketch_similarity_at_scale(world, source, config);
+      break;
   }
+  if (world.rank() == 0 && result.degraded() && !config.quarantine_manifest.empty()) {
+    write_quarantine_manifest(config.quarantine_manifest, config,
+                              source.sample_count(), result);
+  }
+  if (budget.has_value()) {
+    if (obs::RankObserver* o = obs::current()) {
+      o->add_counter("membudget.high_water_bytes", budget->budget().high_water());
+    }
+  }
+  return result;
 }
 
 Result similarity_at_scale_threaded(int nranks, const SampleSource& source,
@@ -783,7 +1106,7 @@ Result similarity_at_scale_threaded(int nranks, const SampleSource& source,
       try {
         write_observability_artifacts(config, source, nranks, *observer, nullptr,
                                       {});
-      } catch (...) {
+      } catch (...) {  // sas-lint: allow(R7 best-effort flush: a write failure must not mask the run's error)
       }
     }
     throw;

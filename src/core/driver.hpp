@@ -51,6 +51,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "bsp/comm.hpp"
@@ -182,6 +183,22 @@ struct BatchStats {
   std::uint64_t bytes_received = 0;  ///< measured receive bytes, summed over ranks
 };
 
+/// One batch the recovery layer gave up on (retries exhausted or the
+/// failure was permanent) under Config::quarantine. A batch is a row
+/// range of the attribute universe (paper Eq. 3), so a quarantined batch
+/// means those attribute rows contributed nothing to any intersection or
+/// union count: the run completes and every pair stays defined, but the
+/// similarities are computed over the surviving attribute rows only. The
+/// quarantine manifest (sas-quarantine-v1) and the run report name each
+/// skipped batch, its row range, and why it was abandoned.
+struct QuarantinedBatch {
+  std::int64_t batch = 0;      ///< batch index l in [0, batch_count)
+  std::int64_t row_begin = 0;  ///< first attribute row of the batch
+  std::int64_t row_end = 0;    ///< one past the last attribute row
+  std::int64_t attempts = 0;   ///< attempts consumed (1 = no retry ran)
+  std::string reason;          ///< the abandoning failure's message
+};
+
 struct Result {
   std::int64_t n = 0;
   /// Dense n×n output (rank 0): always populated by kExact and the pure
@@ -201,6 +218,19 @@ struct Result {
   /// unmasked pairs carry their sketch estimate (0.0 under LSH banding
   /// when the pair never collided). Empty for every other estimator.
   distmat::CandidateMask candidates;
+
+  // ---- in-run recovery (rank-0 view) ---------------------------------
+
+  /// Batches abandoned under Config::quarantine, batch index ascending.
+  /// Empty on a fully-complete run.
+  std::vector<QuarantinedBatch> quarantined;
+  /// Batch replays that ran (a batch retried twice counts 2).
+  std::int64_t retries = 0;
+
+  /// True when the run completed but with quarantined batches — the gas
+  /// CLI maps this to its own exit code (9) so schedulers can tell a
+  /// degraded completion from a clean one.
+  [[nodiscard]] bool degraded() const noexcept { return !quarantined.empty(); }
 
   /// Which output form this run assembled (rank 0).
   [[nodiscard]] bool sparse_output() const noexcept { return !sparse_similarity.empty(); }

@@ -31,13 +31,32 @@ void write_report_json(std::ostream& out, const ReportInput& input) {
   JsonWriter w(out);
   w.begin_object();
   w.field("schema", kReportSchema);
-  w.field("status", input.abort_message.empty() ? "ok" : "aborted");
+  // Three-way status: "aborted" (run died), "degraded" (completed but
+  // with quarantined batches), "ok" (clean).
+  w.field("status", !input.abort_message.empty()  ? "aborted"
+                    : !input.quarantined.empty() ? "degraded"
+                                                 : "ok");
   if (!input.abort_message.empty()) {
     w.field("abort_message", input.abort_message);
     w.field("blocked_sites", input.blocked_sites);
   }
   w.field("ranks", input.ranks);
   w.field("samples", input.samples);
+  w.field("retries", input.retries);
+  if (!input.quarantined.empty()) {
+    w.key("quarantined");
+    w.begin_array();
+    for (const QuarantineRow& q : input.quarantined) {
+      w.begin_object();
+      w.field("batch", q.batch);
+      w.field("row_begin", q.row_begin);
+      w.field("row_end", q.row_end);
+      w.field("attempts", q.attempts);
+      w.field("reason", q.reason);
+      w.end_object();
+    }
+    w.end_array();
+  }
   if (!input.estimator.empty()) w.field("estimator", input.estimator);
   if (!input.algorithm.empty()) w.field("algorithm", input.algorithm);
 

@@ -39,6 +39,16 @@ struct BatchRow {
   std::uint64_t bytes_received = 0;
 };
 
+/// One batch the recovery layer quarantined (mirrors
+/// core::QuarantinedBatch; kept generic so obs/ stays core-free).
+struct QuarantineRow {
+  std::int64_t batch = 0;
+  std::int64_t row_begin = 0;
+  std::int64_t row_end = 0;
+  std::int64_t attempts = 0;
+  std::string reason;
+};
+
 /// Everything the report writer needs, flattened by the caller.
 struct ReportInput {
   int ranks = 0;
@@ -47,6 +57,11 @@ struct ReportInput {
   std::int64_t samples = 0;
   std::vector<StageRow> stages;
   std::vector<BatchRow> batches;
+  /// In-run recovery: batch replays that ran, and batches abandoned
+  /// under quarantine. A non-empty quarantine table marks the run
+  /// "degraded" (completed, but with named gaps).
+  std::int64_t retries = 0;
+  std::vector<QuarantineRow> quarantined;
   /// Per-rank counters from Runtime::run; may be empty on an aborted run.
   std::vector<bsp::CostCounters> counters;
   /// Optional: adds per-rank metrics, histograms, and the drift table.

@@ -39,7 +39,8 @@ std::exception_ptr annotate_rank_error(std::exception_ptr original, int rank) {
   try {
     std::rethrow_exception(original);
   } catch (const Error& e) {
-    return std::make_exception_ptr(Error(e.code(), prefix + e.what()));
+    return std::make_exception_ptr(
+        Error(e.code(), prefix + e.what(), e.severity()));
   } catch (const std::exception& e) {
     return std::make_exception_ptr(Error(Code::kRankFailure, prefix + e.what()));
   } catch (...) {

@@ -16,6 +16,18 @@
 //                        bsp/protocol.hpp) caught a broken communication
 //                        contract: a divergent collective sequence or an
 //                        unreceived point-to-point message
+//   7  kTransient        a transient fault exhausted its retry budget
+//                        (the run could not heal itself in time)
+//   8  kResourceExhausted a resource guardrail tripped: the per-rank
+//                        memory budget (--mem-budget-mb) or disk space
+//                        ran out before the OS could OOM-kill the run
+//
+// Orthogonal to the code, every Error carries a Severity: kTransient
+// failures are expected to succeed on replay (the recovery layer retries
+// them at the batch boundary), kPermanent failures never are (retrying is
+// wasted work; quarantine or abort instead). The severity survives
+// annotate_rank_error's rewrap so the driver's retry loop can classify a
+// peer rank's failure without parsing messages.
 //
 // Rank threads additionally carry *where* they failed: a thread-local
 // stack of context labels ("stage=multiply", "batch 3") maintained by the
@@ -37,6 +49,16 @@ enum class Code : int {
   kRankFailure = 4,
   kWatchdogTimeout = 5,
   kProtocol = 6,
+  kTransient = 7,
+  kResourceExhausted = 8,
+};
+
+/// Whether a failure is expected to succeed if the work is replayed.
+/// kPermanent is the default: retrying a config error or corrupt input
+/// burns the retry budget for nothing.
+enum class Severity : int {
+  kPermanent = 0,
+  kTransient = 1,
 };
 
 /// Base of the taxonomy. Derives from std::runtime_error so existing
@@ -44,13 +66,19 @@ enum class Code : int {
 /// working.
 class Error : public std::runtime_error {
  public:
-  Error(Code code, const std::string& message)
-      : std::runtime_error(message), code_(code) {}
+  Error(Code code, const std::string& message,
+        Severity severity = Severity::kPermanent)
+      : std::runtime_error(message), code_(code), severity_(severity) {}
 
   [[nodiscard]] Code code() const noexcept { return code_; }
+  [[nodiscard]] Severity severity() const noexcept { return severity_; }
+  [[nodiscard]] bool transient() const noexcept {
+    return severity_ == Severity::kTransient;
+  }
 
  private:
   Code code_;
+  Severity severity_;
 };
 
 class ConfigError : public Error {
@@ -76,6 +104,26 @@ class ProtocolError : public Error {
       : Error(Code::kProtocol, message) {}
 };
 
+/// A failure that is expected to succeed on replay: an injected transient
+/// fault, a dropped message, a hiccuping node. The recovery layer retries
+/// these at the batch boundary; only when the retry budget is exhausted
+/// does one surface (still code 7, so the operator can tell "gave up on a
+/// flaky fault" from "a rank genuinely crashed").
+class TransientFailure : public Error {
+ public:
+  explicit TransientFailure(const std::string& message)
+      : Error(Code::kTransient, message, Severity::kTransient) {}
+};
+
+/// A resource guardrail tripped before the OS could kill the process: the
+/// per-rank memory budget or the checkpoint disk filled up. Permanent —
+/// replaying the same batch would allocate the same bytes.
+class ResourceExhausted : public Error {
+ public:
+  explicit ResourceExhausted(const std::string& message)
+      : Error(Code::kResourceExhausted, message) {}
+};
+
 /// Process exit code for a caught exception: an Error carries its Code;
 /// anything else maps to kGeneric.
 [[nodiscard]] int exit_code_for(const std::exception& e) noexcept;
@@ -96,9 +144,10 @@ class Context {
 
 /// Wrap `original` with rank + context provenance. The result is an
 /// Error whose message is "rank R [contexts]: <original what()>" and
-/// whose code is preserved when the original already belongs to the
-/// taxonomy (kRankFailure otherwise). Must be called on the throwing
-/// thread — the context stack is thread-local to the failing rank.
+/// whose code and severity are preserved when the original already
+/// belongs to the taxonomy (kRankFailure/kPermanent otherwise). Must be
+/// called on the throwing thread — the context stack is thread-local to
+/// the failing rank.
 [[nodiscard]] std::exception_ptr annotate_rank_error(std::exception_ptr original,
                                                      int rank);
 

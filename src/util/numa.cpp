@@ -36,7 +36,7 @@ std::vector<int> parse_cpulist(const std::string& text) {
         const int hi = std::stoi(token.substr(dash + 1));
         for (int c = lo; c <= hi; ++c) cpus.push_back(c);
       }
-    } catch (...) {
+    } catch (...) {  // sas-lint: allow(R7 malformed cpulist: empty result is the documented fallback)
       return {};
     }
   }

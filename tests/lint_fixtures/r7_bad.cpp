@@ -1,0 +1,12 @@
+// Seeded R7 violation: a catch-all that swallows the exception — no
+// rethrow, no translation into the error taxonomy. The recovery layer
+// would never see (or classify) this failure.
+void helper();
+
+void swallow_everything() {
+  try {
+    helper();
+  } catch (...) {
+    // nothing: the failure vanishes here
+  }
+}

@@ -86,6 +86,9 @@ int usage() {
                "           [--dense-output]\n"
                "           [--checkpoint DIR] [--resume] [--watchdog-ms N]\n"
                "           [--fault-plan SPEC] [--verify-protocol]\n"
+               "           [--max-retries N] [--retry-backoff-ms N]\n"
+               "           [--quarantine] [--quarantine-manifest out.json]\n"
+               "           [--mem-budget-mb N]\n"
                "           [--trace-out run.json] [--report-json report.json]\n"
                "  gas tree <dist.phylip> [--method nj|upgma] [--out tree.nwk]\n"
                "  gas simulate --samples 8 --length 20000 --rate 0.01 "
@@ -97,7 +100,25 @@ int usage() {
                "  --watchdog-ms N    abort with a blocked-rank diagnostic if any rank\n"
                "                     waits longer than N ms in a BSP primitive\n"
                "  --fault-plan SPEC  deterministic fault injection for testing:\n"
-               "                     'rank=R:op=K:throw|flip[=BYTE]|delay=MS' (';'-joined)\n"
+               "                     'rank=R:op=K:throw|throw_transient|flip[=BYTE]|\n"
+               "                     delay=MS[:count=N][:until=A]' (';'-joined);\n"
+               "                     throw_transient fires while the batch attempt\n"
+               "                     is < A (so retries heal it), count repeats\n"
+               "                     the action N times per attempt\n"
+               "  --max-retries N    replay a batch up to N times after a transient\n"
+               "                     fault (rollback to the batch boundary, resync,\n"
+               "                     re-run; replays are bitwise-identical)\n"
+               "  --retry-backoff-ms N  base backoff before each replay (doubles per\n"
+               "                     attempt, seeded jitter; default 10)\n"
+               "  --quarantine       on retry exhaustion or a permanent fault, skip\n"
+               "                     the failing batch and complete the run over the\n"
+               "                     rest (exit code 9 marks the degraded result;\n"
+               "                     the report names every skipped batch)\n"
+               "  --quarantine-manifest F  also write the skipped-batch manifest\n"
+               "                     (schema sas-quarantine-v1) to F\n"
+               "  --mem-budget-mb N  per-rank memory budget: the pipeline's large\n"
+               "                     allocations fail as a typed resource-exhausted\n"
+               "                     error (exit code 8) instead of an OOM kill\n"
                "  --verify-protocol  arm the BSP protocol verifier: per-rank ledgers\n"
                "                     of every collective's (op, tag, elem, shape),\n"
                "                     cross-checked at barriers and run exit; a rank\n"
@@ -114,7 +135,11 @@ int usage() {
                "                     placement of the multiply stage\n"
                "exit codes: 0 ok, 1 generic error, 2 bad config/usage,\n"
                "            3 corrupt input, 4 rank failure, 5 watchdog timeout,\n"
-               "            6 protocol violation (--verify-protocol)\n"
+               "            6 protocol violation (--verify-protocol),\n"
+               "            7 transient failure (retries exhausted or disabled),\n"
+               "            8 resource exhausted (--mem-budget-mb / disk full),\n"
+               "            9 completed DEGRADED (--quarantine skipped batches;\n"
+               "              the result is valid over the surviving rows only)\n"
                "\n"
                "observability (gas dist):\n"
                "  --trace-out F      merge every rank's spans (stages, batches,\n"
@@ -366,6 +391,29 @@ int cmd_dist(const ArgParser& args) {
     return 2;
   }
 
+  // In-run recovery knobs (see "failure semantics" in the usage text).
+  options.core.max_retries = args.get_int("max-retries", 0);
+  options.core.retry_backoff_ms = args.get_int("retry-backoff-ms", 10);
+  options.core.quarantine = args.get_bool("quarantine", false);
+  options.core.quarantine_manifest = args.get_string("quarantine-manifest", "");
+  options.core.mem_budget_mb = args.get_int("mem-budget-mb", 0);
+  if (options.core.max_retries < 0) {
+    std::fprintf(stderr, "gas dist: --max-retries must be >= 0\n");
+    return 2;
+  }
+  if (options.core.retry_backoff_ms < 0) {
+    std::fprintf(stderr, "gas dist: --retry-backoff-ms must be >= 0\n");
+    return 2;
+  }
+  if (options.core.mem_budget_mb < 0) {
+    std::fprintf(stderr, "gas dist: --mem-budget-mb must be >= 0\n");
+    return 2;
+  }
+  if (!options.core.quarantine_manifest.empty() && !options.core.quarantine) {
+    std::fprintf(stderr, "gas dist: --quarantine-manifest needs --quarantine\n");
+    return 2;
+  }
+
   // Observability artifacts (see "observability" in the usage text); the
   // driver writes both on success AND on abort (postmortem timeline).
   options.core.trace_out = args.get_string("trace-out", "");
@@ -377,6 +425,27 @@ int cmd_dist(const ArgParser& args) {
                                                            options.core);
   const auto names = source.sample_names();
   const auto n = result.n;
+
+  if (result.degraded()) {
+    // The run completed, but --quarantine skipped batches: say so up
+    // front (and again via exit code 9 below) so nobody mistakes the
+    // degraded similarities for the full-universe values.
+    std::fprintf(stderr,
+                 "gas dist: DEGRADED — %zu of %lld batches quarantined "
+                 "(%lld replays ran); similarities cover the surviving "
+                 "attribute rows only:\n",
+                 result.quarantined.size(),
+                 static_cast<long long>(options.core.batch_count),
+                 static_cast<long long>(result.retries));
+    for (const core::QuarantinedBatch& q : result.quarantined) {
+      std::fprintf(stderr,
+                   "  batch %lld (rows [%lld, %lld), %lld attempts): %s\n",
+                   static_cast<long long>(q.batch),
+                   static_cast<long long>(q.row_begin),
+                   static_cast<long long>(q.row_end),
+                   static_cast<long long>(q.attempts), q.reason.c_str());
+    }
+  }
 
   if (options.core.estimator == core::Estimator::kHybrid) {
     const std::int64_t candidates = (result.candidates.count() - n) / 2;
@@ -486,7 +555,10 @@ int cmd_dist(const ArgParser& args) {
     core::write_similarity_tsv(tsv, names, dense_view());
     std::printf("TSV similarity matrix written to %s\n", out_path.c_str());
   }
-  return 0;
+  // Exit 9 (not an error::Code — those stop at 8) tells schedulers the
+  // run finished but with quarantined batches; 0 is reserved for a
+  // complete result.
+  return result.degraded() ? 9 : 0;
 }
 
 int cmd_tree(const ArgParser& args) {

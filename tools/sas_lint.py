@@ -26,6 +26,13 @@ trips a rule) and compiler-backed checks (g++ -fsyntax-only):
                            standalone (g++ -std=c++20 -fsyntax-only -Isrc).
   R6  script-compile       every .py under tools/ and scripts/ passes
                            `py_compile` -- script rot fails the lint job.
+  R7  no-swallowed-catch   no `catch (...)` in src/ whose body neither
+                           rethrows nor translates (throw / rethrow /
+                           current_exception / make_exception_ptr) -- a
+                           silently swallowed failure defeats the error
+                           taxonomy AND the in-run recovery layer, which
+                           classifies the escaped exception to decide
+                           retry vs quarantine vs abort.
 
 Suppressions: `// sas-lint: allow(R3 reason...)` on the offending line or
 the line directly above masks that rule there; masked counts are reported.
@@ -58,6 +65,7 @@ RULES = {
     "R4": "stage-spans",
     "R5": "header-hygiene",
     "R6": "script-compile",
+    "R7": "no-swallowed-catch",
 }
 
 # The two TUs CMake compiles with -mavx512vpopcntdq (basenames).
@@ -319,6 +327,41 @@ def check_r4(rel: str, code: str) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# R7 -- no swallowed catch-all
+# ---------------------------------------------------------------------------
+
+R7_CATCH_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)\s*\{")
+# A body containing any of these handles the exception honestly: a bare
+# rethrow, a typed throw, or capture/translation into an exception_ptr.
+R7_HANDLED_RE = re.compile(
+    r"\bthrow\b|\bcurrent_exception\b|\bmake_exception_ptr\b|\brethrow_exception\b"
+)
+
+
+def check_r7(rel: str, code: str) -> list[Violation]:
+    out = []
+    for m in R7_CATCH_RE.finditer(code):
+        brace = m.end() - 1
+        body_end = match_delim(code, brace, "{", "}")
+        if body_end == -1:
+            continue
+        if R7_HANDLED_RE.search(code[brace:body_end]):
+            continue
+        out.append(
+            Violation(
+                "R7",
+                rel,
+                line_of(code, m.start()),
+                "`catch (...)` swallows the exception (no rethrow, no "
+                "translation) -- the recovery layer can no longer classify "
+                "the failure; rethrow, translate to a sas::error, or "
+                "suppress with a reason",
+            )
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
 # R5 -- header hygiene
 # ---------------------------------------------------------------------------
 
@@ -434,6 +477,7 @@ def lint_file(root: str, rel: str) -> tuple[list[Violation], int]:
         + check_r3(rel, code)
         + check_r4(rel, code)
         + check_r5_pragma(rel, code)
+        + check_r7(rel, code)
     )
     allowed = collect_suppressions(raw)
     kept: list[Violation] = []
